@@ -1,0 +1,24 @@
+//! Fig 6(b) micro: ESDIndex (Algorithm 2) vs ESDIndex+ (Algorithm 3)
+//! construction time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esd_core::EsdIndex;
+use esd_datasets::{load, Scale};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for name in ["Youtube", "DBLP", "Pokec"] {
+        let g = load(name, Scale::Tiny);
+        group.bench_with_input(BenchmarkId::new("ESDIndex_basic", name), &g, |b, g| {
+            b.iter(|| EsdIndex::build_basic(g))
+        });
+        group.bench_with_input(BenchmarkId::new("ESDIndex_fast", name), &g, |b, g| {
+            b.iter(|| EsdIndex::build_fast(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

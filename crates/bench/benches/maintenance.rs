@@ -1,0 +1,66 @@
+//! Fig 11 micro: edge insertion/deletion maintenance cost (Algorithms 4–5),
+//! benchmarked as delete+reinsert pairs so the graph is unchanged across
+//! iterations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esd_core::MaintainedIndex;
+use esd_datasets::{load, Scale};
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance");
+    group.sample_size(10);
+    for name in ["Youtube", "DBLP"] {
+        let g = load(name, Scale::Tiny);
+        let mut index = MaintainedIndex::new(&g);
+        let edges: Vec<_> = g.edges().iter().step_by(g.num_edges() / 64 + 1).copied().collect();
+        group.bench_with_input(BenchmarkId::new("delete_reinsert", name), &(), |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let e = edges[i % edges.len()];
+                i += 1;
+                assert!(index.remove_edge(e.u, e.v));
+                assert!(index.insert_edge(e.u, e.v));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_vs_sequential(c: &mut Criterion) {
+    let g = load("DBLP", Scale::Tiny);
+    let edges: Vec<_> = g.edges().iter().step_by(g.num_edges() / 32 + 1).copied().collect();
+    let mut group = c.benchmark_group("maintenance_batch");
+    group.sample_size(10);
+    group.bench_function("sequential_32_pairs", |b| {
+        let mut index = MaintainedIndex::new(&g);
+        b.iter(|| {
+            for e in &edges {
+                index.remove_edge(e.u, e.v);
+            }
+            for e in &edges {
+                index.insert_edge(e.u, e.v);
+            }
+        })
+    });
+    group.bench_function("batched_32_pairs", |b| {
+        let mut index = MaintainedIndex::new(&g);
+        let updates: Vec<esd_core::maintain::GraphUpdate> = edges
+            .iter()
+            .map(|e| esd_core::maintain::GraphUpdate::Remove(e.u, e.v))
+            .chain(edges.iter().map(|e| esd_core::maintain::GraphUpdate::Insert(e.u, e.v)))
+            .collect();
+        b.iter(|| index.apply_batch(&updates))
+    });
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let g = load("Youtube", Scale::Tiny);
+    let mut group = c.benchmark_group("maintenance_bootstrap");
+    group.sample_size(10);
+    group.bench_function("MaintainedIndex_new", |b| b.iter(|| MaintainedIndex::new(&g)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance, bench_batch_vs_sequential, bench_bootstrap);
+criterion_main!(benches);

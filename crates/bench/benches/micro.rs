@@ -1,0 +1,91 @@
+//! Substrate micro-benchmarks: intersection kernels, treap operations,
+//! union–find, and 4-clique enumeration — the kernels whose constants
+//! determine every headline number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esd_core::index::ostree::{RankKey, ScoreTreap};
+use esd_dsu::SlotDsu;
+use esd_graph::{cliques, generators, intersect, Edge};
+
+fn bench_intersect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect");
+    let a: Vec<u32> = (0..1_000).map(|x| x * 7).collect();
+    let balanced: Vec<u32> = (0..1_000).map(|x| x * 11).collect();
+    let skewed: Vec<u32> = (0..100_000).map(|x| x * 3).collect();
+    group.bench_function("merge_balanced", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            intersect::intersect_merge(&a, &balanced, &mut out);
+        })
+    });
+    group.bench_function("merge_skewed", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            intersect::intersect_merge(&a, &skewed, &mut out);
+        })
+    });
+    group.bench_function("gallop_skewed", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            intersect::intersect_gallop(&a, &skewed, &mut out);
+        })
+    });
+    group.finish();
+}
+
+fn bench_treap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treap");
+    let keys: Vec<RankKey> = (0..10_000u32)
+        .map(|i| RankKey { score: i % 97, edge: Edge::new(i, i + 1) })
+        .collect();
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut t = ScoreTreap::new();
+            for &k in &keys {
+                t.insert(k);
+            }
+            t
+        })
+    });
+    let mut full = ScoreTreap::new();
+    for &k in &keys {
+        full.insert(k);
+    }
+    for k in [1usize, 100] {
+        group.bench_with_input(BenchmarkId::new("top_k", k), &k, |b, &k| {
+            b.iter(|| full.top_k(k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dsu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsu");
+    group.bench_function("union_find_100k", |b| {
+        b.iter(|| {
+            let mut dsu = SlotDsu::new(100_000);
+            for i in 0..99_999 {
+                dsu.union(i, i + 1);
+            }
+            dsu.num_sets()
+        })
+    });
+    group.finish();
+}
+
+fn bench_cliques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cliques");
+    group.sample_size(10);
+    let g = generators::clique_overlap(2_000, 1_600, 6, 3);
+    group.bench_function("four_cliques", |b| b.iter(|| cliques::count_four_cliques(&g)));
+    group.bench_function("triangles", |b| {
+        b.iter(|| esd_graph::triangles::count_triangles(&g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersect, bench_treap, bench_dsu, bench_cliques);
+criterion_main!(benches);

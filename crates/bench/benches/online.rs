@@ -1,0 +1,37 @@
+//! Fig 5 micro: OnlineBFS vs OnlineBFS+ (dequeue-twice with each bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esd_core::online::{online_topk, UpperBound};
+use esd_datasets::{load, Scale};
+
+fn bench_online(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_topk");
+    group.sample_size(10);
+    for name in ["Pokec", "DBLP"] {
+        let g = load(name, Scale::Tiny);
+        for (label, bound) in [
+            ("OnlineBFS", UpperBound::MinDegree),
+            ("OnlineBFS+", UpperBound::CommonNeighbor),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, name), &g, |b, g| {
+                b.iter(|| online_topk(g, 100, 3, bound))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_online_varying_k(c: &mut Criterion) {
+    let g = load("Pokec", Scale::Tiny);
+    let mut group = c.benchmark_group("online_topk_k");
+    group.sample_size(10);
+    for k in [1usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| online_topk(&g, k, 3, UpperBound::CommonNeighbor))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online, bench_online_varying_k);
+criterion_main!(benches);

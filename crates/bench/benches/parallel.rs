@@ -1,0 +1,24 @@
+//! Fig 7/10 micro: PESDIndex+ at several thread counts.
+//!
+//! On a 1-core container the wall-clock speedup saturates at ~1×; the bench
+//! still validates that the parallel machinery adds no pathological
+//! overhead and scales on real multicore hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esd_core::EsdIndex;
+use esd_datasets::{load, Scale};
+
+fn bench_parallel(c: &mut Criterion) {
+    let g = load("LiveJournal", Scale::Tiny);
+    let mut group = c.benchmark_group("parallel_build");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| EsdIndex::build_parallel(&g, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig 8 micro: IndexSearch query latency vs OnlineBFS+ across k and τ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esd_core::online::{online_topk, UpperBound};
+use esd_core::EsdIndex;
+use esd_datasets::{load, Scale};
+
+fn bench_query(c: &mut Criterion) {
+    let g = load("Pokec", Scale::Tiny);
+    let index = EsdIndex::build_fast(&g);
+    let mut group = c.benchmark_group("index_query");
+    for k in [1usize, 10, 100, 200] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| index.query(k, 3))
+        });
+    }
+    for tau in [1u32, 3, 6] {
+        group.bench_with_input(BenchmarkId::new("tau", tau), &tau, |b, &tau| {
+            b.iter(|| index.query(100, tau))
+        });
+    }
+    group.finish();
+
+    // The headline Fig 8 contrast on the same input, for the record.
+    let mut group = c.benchmark_group("query_vs_online");
+    group.sample_size(10);
+    group.bench_function("IndexSearch_k100_tau3", |b| b.iter(|| index.query(100, 3)));
+    group.bench_function("OnlineBFS+_k100_tau3", |b| {
+        b.iter(|| online_topk(&g, 100, 3, UpperBound::CommonNeighbor))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,321 @@
+//! `esd` — command-line top-k edge structural diversity search.
+//!
+//! ```text
+//! esd stats  <graph.txt>                         graph statistics (Table I columns)
+//! esd topk   <graph.txt> [-k N] [--tau T] [--algo online|online+|index]
+//! esd build  <graph.txt> -o <index.esdx>         build + persist a frozen index
+//! esd query  <index.esdx> [-k N] [--tau T]       query a persisted index
+//! esd stream <graph.txt>                         read updates/queries from stdin:
+//!                                                  + u v | - u v | ? k tau | quit
+//! ```
+//!
+//! Graphs are SNAP-style edge lists (`u<ws>v` per line, `#` comments).
+//! `topk`/`stream` print the file's original vertex ids; a persisted index
+//! stores the dense relabelling (first-appearance order), which `build`
+//! writes next to the index as `<index>.ids` so `query` can translate back.
+
+use esd_core::online::{online_topk, UpperBound};
+use esd_core::{EsdIndex, MaintainedIndex, ScoredEdge};
+use esd_graph::io;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  esd stats  <graph.txt>
+  esd topk   <graph.txt> [-k N] [--tau T] [--algo online|online+|index]
+  esd build  <graph.txt> -o <index.esdx>
+  esd query  <index.esdx> [-k N] [--tau T]
+  esd stream <graph.txt>
+  esd ego    <graph.txt> <u> <v> [-o <out.dot>]   render an edge ego-network
+  esd explain <graph.txt> <u> <v>                 score/context breakdown";
+
+struct Options {
+    k: usize,
+    tau: u32,
+    algo: String,
+    output: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        k: 10,
+        tau: 2,
+        algo: "index".into(),
+        output: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "-k" => opts.k = value("-k")?.parse().map_err(|e| format!("bad -k: {e}"))?,
+            "--tau" => opts.tau = value("--tau")?.parse().map_err(|e| format!("bad --tau: {e}"))?,
+            "--algo" => opts.algo = value("--algo")?,
+            "-o" | "--output" => opts.output = Some(value("-o")?),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    if opts.tau == 0 {
+        return Err("--tau must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let opts = parse(rest)?;
+    match cmd.as_str() {
+        "stats" => stats(&opts),
+        "topk" => topk(&opts),
+        "build" => build(&opts),
+        "query" => query(&opts),
+        "stream" => stream(&opts),
+        "ego" => ego(&opts),
+        "explain" => explain(&opts),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load_graph(opts: &Options) -> Result<(esd_graph::Graph, Vec<u64>), String> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or("missing graph file argument")?;
+    io::load_edge_list(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn print_results(results: &[ScoredEdge], original: &[u64]) {
+    for (rank, s) in results.iter().enumerate() {
+        println!(
+            "{:>4}  ({}, {})  score {}",
+            rank + 1,
+            original[s.edge.u as usize],
+            original[s.edge.v as usize],
+            s.score
+        );
+    }
+    if results.is_empty() {
+        println!("(no edge has a component of size ≥ τ)");
+    }
+}
+
+fn stats(opts: &Options) -> Result<(), String> {
+    let (g, _) = load_graph(opts)?;
+    let s = esd_graph::metrics::GraphStats::compute(&g);
+    println!("n            {}", s.n);
+    println!("m            {}", s.m);
+    println!("d_max        {}", s.d_max);
+    println!("degeneracy   {}", s.degeneracy);
+    println!("arboricity   [{}, {}]", s.arboricity_lower, s.arboricity_upper);
+    println!("triangles    {}", esd_graph::triangles::count_triangles(&g));
+    println!("4-cliques    {}", esd_graph::cliques::count_four_cliques(&g));
+    Ok(())
+}
+
+fn topk(opts: &Options) -> Result<(), String> {
+    let (g, original) = load_graph(opts)?;
+    let results = match opts.algo.as_str() {
+        "online" => online_topk(&g, opts.k, opts.tau, UpperBound::MinDegree),
+        "online+" => online_topk(&g, opts.k, opts.tau, UpperBound::CommonNeighbor),
+        "index" => EsdIndex::build_fast(&g).query(opts.k, opts.tau),
+        other => return Err(format!("unknown --algo {other:?} (online|online+|index)")),
+    };
+    println!("top-{} edges by structural diversity (τ = {}):", opts.k, opts.tau);
+    print_results(&results, &original);
+    Ok(())
+}
+
+fn build(opts: &Options) -> Result<(), String> {
+    let (g, original) = load_graph(opts)?;
+    let out = opts.output.as_ref().ok_or("build requires -o <index.esdx>")?;
+    let frozen = EsdIndex::build_fast(&g).freeze();
+    frozen.save(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    // Sidecar with the dense -> original id mapping, one id per line.
+    let ids_path = format!("{out}.ids");
+    let mut w = std::io::BufWriter::new(
+        std::fs::File::create(&ids_path).map_err(|e| format!("cannot write {ids_path}: {e}"))?,
+    );
+    for id in &original {
+        writeln!(w, "{id}").map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out} ({} lists, {} entries) and {ids_path}",
+        frozen.num_lists(),
+        frozen.total_entries()
+    );
+    Ok(())
+}
+
+fn query(opts: &Options) -> Result<(), String> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or("missing index file argument")?;
+    let frozen = esd_core::index::FrozenEsdIndex::load(path)
+        .map_err(|e| format!("cannot load {path}: {e}"))?;
+    // Optional sidecar mapping; identity if absent.
+    let original: Vec<u64> = match std::fs::read_to_string(format!("{path}.ids")) {
+        Ok(text) => text
+            .lines()
+            .map(|l| l.trim().parse().map_err(|e| format!("bad id line: {e}")))
+            .collect::<Result<_, _>>()?,
+        Err(_) => {
+            // No sidecar: identity mapping covering every vertex the index
+            // mentions.
+            let max_vertex = frozen
+                .component_sizes()
+                .iter()
+                .filter_map(|&c| frozen.list(c))
+                .flatten()
+                .map(|s| s.edge.v as u64)
+                .max()
+                .unwrap_or(0);
+            (0..=max_vertex).collect()
+        }
+    };
+    let results = frozen.query(opts.k, opts.tau);
+    println!("top-{} edges by structural diversity (τ = {}):", opts.k, opts.tau);
+    print_results(&results, &original);
+    Ok(())
+}
+
+fn ego(opts: &Options) -> Result<(), String> {
+    let (g, original) = load_graph(opts)?;
+    let [_, ou, ov] = opts.positional.as_slice() else {
+        return Err("ego needs <graph.txt> <u> <v>".into());
+    };
+    let parse = |t: &str| t.parse::<u64>().map_err(|e| format!("bad id {t}: {e}"));
+    let (ou, ov) = (parse(ou)?, parse(ov)?);
+    let find = |o: u64| {
+        original
+            .iter()
+            .position(|&x| x == o)
+            .map(|d| d as u32)
+            .ok_or_else(|| format!("vertex {o} not in the graph"))
+    };
+    let (u, v) = (find(ou)?, find(ov)?);
+    if !g.has_edge(u, v) {
+        return Err(format!("({ou}, {ov}) is not an edge"));
+    }
+    let dot = esd_graph::dot::ego_network_dot(&g, u, v, |x| Some(original[x as usize].to_string()));
+    match &opts.output {
+        Some(path) => {
+            std::fs::write(path, &dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let sizes = esd_core::score::component_sizes(&g, u, v);
+            println!("wrote {path}: {} components {:?}", sizes.len(), sizes);
+        }
+        None => print!("{dot}"),
+    }
+    Ok(())
+}
+
+fn explain(opts: &Options) -> Result<(), String> {
+    let (g, original) = load_graph(opts)?;
+    let [_, ou, ov] = opts.positional.as_slice() else {
+        return Err("explain needs <graph.txt> <u> <v>".into());
+    };
+    let parse = |t: &str| t.parse::<u64>().map_err(|e| format!("bad id {t}: {e}"));
+    let (ou, ov) = (parse(ou)?, parse(ov)?);
+    let find = |o: u64| {
+        original
+            .iter()
+            .position(|&x| x == o)
+            .map(|d| d as u32)
+            .ok_or_else(|| format!("vertex {o} not in the graph"))
+    };
+    let (u, v) = (find(ou)?, find(ov)?);
+    let ex = esd_core::explain::explain_edge(&g, u, v)
+        .ok_or_else(|| format!("({ou}, {ov}) is not an edge"))?;
+    println!(
+        "edge ({ou}, {ov}): {} common neighbours, {} context(s)",
+        ex.common_neighbors.len(),
+        ex.components.len()
+    );
+    for (i, comp) in ex.components.iter().enumerate() {
+        let names: Vec<String> = comp.iter().map(|&w| original[w as usize].to_string()).collect();
+        println!("  context {}: {}", i + 1, names.join(", "));
+    }
+    for (i, &score) in ex.scores_by_tau.iter().enumerate() {
+        println!(
+            "  τ = {}: score {} (CN bound {}, min-degree bound {})",
+            i + 1,
+            score,
+            ex.common_neighbor_bound(i as u32 + 1),
+            ex.min_degree_bound
+        );
+    }
+    Ok(())
+}
+
+fn stream(opts: &Options) -> Result<(), String> {
+    let (g, original) = load_graph(opts)?;
+    // Reverse mapping original -> dense for update commands; new ids get
+    // fresh dense slots.
+    let mut to_dense: std::collections::HashMap<u64, u32> = original
+        .iter()
+        .enumerate()
+        .map(|(d, &o)| (o, d as u32))
+        .collect();
+    let mut original = original;
+    let mut index = MaintainedIndex::new(&g);
+    println!("ready: {} vertices, {} edges (+ u v | - u v | ? k tau | quit)", g.num_vertices(), g.num_edges());
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            [] => continue,
+            ["quit" | "q" | "exit"] => break,
+            ["+", a, b] | ["-", a, b] => {
+                let parse = |t: &str| t.parse::<u64>().map_err(|e| format!("bad id {t}: {e}"));
+                let (oa, ob) = (parse(a)?, parse(b)?);
+                let mut dense = |o: u64, original: &mut Vec<u64>| {
+                    *to_dense.entry(o).or_insert_with(|| {
+                        original.push(o);
+                        (original.len() - 1) as u32
+                    })
+                };
+                let (da, db) = (dense(oa, &mut original), dense(ob, &mut original));
+                let ok = if toks[0] == "+" {
+                    index.insert_edge(da, db)
+                } else {
+                    index.remove_edge(da, db)
+                };
+                println!("{} ({oa}, {ob}): {}", toks[0], if ok { "ok" } else { "no-op" });
+            }
+            ["?", k, tau] => {
+                let k: usize = k.parse().map_err(|e| format!("bad k: {e}"))?;
+                let tau: u32 = tau.parse().map_err(|e| format!("bad tau: {e}"))?;
+                if tau == 0 {
+                    println!("tau must be >= 1");
+                    continue;
+                }
+                print_results(&index.query(k, tau), &original);
+            }
+            other => println!("unrecognised command {other:?}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,193 @@
+//! End-to-end tests of the `esd` binary: every subcommand over temp files,
+//! including error paths.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_esd"))
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("esd_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The paper's Fig 1(a) graph as an edge list with offset original ids
+/// (so the dense relabelling is exercised).
+fn write_fig1(dir: &std::path::Path) -> PathBuf {
+    let (g, _) = esd_core::fixtures::fig1();
+    let path = dir.join("fig1.txt");
+    let mut text = String::from("# fig 1(a)\n");
+    for e in g.edges() {
+        text.push_str(&format!("{} {}\n", e.u + 100, e.v + 100));
+    }
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn stats_reports_counts() {
+    let dir = temp_dir();
+    let graph = write_fig1(&dir);
+    let out = bin().args(["stats", graph.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("n            16"), "{text}");
+    assert!(text.contains("m            40"), "{text}");
+}
+
+#[test]
+fn topk_prints_original_ids_for_every_algo() {
+    let dir = temp_dir();
+    let graph = write_fig1(&dir);
+    let mut outputs = Vec::new();
+    for algo in ["online", "online+", "index"] {
+        let out = bin()
+            .args(["topk", graph.to_str().unwrap(), "-k", "3", "--tau", "2", "--algo", algo])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("score 2"), "{algo}: {text}");
+        // Original ids are offset by 100.
+        assert!(text.contains("(105, 106)") || text.contains("(107, 108)"), "{algo}: {text}");
+        outputs.push(text);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    // Index output has a different header line order? No — identical results.
+    assert_eq!(
+        outputs[0].lines().skip(1).collect::<Vec<_>>(),
+        outputs[2].lines().skip(1).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn build_then_query_roundtrip() {
+    let dir = temp_dir();
+    let graph = write_fig1(&dir);
+    let index = dir.join("fig1.esdx");
+    let out = bin()
+        .args(["build", graph.to_str().unwrap(), "-o", index.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(index.exists());
+    assert!(dir.join("fig1.esdx.ids").exists());
+
+    let out = bin()
+        .args(["query", index.to_str().unwrap(), "-k", "3", "--tau", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    // τ=5 answers: (u,p), (u,q), (p,q) = dense (11,13),(11,14),(13,14) → +100.
+    assert!(text.contains("(111, 113)"), "{text}");
+    assert!(text.contains("(113, 114)"), "{text}");
+}
+
+#[test]
+fn stream_updates_and_queries() {
+    let dir = temp_dir();
+    let graph = write_fig1(&dir);
+    let mut child = bin()
+        .args(["stream", graph.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Example 7: delete (u,k) = original (111, 110); then query τ=3.
+    let stdin = child.stdin.as_mut().unwrap();
+    writeln!(stdin, "- 111 110").unwrap();
+    writeln!(stdin, "? 5 3").unwrap();
+    writeln!(stdin, "- 111 110").unwrap(); // now a no-op
+    writeln!(stdin, "bogus line").unwrap();
+    writeln!(stdin, "quit").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("- (111, 110): ok"), "{text}");
+    assert!(text.contains("- (111, 110): no-op"), "{text}");
+    assert!(text.contains("(109, 110)"), "(j,k) appears in H(3): {text}");
+    assert!(text.contains("unrecognised"), "{text}");
+}
+
+#[test]
+fn ego_renders_dot() {
+    let dir = temp_dir();
+    let graph = write_fig1(&dir);
+    // (f, g) = dense (5, 6) → original (105, 106): two ego components.
+    let out = bin()
+        .args(["ego", graph.to_str().unwrap(), "105", "106"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let dot = String::from_utf8(out.stdout).unwrap();
+    assert!(dot.contains("graph ego"), "{dot}");
+    assert!(dot.contains("cluster_1") && !dot.contains("cluster_2"), "{dot}");
+    // Writing to a file reports the component sizes.
+    let path = dir.join("ego.dot");
+    let out = bin()
+        .args(["ego", graph.to_str().unwrap(), "105", "106", "-o", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("2 components [2, 2]"));
+    assert!(path.exists());
+    // Non-edge is rejected.
+    let out = bin()
+        .args(["ego", graph.to_str().unwrap(), "100", "115"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn explain_breaks_down_scores() {
+    let dir = temp_dir();
+    let graph = write_fig1(&dir);
+    // (j, k) = original (109, 110): contexts {h,i} and {u,v,p,q}.
+    let out = bin()
+        .args(["explain", graph.to_str().unwrap(), "109", "110"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("6 common neighbours"), "{text}");
+    assert!(text.contains("2 context(s)"), "{text}");
+    assert!(text.contains("111, 112, 113, 114"), "the K6 context: {text}");
+    assert!(text.contains("τ = 4: score 1"), "{text}");
+    // Non-edge rejected.
+    let out = bin()
+        .args(["explain", graph.to_str().unwrap(), "100", "115"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn error_paths() {
+    // Unknown subcommand.
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    // Missing file.
+    let out = bin().args(["stats", "/nonexistent/graph.txt"]).output().unwrap();
+    assert!(!out.status.success());
+    // Bad tau.
+    let dir = temp_dir();
+    let graph = write_fig1(&dir);
+    let out = bin()
+        .args(["topk", graph.to_str().unwrap(), "--tau", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // Corrupt index file.
+    let bogus = dir.join("bogus.esdx");
+    std::fs::write(&bogus, b"not an index").unwrap();
+    let out = bin().args(["query", bogus.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ESDX"));
+}

@@ -1,0 +1,155 @@
+//! The CN and BT baselines of the paper's case studies (Exp-7/8).
+//!
+//! * **CN** ranks edges by the number of common neighbours — it surfaces
+//!   strong ties inside one dense community.
+//! * **BT** ranks edges by betweenness centrality — it surfaces weak
+//!   "barbell" bridges whose endpoints share few neighbours.
+//!
+//! The case studies contrast both with structural diversity, which finds
+//! strong ties that *span several* social contexts.
+
+use crate::ScoredEdge;
+use esd_graph::{betweenness, Edge, Graph};
+
+/// Top-k edges by common-neighbour count (`CN`), ranked
+/// `(count desc, edge asc)`; zero-count edges are omitted.
+pub fn topk_common_neighbors(g: &Graph, k: usize) -> Vec<ScoredEdge> {
+    let mut scored: Vec<ScoredEdge> = g
+        .edges()
+        .iter()
+        .map(|e| ScoredEdge {
+            edge: *e,
+            score: g.common_neighbor_count(e.u, e.v) as u32,
+        })
+        .filter(|s| s.score > 0)
+        .collect();
+    scored.sort_by(ScoredEdge::ranking_cmp);
+    scored.truncate(k);
+    scored
+}
+
+/// An edge with a real-valued baseline score (betweenness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEdge {
+    /// The edge.
+    pub edge: Edge,
+    /// Its betweenness value.
+    pub weight: f64,
+}
+
+/// Top-k edges by exact betweenness centrality (`BT`). `O(nm)` — use
+/// [`topk_betweenness_sampled`] beyond a few thousand vertices.
+pub fn topk_betweenness(g: &Graph, k: usize) -> Vec<WeightedEdge> {
+    rank_weighted(g, betweenness::edge_betweenness(g), k)
+}
+
+/// Top-k edges by pivot-sampled betweenness.
+pub fn topk_betweenness_sampled(g: &Graph, k: usize, pivots: usize, seed: u64) -> Vec<WeightedEdge> {
+    rank_weighted(g, betweenness::edge_betweenness_sampled(g, pivots, seed), k)
+}
+
+/// Top-k edges by trussness (`TR`) — the cohesive-subgraph baseline from the
+/// paper's related work (truss decomposition [10], [11]). High-truss edges
+/// sit in one dense near-clique, so like CN they miss multi-context ties.
+pub fn topk_trussness(g: &Graph, k: usize) -> Vec<ScoredEdge> {
+    let truss = esd_graph::truss::truss_decomposition(g);
+    let mut scored: Vec<ScoredEdge> = g
+        .edges()
+        .iter()
+        .zip(truss)
+        .map(|(&edge, t)| ScoredEdge { edge, score: t })
+        .collect();
+    scored.sort_by(ScoredEdge::ranking_cmp);
+    scored.truncate(k);
+    scored
+}
+
+fn rank_weighted(g: &Graph, weights: Vec<f64>, k: usize) -> Vec<WeightedEdge> {
+    let mut scored: Vec<WeightedEdge> = g
+        .edges()
+        .iter()
+        .zip(weights)
+        .map(|(&edge, weight)| WeightedEdge { edge, weight })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.edge.cmp(&b.edge))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig1;
+    use esd_graph::generators;
+
+    #[test]
+    fn cn_prefers_clique_edges_on_fig1() {
+        let (g, n) = fig1();
+        let top = topk_common_neighbors(&g, 3);
+        // K6 edges among {j,k,u,v,p,q} have 4-5 common neighbours — the max.
+        for s in &top {
+            assert!(s.score >= 4, "{s}");
+            let clique: Vec<u32> = ["j", "k", "u", "v", "p", "q"].iter().map(|&x| n[x]).collect();
+            assert!(clique.contains(&s.edge.u) && clique.contains(&s.edge.v));
+        }
+    }
+
+    #[test]
+    fn bt_prefers_bridges() {
+        // Two K5s joined by one bridge.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                edges.push((u, v));
+                edges.push((u + 5, v + 5));
+            }
+        }
+        edges.push((0, 5));
+        let g = Graph::from_edges(10, &edges);
+        let top = topk_betweenness(&g, 1);
+        assert_eq!(top[0].edge, Edge::new(0, 5));
+    }
+
+    #[test]
+    fn cn_and_bt_disagree_with_esd_semantics() {
+        // The fig1 top ESD edge at τ=2 is (f,g) — not the top CN edge.
+        let (g, n) = fig1();
+        let esd_top = crate::score::naive_topk(&g, 1, 2)[0].edge;
+        let cn_top = topk_common_neighbors(&g, 1)[0].edge;
+        assert_ne!(esd_top, cn_top);
+        assert_eq!(esd_top, Edge::new(n["f"], n["g"]));
+    }
+
+    #[test]
+    fn truncation_and_empty() {
+        let g = generators::star(5);
+        assert!(topk_common_neighbors(&g, 3).is_empty(), "no triangles");
+        let path = generators::path(4);
+        assert_eq!(topk_betweenness(&path, 100).len(), 3);
+    }
+
+    #[test]
+    fn trussness_prefers_dense_cliques() {
+        // A K5 glued to a sparse tail: the K5 edges lead the TR ranking.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                edges.push((u, v));
+            }
+        }
+        edges.extend([(4, 5), (5, 6), (6, 7)]);
+        let g = Graph::from_edges(8, &edges);
+        let top = topk_trussness(&g, 10);
+        assert_eq!(top[0].score, 5);
+        for s in top.iter().take(10) {
+            if s.score == 5 {
+                assert!(s.edge.u < 5 && s.edge.v < 5, "{}", s.edge);
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Human-readable explanations of an edge's structural diversity.
+//!
+//! The case studies (Figs 12–13) are all about *why* an edge ranks highly:
+//! which shared neighbours form which contexts. [`explain_edge`] packages
+//! that evidence — the ego-network's components, the score at every
+//! meaningful τ, and the §III upper bounds — for display or for downstream
+//! tooling (the CLI's `esd explain`).
+
+use esd_graph::{traversal, Edge, Graph, VertexId};
+
+/// Everything there is to say about one edge's structural diversity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeExplanation {
+    /// The edge under scrutiny.
+    pub edge: Edge,
+    /// Sorted common neighbourhood `N(u) ∩ N(v)`.
+    pub common_neighbors: Vec<VertexId>,
+    /// Ego-network components, largest first (each sorted).
+    pub components: Vec<Vec<VertexId>>,
+    /// Score at every τ from 1 to the largest component size (inclusive);
+    /// index `i` holds the score at `τ = i + 1`.
+    pub scores_by_tau: Vec<u32>,
+    /// The min-degree upper bound `min(d(u), d(v))` (§III).
+    pub min_degree_bound: u32,
+}
+
+impl EdgeExplanation {
+    /// The score at threshold `tau` (0 beyond the largest component).
+    pub fn score(&self, tau: u32) -> u32 {
+        if tau == 0 {
+            return self.scores_by_tau.first().copied().unwrap_or(0);
+        }
+        self.scores_by_tau
+            .get(tau as usize - 1)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The common-neighbour upper bound `⌊|N(uv)|/τ⌋` at `tau`.
+    pub fn common_neighbor_bound(&self, tau: u32) -> u32 {
+        assert!(tau >= 1);
+        self.common_neighbors.len() as u32 / tau
+    }
+}
+
+/// Explains the edge `(u, v)`; `None` if it is not an edge of `g`.
+pub fn explain_edge(g: &Graph, u: VertexId, v: VertexId) -> Option<EdgeExplanation> {
+    if !g.has_edge(u, v) {
+        return None;
+    }
+    let common_neighbors = g.common_neighbors(u, v);
+    let components = traversal::induced_components(g, &common_neighbors);
+    let cmax = components.first().map(|c| c.len() as u32).unwrap_or(0);
+    let mut sizes: Vec<u32> = components.iter().map(|c| c.len() as u32).collect();
+    sizes.sort_unstable();
+    let scores_by_tau = (1..=cmax)
+        .map(|tau| crate::score::score_from_sizes(&sizes, tau))
+        .collect();
+    Some(EdgeExplanation {
+        edge: Edge::new(u, v),
+        common_neighbors,
+        components,
+        scores_by_tau,
+        min_degree_bound: g.degree(u).min(g.degree(v)) as u32,
+    })
+}
+
+impl std::fmt::Display for EdgeExplanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "edge {}: {} common neighbours, {} context(s)",
+            self.edge,
+            self.common_neighbors.len(),
+            self.components.len()
+        )?;
+        for (i, comp) in self.components.iter().enumerate() {
+            writeln!(f, "  context {}: {:?}", i + 1, comp)?;
+        }
+        for (i, &score) in self.scores_by_tau.iter().enumerate() {
+            writeln!(
+                f,
+                "  τ = {}: score {} (CN bound {}, min-degree bound {})",
+                i + 1,
+                score,
+                self.common_neighbor_bound(i as u32 + 1),
+                self.min_degree_bound
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig1;
+
+    #[test]
+    fn explains_fg_like_example_2() {
+        let (g, n) = fig1();
+        let ex = explain_edge(&g, n["f"], n["g"]).unwrap();
+        assert_eq!(ex.common_neighbors.len(), 4);
+        assert_eq!(ex.components.len(), 2);
+        assert_eq!(ex.scores_by_tau, vec![2, 2], "score 2 at τ=1 and τ=2");
+        assert_eq!(ex.score(1), 2);
+        assert_eq!(ex.score(3), 0, "beyond the largest component");
+        assert_eq!(ex.min_degree_bound, 5);
+        assert_eq!(ex.common_neighbor_bound(2), 2);
+    }
+
+    #[test]
+    fn scores_match_direct_computation() {
+        let (g, _) = fig1();
+        for e in g.edges() {
+            let ex = explain_edge(&g, e.u, e.v).unwrap();
+            for tau in 1..=7 {
+                assert_eq!(
+                    ex.score(tau),
+                    crate::score::edge_score(&g, e.u, e.v, tau),
+                    "{e} τ={tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_edge_is_none() {
+        let (g, n) = fig1();
+        assert!(explain_edge(&g, n["a"], n["w"]).is_none());
+        assert!(explain_edge(&g, n["a"], n["a"]).is_none());
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let (g, n) = fig1();
+        let text = explain_edge(&g, n["j"], n["k"]).unwrap().to_string();
+        assert!(text.contains("6 common neighbours"));
+        assert!(text.contains("2 context(s)"));
+        assert!(text.contains("τ = 4: score 1"));
+    }
+
+    #[test]
+    fn empty_ego_network() {
+        let g = esd_graph::generators::star(5);
+        let ex = explain_edge(&g, 0, 1).unwrap();
+        assert!(ex.components.is_empty());
+        assert!(ex.scores_by_tau.is_empty());
+        assert_eq!(ex.score(1), 0);
+    }
+}

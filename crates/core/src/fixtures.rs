@@ -1,0 +1,102 @@
+//! Test fixtures: a faithful reconstruction of the paper's Fig 1(a) graph.
+//!
+//! The paper never lists Fig 1(a)'s edges, but its worked examples pin the
+//! structure down: `score(f,g) = 2` with components `{d,e}` and `{h,i}`
+//! (Examples 1–2), the top-3 answers at `τ = 2` and `τ = 5` (Example 3),
+//! `C = {1, 2, 4, 5}` with `|H(4)| = 15` and
+//! `H(5) = {(u,p), (u,q), (p,q)}` (Example 4), the `(c,d)` insertion
+//! merging `(d,e)`'s ego-network into one component (Example 6), and the
+//! `(u,k)` deletion creating `H(3)` (Example 7). This 16-vertex, 40-edge
+//! graph satisfies every one of those constraints, which the golden tests
+//! in this crate (and integration tests) assert.
+
+use esd_graph::{Graph, VertexId};
+use std::collections::HashMap;
+
+/// Vertex names of the Fig 1(a) reconstruction in id order.
+pub const FIG1_NAMES: [&str; 16] = [
+    "a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "u", "v", "p", "q", "w",
+];
+
+/// Builds the Fig 1(a) graph. Returns it together with a `name -> id` map.
+///
+/// Structure: a sparse gadget on `a..i` (with the `(f,g)` edge whose
+/// ego-network has components `{d,e}` and `{h,i}`), a 6-clique on
+/// `{j,k,u,v,p,q}` bridged to the gadget through `h,i`, and `w` adjacent to
+/// `{u,p,q}` which lifts the largest component of `(u,p)`, `(u,q)`, `(p,q)`
+/// to size 5.
+pub fn fig1() -> (Graph, HashMap<&'static str, VertexId>) {
+    let names: HashMap<&'static str, VertexId> = FIG1_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as VertexId))
+        .collect();
+    let n = |s: &str| names[s];
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut add = |a: &str, b: &str| edges.push((n(a), n(b)));
+
+    // The a..i gadget.
+    add("a", "b");
+    add("a", "c");
+    add("b", "c");
+    add("b", "d");
+    add("b", "e");
+    add("c", "e");
+    add("c", "g");
+    add("d", "e");
+    add("d", "f");
+    add("d", "g");
+    add("e", "f");
+    add("e", "g");
+    add("f", "g");
+    add("f", "h");
+    add("f", "i");
+    add("g", "h");
+    add("g", "i");
+    add("h", "i");
+    // Bridges from the gadget into the clique side.
+    add("h", "j");
+    add("h", "k");
+    add("i", "j");
+    add("i", "k");
+    // The 6-clique {j, k, u, v, p, q}.
+    let clique = ["j", "k", "u", "v", "p", "q"];
+    for i in 0..clique.len() {
+        for j in i + 1..clique.len() {
+            add(clique[i], clique[j]);
+        }
+    }
+    // w hangs off u, p, q.
+    add("u", "w");
+    add("p", "w");
+    add("q", "w");
+
+    (Graph::from_edges(16, &edges), names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let (g, n) = fig1();
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_edges(), 40);
+        // Degree facts the paper relies on: d(e) = d(f), e has smaller id.
+        assert_eq!(g.degree(n["e"]), g.degree(n["f"]));
+        assert!(n["e"] < n["f"]);
+    }
+
+    #[test]
+    fn fg_ego_network_matches_example1() {
+        let (g, n) = fig1();
+        let mut expect = vec![n["d"], n["e"], n["h"], n["i"]];
+        expect.sort_unstable();
+        assert_eq!(g.common_neighbors(n["f"], n["g"]), expect);
+        assert!(g.has_edge(n["d"], n["e"]));
+        assert!(g.has_edge(n["h"], n["i"]));
+        assert!(!g.has_edge(n["d"], n["h"]));
+        assert!(!g.has_edge(n["e"], n["i"]));
+    }
+}

@@ -1,0 +1,352 @@
+//! Parallel index construction (the paper's `PESDIndex+`, §IV-E).
+//!
+//! The paper parallelises 4-clique enumeration over *directed edges* (vertex
+//! parallelism is too skewed) — but its per-edge union–find structures are
+//! shared, which would race. This implementation keeps the edge-parallel
+//! enumeration and makes the updates sound with a two-phase scheme:
+//!
+//! 1. **Enumerate** (parallel): workers sweep disjoint blocks of directed
+//!    edges, turning each 4-clique into six `(edge, slot, slot)` union ops,
+//!    binned by the *shard* owning the target edge.
+//! 2. **Apply** (parallel): shard `s` owns a contiguous range of edge ids
+//!    (cut so every shard owns roughly the same total neighbourhood size)
+//!    and its own [`ArenaDsu`]; it applies every op binned to it. Shards
+//!    touch disjoint state, so no locks are needed.
+//!
+//! The two phases alternate in bounded-size rounds to cap the op-buffer
+//! memory. Finally the `H(c)` lists are filled in parallel over disjoint
+//! ranges of `C`. Union–find components are order-independent and treap
+//! shapes depend only on their keys, so the result is **byte-identical to
+//! the sequential builder for every thread count** — a property the tests
+//! assert.
+
+use super::{build, EdgeComponents, EsdIndex, ScoreTreap};
+use esd_dsu::ArenaDsu;
+use esd_graph::{cliques::FourCliqueEnumerator, Graph, OrientedGraph, VertexId};
+
+/// One union operation destined for a specific edge's forest.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    edge: u32,
+    a: u32,
+    b: u32,
+}
+
+/// Work-balance report of a parallel build (Figs 7/10 additionally print
+/// this to demonstrate the edge-parallel balancing claim of §IV-E).
+#[derive(Debug, Clone)]
+pub struct ParallelBuildReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// 4-cliques enumerated by each worker.
+    pub cliques_per_worker: Vec<u64>,
+    /// Union ops applied by each shard.
+    pub ops_per_shard: Vec<u64>,
+}
+
+/// Builds the index with `threads` workers; returns the index and the
+/// work-balance report.
+pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBuildReport) {
+    let threads = threads.max(1);
+    let m = g.num_edges();
+
+    // ---- Phase A: per-edge common neighbourhoods (parallel over edges).
+    let (nbr_offsets, nbrs) = parallel_neighborhoods(g, threads);
+
+    // ---- Shard boundaries: contiguous edge ranges balanced by Σ|N(uv)|.
+    let total = *nbr_offsets.last().unwrap_or(&0);
+    let mut shard_bounds = Vec::with_capacity(threads + 1);
+    shard_bounds.push(0usize);
+    for s in 1..threads {
+        let target = total * s / threads;
+        let e = nbr_offsets.partition_point(|&o| o < target).min(m);
+        shard_bounds.push((*shard_bounds.last().unwrap()).max(e));
+    }
+    shard_bounds.push(m);
+
+    // Per-shard forests over the shard's rebased neighbourhood offsets.
+    let mut arenas: Vec<ArenaDsu> = (0..threads)
+        .map(|s| {
+            let (lo, hi) = (shard_bounds[s], shard_bounds[s + 1]);
+            let base = nbr_offsets[lo];
+            let offsets: Vec<usize> = nbr_offsets[lo..=hi].iter().map(|&o| o - base).collect();
+            ArenaDsu::new(offsets)
+        })
+        .collect();
+
+    // ---- Phase B: enumerate + apply, in rounds over directed-edge blocks.
+    let dag = OrientedGraph::by_degree(g);
+    let directed: Vec<(VertexId, VertexId)> = (0..g.num_vertices() as VertexId)
+        .flat_map(|u| dag.out_neighbors(u).iter().map(move |&v| (u, v)))
+        .collect();
+    let mut cliques_per_worker = vec![0u64; threads];
+    let mut ops_per_shard = vec![0u64; threads];
+
+    let slot = |edge: u32, x: VertexId| -> u32 {
+        let range = &nbrs[nbr_offsets[edge as usize]..nbr_offsets[edge as usize + 1]];
+        range.binary_search(&x).expect("vertex in neighbourhood") as u32
+    };
+    let shard_of = |edge: u32| -> usize {
+        shard_bounds.partition_point(|&b| b <= edge as usize) - 1
+    };
+
+    // Block size chosen so a round's op buffers stay modest while still
+    // amortising the thread joins.
+    let block = (directed.len() / (4 * threads)).max(4096);
+    let mut cursor = 0;
+    while cursor < directed.len() {
+        let round = &directed[cursor..(cursor + threads * block).min(directed.len())];
+        cursor += round.len();
+
+        // Enumerate in parallel: each worker bins ops by target shard.
+        let chunk = round.len().div_ceil(threads);
+        let mut all_bins: Vec<(usize, Vec<Vec<Op>>, u64)> = Vec::with_capacity(threads);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, part) in round.chunks(chunk.max(1)).enumerate() {
+                let dag = &dag;
+                let slot = &slot;
+                let shard_of = &shard_of;
+                handles.push(scope.spawn(move |_| {
+                    let mut bins: Vec<Vec<Op>> = vec![Vec::new(); threads];
+                    let mut cliques = 0u64;
+                    let mut enumerator = FourCliqueEnumerator::new(g.num_vertices());
+                    for &(u, v) in part {
+                        let e_uv = g.edge_id(u, v).expect("directed edge") ;
+                        enumerator.for_edge(dag, u, v, |w1, w2| {
+                            cliques += 1;
+                            let e_uw1 = g.edge_id(u, w1).expect("clique edge");
+                            let e_uw2 = g.edge_id(u, w2).expect("clique edge");
+                            let e_vw1 = g.edge_id(v, w1).expect("clique edge");
+                            let e_vw2 = g.edge_id(v, w2).expect("clique edge");
+                            let e_w1w2 = g.edge_id(w1, w2).expect("clique edge");
+                            for (e, x, y) in [
+                                (e_uv, w1, w2),
+                                (e_uw1, v, w2),
+                                (e_uw2, v, w1),
+                                (e_vw1, u, w2),
+                                (e_vw2, u, w1),
+                                (e_w1w2, u, v),
+                            ] {
+                                bins[shard_of(e)].push(Op {
+                                    edge: e,
+                                    a: slot(e, x),
+                                    b: slot(e, y),
+                                });
+                            }
+                        });
+                    }
+                    (w, bins, cliques)
+                }));
+            }
+            for h in handles {
+                all_bins.push(h.join().expect("enumeration worker"));
+            }
+        })
+        .expect("enumeration scope");
+        for &(w, _, cliques) in &all_bins {
+            cliques_per_worker[w] += cliques;
+        }
+
+        // Apply in parallel: shard s drains every worker's bin s.
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (s, arena) in arenas.iter_mut().enumerate() {
+                let all_bins = &all_bins;
+                let shard_bounds = &shard_bounds;
+                handles.push(scope.spawn(move |_| {
+                    let lo = shard_bounds[s];
+                    let mut applied = 0u64;
+                    for (_, bins, _) in all_bins {
+                        for op in &bins[s] {
+                            arena.union(op.edge as usize - lo, op.a as usize, op.b as usize);
+                            applied += 1;
+                        }
+                    }
+                    (s, applied)
+                }));
+            }
+            for h in handles {
+                let (s, applied) = h.join().expect("apply worker");
+                ops_per_shard[s] += applied;
+            }
+        })
+        .expect("apply scope");
+    }
+
+    // ---- Phase C: extract component sizes per shard (parallel).
+    let mut pieces: Vec<(usize, EdgeComponents)> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (s, arena) in arenas.iter().enumerate() {
+            let shard_bounds = &shard_bounds;
+            handles.push(scope.spawn(move |_| {
+                let len = shard_bounds[s + 1] - shard_bounds[s];
+                (s, build::components_from_arena(arena, len))
+            }));
+        }
+        for h in handles {
+            pieces.push(h.join().expect("extract worker"));
+        }
+    })
+    .expect("extract scope");
+    pieces.sort_by_key(|&(s, _)| s);
+    let mut comps = EdgeComponents {
+        offsets: Vec::with_capacity(m + 1),
+        sizes: Vec::new(),
+    };
+    comps.offsets.push(0);
+    for (_, piece) in pieces {
+        let base = comps.sizes.len();
+        comps.sizes.extend(piece.sizes);
+        comps
+            .offsets
+            .extend(piece.offsets[1..].iter().map(|&o| o + base));
+    }
+    debug_assert_eq!(comps.num_edges(), m);
+
+    // ---- Phase D: fill H(c) lists in parallel over disjoint C ranges.
+    let csizes = build::distinct_sizes(&comps);
+    let mut lists: Vec<ScoreTreap> = Vec::with_capacity(csizes.len());
+    let per = csizes.len().div_ceil(threads).max(1);
+    let mut filled: Vec<(usize, Vec<ScoreTreap>)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = (t * per).min(csizes.len());
+            let hi = ((t + 1) * per).min(csizes.len());
+            if lo == hi {
+                continue;
+            }
+            let comps = &comps;
+            let csizes = &csizes;
+            handles.push(scope.spawn(move |_| {
+                let mut chunk = vec![ScoreTreap::new(); hi - lo];
+                build::fill_lists(g.edges(), comps, csizes, &mut chunk, lo..hi);
+                (lo, chunk)
+            }));
+        }
+        for h in handles {
+            filled.push(h.join().expect("fill worker"));
+        }
+    })
+    .expect("fill scope");
+    filled.sort_by_key(|&(lo, _)| lo);
+    for (_, chunk) in filled {
+        lists.extend(chunk);
+    }
+
+    (
+        EsdIndex {
+            sizes: csizes,
+            lists,
+        },
+        ParallelBuildReport {
+            threads,
+            cliques_per_worker,
+            ops_per_shard,
+        },
+    )
+}
+
+/// Phase A: common neighbourhoods computed by parallel workers over
+/// contiguous edge ranges, then stitched.
+fn parallel_neighborhoods(g: &Graph, threads: usize) -> (Vec<usize>, Vec<VertexId>) {
+    let m = g.num_edges();
+    if threads <= 1 || m < 1024 {
+        return build::neighborhoods(g);
+    }
+    let chunk = m.div_ceil(threads);
+    let mut parts: Vec<(usize, Vec<usize>, Vec<VertexId>)> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = (t * chunk).min(m);
+            let hi = ((t + 1) * chunk).min(m);
+            if lo == hi {
+                continue;
+            }
+            handles.push(scope.spawn(move |_| {
+                let mut lens = Vec::with_capacity(hi - lo);
+                let mut flat = Vec::new();
+                for e in &g.edges()[lo..hi] {
+                    let before = flat.len();
+                    esd_graph::intersect::intersect_into(
+                        g.neighbors(e.u),
+                        g.neighbors(e.v),
+                        &mut flat,
+                    );
+                    lens.push(flat.len() - before);
+                }
+                (lo, lens, flat)
+            }));
+        }
+        for h in handles {
+            parts.push(h.join().expect("neighbourhood worker"));
+        }
+    })
+    .expect("neighbourhood scope");
+    parts.sort_by_key(|&(lo, _, _)| lo);
+    let mut offsets = Vec::with_capacity(m + 1);
+    offsets.push(0usize);
+    let mut nbrs = Vec::new();
+    for (_, lens, flat) in parts {
+        for len in lens {
+            offsets.push(offsets.last().unwrap() + len);
+        }
+        nbrs.extend(flat);
+    }
+    (offsets, nbrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig1;
+    use esd_graph::generators;
+
+    #[test]
+    fn parallel_equals_sequential_for_all_thread_counts() {
+        let g = generators::clique_overlap(120, 100, 6, 7);
+        let sequential = EsdIndex::build_fast(&g);
+        for threads in [1, 2, 3, 4, 7] {
+            let (parallel, report) = build_parallel(&g, threads);
+            assert_eq!(parallel.component_sizes(), sequential.component_sizes());
+            assert_eq!(parallel.num_lists(), sequential.num_lists());
+            for c in parallel.component_sizes() {
+                assert_eq!(parallel.list_len(*c), sequential.list_len(*c));
+            }
+            for tau in [1, 2, 3] {
+                assert_eq!(parallel.query(20, tau), sequential.query(20, tau));
+            }
+            let total_ops: u64 = report.ops_per_shard.iter().sum();
+            assert_eq!(total_ops, report.cliques_per_worker.iter().sum::<u64>() * 6);
+        }
+    }
+
+    #[test]
+    fn fig1_parallel() {
+        let (g, _) = fig1();
+        let index = EsdIndex::build_parallel(&g, 3);
+        assert_eq!(index.component_sizes(), &[1, 2, 4, 5]);
+        assert_eq!(index.list_len(4), Some(15));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Graph::from_edges(0, &[]);
+        let (idx, _) = build_parallel(&empty, 4);
+        assert_eq!(idx.num_lists(), 0);
+        let star = generators::star(50);
+        let (idx, _) = build_parallel(&star, 2);
+        assert_eq!(idx.num_lists(), 0);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let (g, _) = fig1();
+        let (idx, report) = build_parallel(&g, 0);
+        assert_eq!(report.threads, 1);
+        assert_eq!(idx.component_sizes(), &[1, 2, 4, 5]);
+    }
+}

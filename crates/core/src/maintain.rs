@@ -1,0 +1,815 @@
+//! Dynamic index maintenance (§V): edge insertion (Algorithm 4) and
+//! deletion (Algorithm 5).
+//!
+//! A [`MaintainedIndex`] keeps, alongside the `H(c)` lists, the per-edge
+//! disjoint-set forests `M_uv` over each common neighbourhood and the global
+//! component-size refcounts. Observations 2–3 of the paper localise an
+//! update: only the edges of `Ĝ_{N(uv)}` — the inserted/deleted edge itself,
+//! the triangle edges `(u,w)`, `(v,w)` for `w ∈ N(uv)`, and the ego-network
+//! edges `(w1,w2)` — can change their structural diversity.
+//!
+//! Insertion follows Algorithm 4 verbatim: new singletons plus one `Union`
+//! per member edge of each new 4-clique. Deletion follows the spirit of
+//! Algorithm 5's `Update`: union–find cannot split, so each affected edge's
+//! forest is rebuilt from its post-deletion ego-network (the same
+//! `O((αγ(n) + log m)·m_uv)` locality as Theorem 9).
+//!
+//! **Documented deviation from the paper** (see DESIGN.md): when an update
+//! introduces a component size `c ∉ C`, the fresh list `H(c)` is seeded as a
+//! clone of its successor list `H(c')` before the locally-updated edges are
+//! inserted. The paper's Example 7 inserts only the updated edge, which
+//! would leave `H(c)` missing every edge of `H(c')` and break queries with
+//! `τ ≤ c`; cloning is correct because no unaffected edge can have a
+//! component size strictly between `c` and `c'`.
+
+use crate::index::build;
+use crate::index::ostree::{RankKey, ScoreTreap};
+use crate::ScoredEdge;
+use esd_graph::{DynamicGraph, Edge, Graph, VertexId};
+use std::collections::{BTreeMap, HashMap};
+
+/// A per-edge disjoint-set forest over the common neighbourhood, keyed by
+/// vertex id — the paper's `M_uv` with its `root` and `count` fields.
+#[derive(Debug, Clone, Default)]
+struct EdgeDsu {
+    /// `vertex -> (parent vertex, component size)`; the size is only
+    /// meaningful at roots.
+    nodes: HashMap<VertexId, (VertexId, u32)>,
+}
+
+impl EdgeDsu {
+    fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn contains(&self, w: VertexId) -> bool {
+        self.nodes.contains_key(&w)
+    }
+
+    /// Adds `w` as its own singleton component.
+    fn insert_singleton(&mut self, w: VertexId) {
+        let prev = self.nodes.insert(w, (w, 1));
+        debug_assert!(prev.is_none(), "vertex {w} already tracked");
+    }
+
+    /// Root of `w`'s component, with path halving.
+    fn find(&mut self, w: VertexId) -> VertexId {
+        let mut w = w;
+        loop {
+            let p = self.nodes[&w].0;
+            if p == w {
+                return w;
+            }
+            let gp = self.nodes[&p].0;
+            self.nodes.get_mut(&w).expect("tracked vertex").0 = gp;
+            w = gp;
+        }
+    }
+
+    /// Merges the components of `a` and `b` (both must be tracked).
+    fn union(&mut self, a: VertexId, b: VertexId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (ca, cb) = (self.nodes[&ra].1, self.nodes[&rb].1);
+        let (big, small) = if ca >= cb { (ra, rb) } else { (rb, ra) };
+        self.nodes.get_mut(&small).expect("root").0 = big;
+        self.nodes.get_mut(&big).expect("root").1 = ca + cb;
+    }
+
+    /// Sorted multiset of component sizes (the edge's `C_uv`).
+    fn component_sizes(&self) -> Vec<u32> {
+        let mut sizes: Vec<u32> = self
+            .nodes
+            .iter()
+            .filter(|(w, (p, _))| *p == **w)
+            .map(|(_, (_, c))| *c)
+            .collect();
+        sizes.sort_unstable();
+        sizes
+    }
+}
+
+/// One element of an update batch for [`MaintainedIndex::apply_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphUpdate {
+    /// Insert the edge `(u, v)`.
+    Insert(VertexId, VertexId),
+    /// Remove the edge `(u, v)`.
+    Remove(VertexId, VertexId),
+}
+
+/// An ESDIndex that stays consistent under edge insertions and deletions.
+///
+/// # Examples
+///
+/// ```
+/// use esd_core::maintain::MaintainedIndex;
+/// use esd_core::fixtures::fig1;
+///
+/// let (g, names) = fig1();
+/// let mut index = MaintainedIndex::new(&g);
+/// let before = index.query(3, 2);
+/// assert_eq!(before.len(), 3);
+///
+/// // Example 7: deleting (u, k) creates a size-3 component for (j, k).
+/// index.remove_edge(names["u"], names["k"]);
+/// assert!(index.component_sizes().contains(&3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaintainedIndex {
+    g: DynamicGraph,
+    /// `M_uv` per edge (absent when the common neighbourhood is empty).
+    forests: HashMap<u64, EdgeDsu>,
+    /// `H(c)` per size `c ∈ C`.
+    lists: BTreeMap<u32, ScoreTreap>,
+    /// `c -> number of edges whose C_uv contains c`. Keys are exactly `C`.
+    refcounts: BTreeMap<u32, usize>,
+}
+
+impl MaintainedIndex {
+    /// Bootstraps the dynamic state from a static graph using the 4-clique
+    /// construction (Algorithm 3), then converts the flat forest into
+    /// per-edge structures.
+    pub fn new(g: &Graph) -> Self {
+        let artifacts = build::components_by_four_cliques(g);
+        let mut forests = HashMap::with_capacity(g.num_edges());
+        let mut arena = artifacts.arena;
+        for (eid, e) in g.edges().iter().enumerate() {
+            let range = &artifacts.nbrs[artifacts.nbr_offsets[eid]..artifacts.nbr_offsets[eid + 1]];
+            if range.is_empty() {
+                continue;
+            }
+            let mut dsu = EdgeDsu::default();
+            for (i, &w) in range.iter().enumerate() {
+                let root_slot = arena.find(eid, i);
+                let root_vertex = range[root_slot];
+                let count = arena.root_size(eid, root_slot);
+                dsu.nodes.insert(w, (root_vertex, count));
+            }
+            forests.insert(e.key(), dsu);
+        }
+
+        let mut refcounts: BTreeMap<u32, usize> = BTreeMap::new();
+        for eid in 0..g.num_edges() {
+            let mut sizes = artifacts.components.sizes_of(eid).to_vec();
+            sizes.dedup();
+            for s in sizes {
+                *refcounts.entry(s).or_insert(0) += 1;
+            }
+        }
+
+        let csizes = build::distinct_sizes(&artifacts.components);
+        let mut treaps = vec![ScoreTreap::new(); csizes.len()];
+        build::fill_lists(g.edges(), &artifacts.components, &csizes, &mut treaps, 0..csizes.len());
+        let lists = csizes.into_iter().zip(treaps).collect();
+
+        Self {
+            g: DynamicGraph::from_graph(g),
+            forests,
+            lists,
+            refcounts,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.g
+    }
+
+    /// The current distinct component sizes `C`, ascending.
+    pub fn component_sizes(&self) -> Vec<u32> {
+        self.refcounts.keys().copied().collect()
+    }
+
+    /// Entry count of `H(c)`, if `c ∈ C`.
+    pub fn list_len(&self, c: u32) -> Option<usize> {
+        self.lists.get(&c).map(|l| l.len())
+    }
+
+    /// Top-`k` edges at threshold `tau` (same contract as
+    /// [`crate::index::EsdIndex::query`]).
+    pub fn query(&self, k: usize, tau: u32) -> Vec<ScoredEdge> {
+        assert!(tau >= 1, "component size threshold must be at least 1");
+        match self.lists.range(tau..).next() {
+            Some((_, list)) => list.top_k(k),
+            None => Vec::new(),
+        }
+    }
+
+    /// Inserts `(u, v)` and repairs the index (Algorithm 4). Returns `false`
+    /// if the edge already exists or is a self-loop.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.g.ensure_vertex(u.max(v));
+        if self.g.has_edge(u, v) {
+            return false;
+        }
+        let nuv = self.g.common_neighbors(u, v);
+        let affected = self.affected_edges(u, v, &nuv);
+        self.retract_entries(&affected);
+        self.mutate_insert(u, v, &nuv);
+        self.restore_entries(&affected);
+        true
+    }
+
+    /// The graph + forest mutations of Algorithm 4 (no list bookkeeping).
+    fn mutate_insert(&mut self, u: VertexId, v: VertexId, nuv: &[VertexId]) {
+        self.g.insert_edge(u, v);
+
+        // Algorithm 4 lines 3–9: fresh singletons.
+        let mut m_uv = EdgeDsu::default();
+        for &w in nuv {
+            m_uv.insert_singleton(w);
+            // v joins N(uw) and u joins N(vw).
+            self.forests
+                .entry(Edge::new(u, w).key())
+                .or_default()
+                .insert_singleton(v);
+            self.forests
+                .entry(Edge::new(v, w).key())
+                .or_default()
+                .insert_singleton(u);
+        }
+        if !m_uv.is_empty() {
+            self.forests.insert(Edge::new(u, v).key(), m_uv);
+        }
+
+        // Algorithm 4 lines 10–19: one union per member edge of each new
+        // 4-clique {u, v, w1, w2}.
+        for (w1, w2) in ego_edges(&self.g, nuv) {
+            self.union_in(Edge::new(u, v), w1, w2);
+            self.union_in(Edge::new(w1, w2), u, v);
+            self.union_in(Edge::new(u, w1), v, w2);
+            self.union_in(Edge::new(v, w1), u, w2);
+            self.union_in(Edge::new(u, w2), v, w1);
+            self.union_in(Edge::new(v, w2), u, w1);
+        }
+    }
+
+    /// Deletes `(u, v)` and repairs the index (Algorithm 5). Returns `false`
+    /// if the edge is absent.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v
+            || u as usize >= self.g.num_vertices()
+            || v as usize >= self.g.num_vertices()
+            || !self.g.has_edge(u, v)
+        {
+            return false;
+        }
+        let nuv = self.g.common_neighbors(u, v);
+        let affected = self.affected_edges(u, v, &nuv);
+        self.retract_entries(&affected);
+        self.mutate_remove(u, v, &affected);
+        self.restore_entries(&affected);
+        true
+    }
+
+    /// The graph + forest mutations of Algorithm 5 (no list bookkeeping).
+    fn mutate_remove(&mut self, u: VertexId, v: VertexId, affected: &[u64]) {
+        self.g.remove_edge(u, v);
+        self.forests.remove(&Edge::new(u, v).key());
+
+        // Union–find cannot split: rebuild every affected forest from its
+        // post-deletion ego-network (Algorithm 5's Update, applied per edge).
+        for &key in affected {
+            let e = Edge::from_key(key);
+            if e == Edge::new(u, v) {
+                continue;
+            }
+            self.rebuild_forest(e);
+        }
+    }
+
+    /// Applies a batch of updates, retracting each affected list entry once
+    /// and restoring once at the end — updates with overlapping blast radii
+    /// (`Ĝ_{N(uv)}` regions) share the list bookkeeping, which dominates the
+    /// per-update cost. Equivalent to applying the updates one by one.
+    ///
+    /// Returns `(applied, skipped)` — skipped updates are duplicate inserts,
+    /// missing removals, or self-loops.
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> (usize, usize) {
+        let mut retracted: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut order: Vec<u64> = Vec::new();
+        let (mut applied, mut skipped) = (0, 0);
+        for &update in updates {
+            match update {
+                GraphUpdate::Insert(u, v) => {
+                    if u == v {
+                        skipped += 1;
+                        continue;
+                    }
+                    self.g.ensure_vertex(u.max(v));
+                    if self.g.has_edge(u, v) {
+                        skipped += 1;
+                        continue;
+                    }
+                    let nuv = self.g.common_neighbors(u, v);
+                    let affected = self.affected_edges(u, v, &nuv);
+                    for &key in &affected {
+                        if retracted.insert(key) {
+                            self.retract_entries(&[key]);
+                            order.push(key);
+                        }
+                    }
+                    self.mutate_insert(u, v, &nuv);
+                    applied += 1;
+                }
+                GraphUpdate::Remove(u, v) => {
+                    if u == v
+                        || u as usize >= self.g.num_vertices()
+                        || v as usize >= self.g.num_vertices()
+                        || !self.g.has_edge(u, v)
+                    {
+                        skipped += 1;
+                        continue;
+                    }
+                    let nuv = self.g.common_neighbors(u, v);
+                    let affected = self.affected_edges(u, v, &nuv);
+                    for &key in &affected {
+                        if retracted.insert(key) {
+                            self.retract_entries(&[key]);
+                            order.push(key);
+                        }
+                    }
+                    self.mutate_remove(u, v, &affected);
+                    applied += 1;
+                }
+            }
+        }
+        self.restore_entries(&order);
+        (applied, skipped)
+    }
+
+    /// Removes a vertex by deleting all its incident edges (the paper notes
+    /// vertex updates reduce to edge updates, §V). Returns the number of
+    /// edges removed. The id itself remains valid (degree 0).
+    pub fn remove_vertex(&mut self, v: VertexId) -> usize {
+        if v as usize >= self.g.num_vertices() {
+            return 0;
+        }
+        let updates: Vec<GraphUpdate> = self
+            .g
+            .neighbors(v)
+            .iter()
+            .map(|&w| GraphUpdate::Remove(v, w))
+            .collect();
+        self.apply_batch(&updates).0
+    }
+
+    /// Adds a vertex with the given neighbour set as a batch of insertions.
+    /// Returns the number of edges actually added.
+    pub fn add_vertex(&mut self, v: VertexId, neighbors: &[VertexId]) -> usize {
+        let updates: Vec<GraphUpdate> = neighbors
+            .iter()
+            .map(|&w| GraphUpdate::Insert(v, w))
+            .collect();
+        self.apply_batch(&updates).0
+    }
+
+    /// The edge set of `Ĝ_{N(uv)}` (Observations 2–3): the update's blast
+    /// radius, as canonical edge keys.
+    fn affected_edges(&self, u: VertexId, v: VertexId, nuv: &[VertexId]) -> Vec<u64> {
+        let mut keys = Vec::with_capacity(2 * nuv.len() + 1);
+        keys.push(Edge::new(u, v).key());
+        for &w in nuv {
+            keys.push(Edge::new(u, w).key());
+            keys.push(Edge::new(v, w).key());
+        }
+        for (w1, w2) in ego_edges(&self.g, nuv) {
+            keys.push(Edge::new(w1, w2).key());
+        }
+        keys
+    }
+
+    /// Removes the affected edges' entries from every list and releases
+    /// their size refcounts.
+    fn retract_entries(&mut self, affected: &[u64]) {
+        let mut dead = Vec::new();
+        for &key in affected {
+            let Some(forest) = self.forests.get(&key) else { continue };
+            let sizes = forest.component_sizes();
+            let Some(&cmax) = sizes.last() else { continue };
+            let edge = Edge::from_key(key);
+            for (&c, list) in self.lists.range_mut(..=cmax) {
+                let score = (sizes.len() - sizes.partition_point(|&s| s < c)) as u32;
+                let removed = list.remove(&RankKey { score, edge });
+                debug_assert!(removed, "stale entry for {edge} in H({c})");
+            }
+            let mut distinct = sizes;
+            distinct.dedup();
+            for s in distinct {
+                let cnt = self.refcounts.get_mut(&s).expect("refcounted size");
+                *cnt -= 1;
+                if *cnt == 0 {
+                    dead.push(s);
+                }
+            }
+        }
+        let _ = dead; // Dead sizes are reaped in `restore_entries`, after the
+                      // affected edges' new sizes are known (they may revive).
+    }
+
+    /// Re-inserts the affected edges with their new component sizes,
+    /// creating/seeding new lists and dropping dead ones.
+    fn restore_entries(&mut self, affected: &[u64]) {
+        // New sizes per affected edge; bump refcounts.
+        let mut new_sizes: Vec<(Edge, Vec<u32>)> = Vec::with_capacity(affected.len());
+        for &key in affected {
+            let sizes = self
+                .forests
+                .get(&key)
+                .map(|f| f.component_sizes())
+                .unwrap_or_default();
+            let mut distinct = sizes.clone();
+            distinct.dedup();
+            for s in distinct {
+                *self.refcounts.entry(s).or_insert(0) += 1;
+            }
+            if !sizes.is_empty() {
+                new_sizes.push((Edge::from_key(key), sizes));
+            }
+        }
+
+        // Reap dead sizes and their whole lists.
+        let dead: Vec<u32> = self
+            .refcounts
+            .iter()
+            .filter(|(_, &cnt)| cnt == 0)
+            .map(|(&c, _)| c)
+            .collect();
+        for c in dead {
+            self.refcounts.remove(&c);
+            self.lists.remove(&c);
+        }
+
+        // Create lists for brand-new sizes, largest first, each seeded from
+        // its successor (see the module docs for why this is required).
+        let fresh: Vec<u32> = self
+            .refcounts
+            .keys()
+            .rev()
+            .copied()
+            .filter(|c| !self.lists.contains_key(c))
+            .collect();
+        for c in fresh {
+            let seeded = match self.lists.range(c + 1..).next() {
+                Some((_, successor)) => successor.clone(),
+                None => ScoreTreap::new(),
+            };
+            self.lists.insert(c, seeded);
+        }
+
+        // Insert the affected edges into every applicable list.
+        for (edge, sizes) in new_sizes {
+            let cmax = *sizes.last().expect("non-empty");
+            for (&c, list) in self.lists.range_mut(..=cmax) {
+                let score = (sizes.len() - sizes.partition_point(|&s| s < c)) as u32;
+                let inserted = list.insert(RankKey { score, edge });
+                debug_assert!(inserted, "duplicate entry for {edge} in H({c})");
+            }
+        }
+    }
+
+    /// One `Union` in edge `e`'s forest (Algorithm 4's `M_xy.Union`).
+    fn union_in(&mut self, e: Edge, a: VertexId, b: VertexId) {
+        let forest = self
+            .forests
+            .get_mut(&e.key())
+            .expect("forest exists for every 4-clique member edge");
+        debug_assert!(forest.contains(a) && forest.contains(b));
+        forest.union(a, b);
+    }
+
+    /// Recomputes edge `e`'s forest from its current ego-network.
+    fn rebuild_forest(&mut self, e: Edge) {
+        let members = self.g.common_neighbors(e.u, e.v);
+        if members.is_empty() {
+            self.forests.remove(&e.key());
+            return;
+        }
+        let mut dsu = EdgeDsu::default();
+        for &w in &members {
+            dsu.insert_singleton(w);
+        }
+        for (w1, w2) in ego_edges(&self.g, &members) {
+            dsu.union(w1, w2);
+        }
+        self.forests.insert(e.key(), dsu);
+    }
+
+    /// Exhaustive consistency check against a from-scratch rebuild; used by
+    /// the differential tests and debug assertions. Panics on divergence.
+    pub fn check_consistency(&self) {
+        let g = self.g.to_graph();
+        let reference = crate::index::EsdIndex::build_fast(&g);
+        assert_eq!(
+            self.component_sizes(),
+            reference.component_sizes(),
+            "C diverged"
+        );
+        for &c in reference.component_sizes() {
+            assert_eq!(
+                self.list_len(c),
+                reference.list_len(c),
+                "|H({c})| diverged"
+            );
+        }
+        for &c in reference.component_sizes() {
+            let k = self.list_len(c).unwrap();
+            assert_eq!(self.query(k, c), reference.query(k, c), "H({c}) diverged");
+        }
+    }
+}
+
+/// Edges of the subgraph induced by `members` (each unordered pair once),
+/// i.e. the ego-network edges used by Algorithms 4–5.
+fn ego_edges(g: &DynamicGraph, members: &[VertexId]) -> Vec<(VertexId, VertexId)> {
+    let mut out = Vec::new();
+    let mut buf = Vec::new();
+    for &w1 in members {
+        buf.clear();
+        esd_graph::intersect::intersect_into(g.neighbors(w1), members, &mut buf);
+        for &w2 in &buf {
+            if w2 > w1 {
+                out.push((w1, w2));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig1;
+    use esd_graph::generators;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn bootstrap_matches_static_index() {
+        let (g, _) = fig1();
+        let maintained = MaintainedIndex::new(&g);
+        maintained.check_consistency();
+        assert_eq!(maintained.component_sizes(), vec![1, 2, 4, 5]);
+        assert_eq!(maintained.list_len(4), Some(15));
+    }
+
+    #[test]
+    fn example6_insertion_of_cd() {
+        let (g, n) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        assert!(index.insert_edge(n["c"], n["d"]));
+        index.check_consistency();
+        // (d,e)'s ego-network becomes one component {b, c, f, g}.
+        let sizes = index
+            .forests
+            .get(&Edge::new(n["d"], n["e"]).key())
+            .unwrap()
+            .component_sizes();
+        assert_eq!(sizes, vec![4]);
+    }
+
+    #[test]
+    fn example7_deletion_of_uk_creates_h3() {
+        let (g, n) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        assert!(index.remove_edge(n["u"], n["k"]));
+        index.check_consistency();
+        assert!(index.component_sizes().contains(&3), "H(3) must appear");
+        // (j,k)'s components are now {h,i} and {v,p,q}.
+        let sizes = index
+            .forests
+            .get(&Edge::new(n["j"], n["k"]).key())
+            .unwrap()
+            .component_sizes();
+        assert_eq!(sizes, vec![2, 3]);
+        // And H(3) answers τ=3 queries including edges with size-4+ comps.
+        let q3 = index.query(100, 3);
+        let q4 = index.query(100, 4);
+        assert!(q3.len() > q4.len(), "H(3) ⊋ H(4): got {} vs {}", q3.len(), q4.len());
+    }
+
+    #[test]
+    fn insert_then_remove_roundtrips() {
+        let (g, n) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        let before = index.query(40, 1);
+        index.insert_edge(n["c"], n["d"]);
+        index.remove_edge(n["c"], n["d"]);
+        index.check_consistency();
+        assert_eq!(index.query(40, 1), before);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_missing() {
+        let (g, n) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        assert!(!index.insert_edge(n["f"], n["g"]), "already present");
+        assert!(!index.remove_edge(n["a"], n["w"]), "absent");
+        assert!(!index.insert_edge(3, 3), "self-loop");
+        index.check_consistency();
+    }
+
+    #[test]
+    fn insert_into_empty_graph_region() {
+        let g = Graph::from_edges(4, &[]);
+        let mut index = MaintainedIndex::new(&g);
+        assert!(index.insert_edge(0, 1));
+        assert!(index.insert_edge(7, 2), "grows vertex set");
+        index.check_consistency();
+        assert!(index.query(5, 1).is_empty(), "no triangles yet");
+    }
+
+    #[test]
+    fn insertion_creating_new_largest_size() {
+        // Fig 1 has max component size 5 (for (u,p),(u,q),(p,q)). Adding a
+        // new vertex adjacent to the whole K6 ∪ {w} pushes their largest
+        // components past every existing C entry — the new list has no
+        // successor to seed from.
+        let (g, n) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        let z = 16u32;
+        for name in ["j", "k", "u", "v", "p", "q", "w"] {
+            index.insert_edge(z, n[name]);
+        }
+        index.check_consistency();
+        let max = *index.component_sizes().last().unwrap();
+        assert!(max > 5, "a larger component must exist, got C = {:?}", index.component_sizes());
+    }
+
+    #[test]
+    fn deletion_creating_multiple_new_sizes() {
+        // Deleting (j,k) splits several ego-networks at once; whatever new
+        // sizes appear, consistency must hold.
+        let (g, n) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        index.remove_edge(n["j"], n["k"]);
+        index.check_consistency();
+        index.remove_edge(n["u"], n["v"]);
+        index.check_consistency();
+    }
+
+    #[test]
+    fn maintain_on_extreme_topologies() {
+        // Star: no triangles at all; complete bipartite: triangle-free but
+        // with huge common neighbourhoods; both must survive update storms.
+        let star = generators::star(20);
+        let mut index = MaintainedIndex::new(&star);
+        index.insert_edge(1, 2); // creates a triangle with the hub
+        index.check_consistency();
+        assert_eq!(index.component_sizes(), vec![1]);
+        index.remove_edge(0, 3);
+        index.check_consistency();
+
+        let mut b = esd_graph::GraphBuilder::new(8);
+        for u in 0..4u32 {
+            for v in 4..8u32 {
+                b.add_edge(u, v);
+            }
+        }
+        let bipartite = b.build();
+        let mut index = MaintainedIndex::new(&bipartite);
+        assert!(index.component_sizes().is_empty(), "K4,4 is triangle-free");
+        index.insert_edge(0, 1); // now many 4-cliques exist
+        index.check_consistency();
+        assert!(!index.component_sizes().is_empty());
+        index.remove_edge(0, 1);
+        index.check_consistency();
+        assert!(index.component_sizes().is_empty());
+    }
+
+    #[test]
+    fn random_update_stream_stays_consistent() {
+        let mut rng = StdRng::seed_from_u64(0xE5D);
+        let g = generators::erdos_renyi(30, 0.25, 5);
+        let mut index = MaintainedIndex::new(&g);
+        for step in 0..60 {
+            let (a, b) = (rng.gen_range(0..30u32), rng.gen_range(0..30u32));
+            if a == b {
+                continue;
+            }
+            if rng.gen_bool(0.5) {
+                index.insert_edge(a, b);
+            } else {
+                index.remove_edge(a, b);
+            }
+            if step % 5 == 0 {
+                index.check_consistency();
+            }
+        }
+        index.check_consistency();
+    }
+
+    #[test]
+    fn delete_every_edge_until_empty() {
+        let g = generators::complete(7);
+        let mut index = MaintainedIndex::new(&g);
+        let edges: Vec<Edge> = g.edges().to_vec();
+        for (i, e) in edges.iter().enumerate() {
+            assert!(index.remove_edge(e.u, e.v));
+            if i % 4 == 0 {
+                index.check_consistency();
+            }
+        }
+        assert!(index.component_sizes().is_empty());
+        assert!(index.query(5, 1).is_empty());
+    }
+
+    #[test]
+    fn batch_equals_sequential_updates() {
+        let g = generators::clique_overlap(40, 35, 5, 11);
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        let mut ops = Vec::new();
+        for _ in 0..50 {
+            let (a, b) = (rng.gen_range(0..40u32), rng.gen_range(0..40u32));
+            if a == b {
+                continue;
+            }
+            ops.push(if rng.gen_bool(0.5) {
+                GraphUpdate::Insert(a, b)
+            } else {
+                GraphUpdate::Remove(a, b)
+            });
+        }
+        let mut batched = MaintainedIndex::new(&g);
+        let (applied, skipped) = batched.apply_batch(&ops);
+        assert_eq!(applied + skipped, ops.len());
+
+        let mut sequential = MaintainedIndex::new(&g);
+        let mut seq_applied = 0;
+        for &op in &ops {
+            let ok = match op {
+                GraphUpdate::Insert(a, b) => sequential.insert_edge(a, b),
+                GraphUpdate::Remove(a, b) => sequential.remove_edge(a, b),
+            };
+            seq_applied += usize::from(ok);
+        }
+        assert_eq!(applied, seq_applied);
+        batched.check_consistency();
+        assert_eq!(batched.graph().edges(), sequential.graph().edges());
+        for tau in [1, 2, 3] {
+            assert_eq!(batched.query(50, tau), sequential.query(50, tau), "τ={tau}");
+        }
+    }
+
+    #[test]
+    fn batch_insert_then_remove_same_edge() {
+        let (g, n) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        let before = index.query(40, 1);
+        let (applied, skipped) = index.apply_batch(&[
+            GraphUpdate::Insert(n["c"], n["d"]),
+            GraphUpdate::Remove(n["c"], n["d"]),
+            GraphUpdate::Remove(n["c"], n["d"]), // now missing → skipped
+        ]);
+        assert_eq!((applied, skipped), (2, 1));
+        index.check_consistency();
+        assert_eq!(index.query(40, 1), before);
+    }
+
+    #[test]
+    fn vertex_removal_and_readdition() {
+        let (g, n) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        let w_neighbors: Vec<u32> = g.neighbors(n["w"]).to_vec();
+        // Removing w drops the size-5 components of (u,p),(u,q),(p,q).
+        assert_eq!(index.remove_vertex(n["w"]), 3);
+        index.check_consistency();
+        assert_eq!(index.component_sizes(), vec![1, 2, 4], "5 ∉ C without w");
+        // Re-adding w restores the original index exactly.
+        assert_eq!(index.add_vertex(n["w"], &w_neighbors), 3);
+        index.check_consistency();
+        assert_eq!(index.component_sizes(), vec![1, 2, 4, 5]);
+        assert_eq!(index.list_len(5), Some(3));
+        // Out-of-range removal is a no-op.
+        assert_eq!(index.remove_vertex(999), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let (g, _) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        assert_eq!(index.apply_batch(&[]), (0, 0));
+        index.check_consistency();
+    }
+
+    #[test]
+    fn build_clique_from_scratch_by_insertions() {
+        let g = Graph::from_edges(6, &[]);
+        let mut index = MaintainedIndex::new(&g);
+        for u in 0..6u32 {
+            for v in u + 1..6 {
+                index.insert_edge(u, v);
+            }
+        }
+        index.check_consistency();
+        // Every K6 edge's ego-network is a K4: one size-4 component.
+        assert_eq!(index.component_sizes(), vec![4]);
+        assert_eq!(index.list_len(4), Some(15));
+    }
+}

@@ -1,0 +1,195 @@
+//! The dequeue-twice online search framework (Algorithm 1).
+//!
+//! All edges enter a max-priority queue keyed by an upper bound of their
+//! structural diversity. Popping an edge the *first* time triggers the exact
+//! BFS score computation and a re-push keyed by the exact score; popping it
+//! a *second* time proves (the queue invariant) that no other edge can beat
+//! it, so it is emitted as the next answer. Edges whose upper bound is lower
+//! than the current k-th score are never scored exactly — that pruning is
+//! the entire point of the framework.
+
+pub use crate::bounds::UpperBound;
+use crate::{bounds, score, ScoredEdge};
+use esd_graph::{Edge, Graph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Counters describing how much work a dequeue-twice run performed; used by
+/// the experiments to show the pruning power of each bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Edges whose exact score was computed by BFS (first dequeues).
+    pub exact_evaluations: usize,
+    /// Total priority-queue pops.
+    pub pops: usize,
+    /// Edges that entered the queue (upper bound > 0).
+    pub enqueued: usize,
+}
+
+/// Priority-queue entry: ordered by (priority, smaller edge wins ties).
+/// `exact` distinguishes the second-phase entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    priority: u32,
+    /// `Reverse` so that among equal priorities the smaller edge pops first,
+    /// and an exact entry pops before a bound entry of the same edge cannot
+    /// occur (each edge is enqueued with one key at a time).
+    edge: Reverse<Edge>,
+    exact: bool,
+}
+
+/// Top-k edge structural diversity by the dequeue-twice framework
+/// (Algorithm 1). `which` selects `OnlineBFS` (min-degree bound) or
+/// `OnlineBFS+` (common-neighbour bound).
+///
+/// Returns at most `k` edges with positive score, ranked by
+/// `(score desc, edge asc)` — identical to the index-based search.
+///
+/// # Examples
+///
+/// ```
+/// use esd_core::online::{online_topk, UpperBound};
+/// use esd_core::fixtures::fig1;
+///
+/// let (g, names) = fig1();
+/// let top = online_topk(&g, 3, 2, UpperBound::CommonNeighbor);
+/// assert_eq!(top.len(), 3);
+/// assert!(top.iter().all(|s| s.score == 2));
+/// ```
+pub fn online_topk(g: &Graph, k: usize, tau: u32, which: UpperBound) -> Vec<ScoredEdge> {
+    online_topk_with_stats(g, k, tau, which).0
+}
+
+/// [`online_topk`] plus work counters.
+pub fn online_topk_with_stats(
+    g: &Graph,
+    k: usize,
+    tau: u32,
+    which: UpperBound,
+) -> (Vec<ScoredEdge>, OnlineStats) {
+    assert!(tau >= 1, "component size threshold must be at least 1");
+    let mut stats = OnlineStats::default();
+    let mut queue: BinaryHeap<Entry> = BinaryHeap::with_capacity(g.num_edges());
+    for e in g.edges() {
+        let ub = bounds::bound(g, e.u, e.v, tau, which);
+        if ub > 0 {
+            queue.push(Entry {
+                priority: ub,
+                edge: Reverse(*e),
+                exact: false,
+            });
+        }
+    }
+    stats.enqueued = queue.len();
+
+    let mut results = Vec::with_capacity(k.min(16));
+    while results.len() < k {
+        let Some(entry) = queue.pop() else { break };
+        stats.pops += 1;
+        let Reverse(edge) = entry.edge;
+        if entry.exact {
+            // Second dequeue: the queue invariant certifies this is the next
+            // best edge (Theorem 1).
+            results.push(ScoredEdge {
+                edge,
+                score: entry.priority,
+            });
+            continue;
+        }
+        // First dequeue: replace the bound by the exact score.
+        stats.exact_evaluations += 1;
+        let exact = score::edge_score(g, edge.u, edge.v, tau);
+        debug_assert!(exact <= entry.priority, "bound must dominate the score");
+        if exact > 0 {
+            queue.push(Entry {
+                priority: exact,
+                edge: Reverse(edge),
+                exact: true,
+            });
+        }
+    }
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig1;
+    use crate::score::naive_topk;
+    use esd_graph::generators;
+
+    #[test]
+    fn matches_naive_on_fig1_all_parameters() {
+        let (g, _) = fig1();
+        for tau in 1..=6 {
+            for k in [1, 3, 10, 40, 100] {
+                let naive = naive_topk(&g, k, tau);
+                for which in [UpperBound::MinDegree, UpperBound::CommonNeighbor] {
+                    let online = online_topk(&g, k, tau, which);
+                    assert_eq!(online, naive, "k={k} τ={tau} {which:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example3_answers() {
+        let (g, n) = fig1();
+        let top = online_topk(&g, 3, 5, UpperBound::CommonNeighbor);
+        let mut edges: Vec<_> = top.iter().map(|s| s.edge).collect();
+        edges.sort_unstable();
+        let mut expect = vec![
+            esd_graph::Edge::new(n["u"], n["p"]),
+            esd_graph::Edge::new(n["u"], n["q"]),
+            esd_graph::Edge::new(n["p"], n["q"]),
+        ];
+        expect.sort_unstable();
+        assert_eq!(edges, expect);
+    }
+
+    #[test]
+    fn tighter_bound_prunes_more() {
+        let g = generators::clique_overlap(150, 120, 6, 5);
+        let (_, loose) = online_topk_with_stats(&g, 10, 2, UpperBound::MinDegree);
+        let (_, tight) = online_topk_with_stats(&g, 10, 2, UpperBound::CommonNeighbor);
+        assert!(
+            tight.exact_evaluations <= loose.exact_evaluations,
+            "CN bound must evaluate no more edges ({} vs {})",
+            tight.exact_evaluations,
+            loose.exact_evaluations
+        );
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..6 {
+            let g = generators::erdos_renyi(60, 0.15, seed);
+            for tau in [1, 2, 3] {
+                let naive = naive_topk(&g, 15, tau);
+                assert_eq!(online_topk(&g, 15, tau, UpperBound::MinDegree), naive);
+                assert_eq!(online_topk(&g, 15, tau, UpperBound::CommonNeighbor), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_graph() {
+        let (g, _) = fig1();
+        assert!(online_topk(&g, 0, 2, UpperBound::CommonNeighbor).is_empty());
+        let empty = esd_graph::Graph::from_edges(0, &[]);
+        assert!(online_topk(&empty, 5, 1, UpperBound::MinDegree).is_empty());
+    }
+
+    #[test]
+    fn huge_tau_returns_nothing() {
+        let (g, _) = fig1();
+        assert!(online_topk(&g, 10, 100, UpperBound::CommonNeighbor).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_tau_zero() {
+        let (g, _) = fig1();
+        let _ = online_topk(&g, 1, 0, UpperBound::MinDegree);
+    }
+}

@@ -1,0 +1,189 @@
+//! A temporal churn workload: a realistic update stream for the dynamic
+//! index (§V), beyond Fig 11's delete-and-reinsert protocol.
+//!
+//! Social networks evolve by three mechanisms, all represented here:
+//!
+//! * **growth** — new vertices attach preferentially to high-degree ones;
+//! * **triadic closure** — open triangles close (a friend of a friend
+//!   becomes a friend), which is exactly what creates new 4-cliques and
+//!   therefore stresses Algorithm 4's union cascade;
+//! * **decay** — old ties are dropped uniformly, stressing Algorithm 5's
+//!   component rebuilds.
+
+use esd_graph::{DynamicGraph, Graph, VertexId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// One event of a churn trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A tie forms.
+    Insert(VertexId, VertexId),
+    /// A tie dissolves.
+    Remove(VertexId, VertexId),
+}
+
+/// Mechanism mix of a churn trace (weights are relative, not normalised).
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnMix {
+    /// Weight of growth events (new vertex + preferential edge).
+    pub growth: u32,
+    /// Weight of triadic-closure events.
+    pub closure: u32,
+    /// Weight of decay events.
+    pub decay: u32,
+}
+
+impl Default for ChurnMix {
+    fn default() -> Self {
+        // Closure-heavy, mildly growing — the regime where maintenance cost
+        // is dominated by 4-clique updates.
+        Self { growth: 2, closure: 5, decay: 3 }
+    }
+}
+
+/// Generates `steps` churn events against (a copy of) `initial`. The events
+/// are valid when replayed in order on `initial`: inserts never duplicate,
+/// removals always hit a live edge.
+pub fn churn_trace(initial: &Graph, steps: usize, mix: ChurnMix, seed: u64) -> Vec<ChurnEvent> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC_4024);
+    let mut g = DynamicGraph::from_graph(initial);
+    let mut events = Vec::with_capacity(steps);
+    let total = (mix.growth + mix.closure + mix.decay).max(1);
+    let mut next_vertex = g.num_vertices() as VertexId;
+
+    // Degree-proportional sampling via a repeated-endpoint reservoir.
+    let mut endpoints: Vec<VertexId> = initial
+        .edges()
+        .iter()
+        .flat_map(|e| [e.u, e.v])
+        .collect();
+
+    let mut guard_failures = 0;
+    while events.len() < steps && guard_failures < 50 * steps + 100 {
+        let roll = rng.gen_range(0..total);
+        if roll < mix.growth {
+            // New vertex with two preferential ties (so it can join
+            // triangles later).
+            if endpoints.is_empty() {
+                guard_failures += 1;
+                continue;
+            }
+            let v = next_vertex;
+            next_vertex += 1;
+            g.ensure_vertex(v);
+            for _ in 0..2 {
+                let t = endpoints[rng.gen_range(0..endpoints.len())];
+                if g.insert_edge(v, t) {
+                    events.push(ChurnEvent::Insert(v, t));
+                    endpoints.push(v);
+                    endpoints.push(t);
+                    if events.len() == steps {
+                        break;
+                    }
+                }
+            }
+        } else if roll < mix.growth + mix.closure {
+            // Close an open triangle: pick a vertex, two of its neighbours
+            // that are not yet adjacent.
+            if endpoints.is_empty() {
+                guard_failures += 1;
+                continue;
+            }
+            let a = endpoints[rng.gen_range(0..endpoints.len())];
+            let nbrs = g.neighbors(a);
+            if nbrs.len() < 2 {
+                guard_failures += 1;
+                continue;
+            }
+            let x = nbrs[rng.gen_range(0..nbrs.len())];
+            let y = nbrs[rng.gen_range(0..nbrs.len())];
+            if x == y || g.has_edge(x, y) {
+                guard_failures += 1;
+                continue;
+            }
+            g.insert_edge(x, y);
+            events.push(ChurnEvent::Insert(x, y));
+            endpoints.push(x);
+            endpoints.push(y);
+        } else {
+            // Decay: drop a random live edge (sampled via a random endpoint).
+            if g.num_edges() == 0 || endpoints.is_empty() {
+                guard_failures += 1;
+                continue;
+            }
+            let a = endpoints[rng.gen_range(0..endpoints.len())];
+            let Some(&b) = g.neighbors(a).first() else {
+                guard_failures += 1;
+                continue;
+            };
+            let pick = g.neighbors(a)[rng.gen_range(0..g.degree(a))];
+            let b = if rng.gen_bool(0.5) { pick } else { b };
+            g.remove_edge(a, b);
+            events.push(ChurnEvent::Remove(a, b));
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_graph::generators;
+
+    #[test]
+    fn trace_is_valid_when_replayed() {
+        let g = generators::clique_overlap(100, 80, 5, 3);
+        let trace = churn_trace(&g, 300, ChurnMix::default(), 1);
+        assert_eq!(trace.len(), 300);
+        let mut replay = DynamicGraph::from_graph(&g);
+        let (mut ins, mut del) = (0, 0);
+        for &ev in &trace {
+            match ev {
+                ChurnEvent::Insert(a, b) => {
+                    replay.ensure_vertex(a.max(b));
+                    assert!(replay.insert_edge(a, b), "duplicate insert {a}-{b}");
+                    ins += 1;
+                }
+                ChurnEvent::Remove(a, b) => {
+                    assert!(replay.remove_edge(a, b), "remove of missing {a}-{b}");
+                    del += 1;
+                }
+            }
+        }
+        assert!(ins > 0 && del > 0, "both mechanisms fire: {ins}/{del}");
+    }
+
+    #[test]
+    fn closure_events_create_triangles() {
+        let g = generators::clique_overlap(80, 60, 5, 2);
+        let closure_only = ChurnMix { growth: 0, closure: 1, decay: 0 };
+        let trace = churn_trace(&g, 100, closure_only, 5);
+        let mut replay = DynamicGraph::from_graph(&g);
+        for &ev in &trace {
+            let ChurnEvent::Insert(a, b) = ev else { panic!("closure only inserts") };
+            // By construction the endpoints share at least one neighbour.
+            assert!(!replay.common_neighbors(a, b).is_empty());
+            replay.insert_edge(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::erdos_renyi(60, 0.1, 9);
+        assert_eq!(
+            churn_trace(&g, 120, ChurnMix::default(), 7),
+            churn_trace(&g, 120, ChurnMix::default(), 7)
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Graph::from_edges(0, &[]);
+        let trace = churn_trace(&empty, 50, ChurnMix::default(), 0);
+        assert!(trace.is_empty(), "nothing to grow from or decay");
+        let tiny = generators::complete(3);
+        let trace = churn_trace(&tiny, 10, ChurnMix { growth: 1, closure: 0, decay: 0 }, 0);
+        assert!(!trace.is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! A planted research-community graph for the Fig 12 case study.
+//!
+//! The paper's DB subgraph of DBLP shows three behaviours:
+//!
+//! * top **ESD** edges are *bridge collaborations*: two prolific co-authors
+//!   whose shared collaborators split into several research communities;
+//! * top **CN** edges live inside one dense community (one or two
+//!   ego-network components);
+//! * top **BT** edges are *weak barbell links* between communities whose
+//!   endpoints share almost no collaborators.
+//!
+//! This generator plants all three ground truths: `communities` dense
+//! areas, a few designated bridge author pairs wired into several areas,
+//! and one weak barbell link.
+
+use esd_graph::{generators, Edge, Graph, GraphBuilder, VertexId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The planted graph plus its ground truth.
+pub struct DblpCase {
+    /// The collaboration graph.
+    pub graph: Graph,
+    /// Designated high-ESD bridge pairs (prolific cross-area duos).
+    pub bridges: Vec<Edge>,
+    /// The weak barbell edge BT should surface.
+    pub barbell: Edge,
+    /// Research area of each ordinary author (`usize::MAX` for the planted
+    /// special vertices).
+    pub area_of: Vec<usize>,
+}
+
+/// Builds the case-study graph: `communities` areas of `area_size` authors
+/// each, plus planted bridges and a barbell.
+pub fn dblp_case(communities: usize, area_size: usize, seed: u64) -> DblpCase {
+    assert!(communities >= 4, "need at least 4 areas to bridge across");
+    assert!(area_size >= 12, "areas must be large enough to host contexts");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD801);
+    let n_regular = communities * area_size;
+    // 2 bridge pairs + 1 barbell pair = 6 special vertices.
+    let n = n_regular + 6;
+    let mut b = GraphBuilder::with_capacity(n, n_regular * 6);
+    let mut area_of = vec![usize::MAX; n];
+
+    // Dense intra-area collaboration: overlapping small cliques per area.
+    for a in 0..communities {
+        let base = (a * area_size) as VertexId;
+        let papers = generators::clique_overlap(area_size, area_size * 2, 5, seed ^ (a as u64) << 8);
+        for e in papers.edges() {
+            b.add_edge(base + e.u, base + e.v);
+        }
+        for v in 0..area_size {
+            area_of[a * area_size + v] = a;
+        }
+    }
+    // Sparse random inter-area noise.
+    for _ in 0..n_regular / 20 {
+        let (u, v) = (rng.gen_range(0..n_regular), rng.gen_range(0..n_regular));
+        if u / area_size != v / area_size {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+
+    // Planted ESD bridges: a pair (x, y) that co-authors with a small
+    // *connected* group in each of several areas — each group becomes one
+    // ego-network component of (x, y).
+    let mut bridges = Vec::new();
+    for pair in 0..2 {
+        let x = (n_regular + 2 * pair) as VertexId;
+        let y = (n_regular + 2 * pair + 1) as VertexId;
+        b.add_edge(x, y);
+        let span = 4 + pair; // bridge 0 spans 4 areas, bridge 1 spans 5
+        for a in 0..span.min(communities) {
+            let area = (a + pair * 2) % communities;
+            // Three distinct members drawn from disjoint thirds of the area
+            // (never spilling into a neighbouring area).
+            let third = area_size / 3;
+            let group: Vec<VertexId> = (0..3)
+                .map(|i| (area * area_size + i * third + rng.gen_range(0..third)) as VertexId)
+                .collect();
+            for &g in &group {
+                b.add_edge(x, g);
+                b.add_edge(y, g);
+            }
+            for w in group.windows(2) {
+                b.add_edge(w[0], w[1]);
+            }
+        }
+        bridges.push(Edge::new(x, y));
+    }
+
+    // Planted barbell: two authors from different areas with one joint
+    // paper and no shared collaborators, each deeply embedded in their area.
+    let bx = (n_regular + 4) as VertexId;
+    let by = (n_regular + 5) as VertexId;
+    for i in 0..6 {
+        b.add_edge(bx, i as VertexId); // area 0
+        b.add_edge(by, (area_size + i) as VertexId); // area 1
+    }
+    b.add_edge(bx, by);
+
+    DblpCase {
+        graph: b.build(),
+        bridges,
+        barbell: Edge::new(bx, by),
+        area_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_bridges_have_high_esd() {
+        let case = dblp_case(6, 40, 3);
+        for bridge in &case.bridges {
+            let score = esd_core::score::edge_score(&case.graph, bridge.u, bridge.v, 2);
+            assert!(score >= 3, "bridge {bridge} has only {score} contexts");
+        }
+        // The larger bridge ranks in the global top-5 at τ = 2.
+        let top = esd_core::score::naive_topk(&case.graph, 5, 2);
+        assert!(
+            top.iter().any(|s| case.bridges.contains(&s.edge)),
+            "no planted bridge in the top-5: {top:?}"
+        );
+    }
+
+    #[test]
+    fn barbell_shares_no_collaborators() {
+        let case = dblp_case(6, 40, 3);
+        assert_eq!(
+            case.graph
+                .common_neighbor_count(case.barbell.u, case.barbell.v),
+            0
+        );
+        assert_eq!(
+            esd_core::score::edge_score(&case.graph, case.barbell.u, case.barbell.v, 1),
+            0
+        );
+    }
+
+    #[test]
+    fn cn_top_edges_are_intra_area() {
+        let case = dblp_case(6, 40, 3);
+        let cn = esd_core::baselines::topk_common_neighbors(&case.graph, 3);
+        for s in &cn {
+            let (au, av) = (case.area_of[s.edge.u as usize], case.area_of[s.edge.v as usize]);
+            assert!(
+                au == av && au != usize::MAX,
+                "CN edge {} spans areas {au}/{av}",
+                s.edge
+            );
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = dblp_case(5, 30, 9);
+        let b = dblp_case(5, 30, 9);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.bridges, b.bridges);
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic surrogate datasets for the paper's evaluation.
+//!
+//! The paper benchmarks on five SNAP graphs (Table I) and two case-study
+//! networks (a DBLP subgraph and the USF word-association network). Those
+//! files cannot be bundled, so this crate generates laptop-scale surrogates
+//! whose *texture* — degree skew, clustering, community structure, common
+//! neighbourhood sizes — mirrors each original (see DESIGN.md §7). All
+//! generators are deterministic, so every experiment is reproducible.
+//!
+//! * [`surrogates`] — the five Table I stand-ins at three scales.
+//! * [`words`] — a miniature word-association network with genuine
+//!   polysemous hubs for the Fig 13 case study.
+//! * [`dblp_case`] — a planted research-community graph with known bridge
+//!   authors for the Fig 12 case study.
+//! * [`churn`] — temporal update traces (growth, triadic closure, decay)
+//!   for evaluating the dynamic index beyond Fig 11's protocol.
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod dblp_case;
+pub mod surrogates;
+pub mod words;
+
+pub use surrogates::{load, specs, DatasetSpec, Scale};

@@ -1,0 +1,193 @@
+//! Laptop-scale stand-ins for the five Table I graphs.
+//!
+//! | dataset      | paper n / m        | texture reproduced |
+//! |--------------|--------------------|--------------------|
+//! | Youtube      | 1.13M / 2.99M      | preferential-attachment hubs, low clustering, small degeneracy |
+//! | WikiTalk     | 2.39M / 4.66M      | extreme degree skew (one huge hub), near-forest periphery |
+//! | DBLP         | 1.84M / 8.35M      | overlapping author cliques, high clustering & degeneracy |
+//! | Pokec        | 1.63M / 22.3M      | skewed social texture (R-MAT), moderate clustering |
+//! | LiveJournal  | 4.00M / 34.7M      | R-MAT plus planted communities; the largest graph |
+//!
+//! Every surrogate blends a base model with a clique-overlap layer: the base
+//! fixes the degree profile, the clique layer injects the triangles and
+//! 4-cliques that drive every ESD algorithm's cost.
+
+use esd_graph::{generators, Graph, GraphBuilder};
+
+/// Target size of a surrogate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// A few thousand edges — unit/integration tests.
+    Tiny,
+    /// Tens of thousands of edges — fast experiment sweeps.
+    Small,
+    /// Hundreds of thousands of edges — the headline bench scale.
+    Bench,
+}
+
+impl Scale {
+    /// Vertex-count multiplier relative to [`Scale::Bench`].
+    fn factor(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.04,
+            Scale::Small => 0.25,
+            Scale::Bench => 1.0,
+        }
+    }
+}
+
+/// Metadata tying a surrogate to its Table I original.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Short name used throughout the experiments (paper's spelling).
+    pub name: &'static str,
+    /// `n` of the original SNAP graph.
+    pub paper_n: usize,
+    /// `m` of the original SNAP graph.
+    pub paper_m: usize,
+    /// `d_max` of the original.
+    pub paper_dmax: usize,
+    /// Degeneracy `δ` of the original.
+    pub paper_delta: u32,
+}
+
+/// The five Table I rows, in the paper's order.
+pub fn specs() -> [DatasetSpec; 5] {
+    [
+        DatasetSpec { name: "Youtube", paper_n: 1_134_890, paper_m: 2_987_624, paper_dmax: 28_754, paper_delta: 51 },
+        DatasetSpec { name: "WikiTalk", paper_n: 2_394_385, paper_m: 4_659_565, paper_dmax: 100_029, paper_delta: 131 },
+        DatasetSpec { name: "DBLP", paper_n: 1_843_617, paper_m: 8_350_260, paper_dmax: 2_213, paper_delta: 279 },
+        DatasetSpec { name: "Pokec", paper_n: 1_632_803, paper_m: 22_301_964, paper_dmax: 14_854, paper_delta: 47 },
+        DatasetSpec { name: "LiveJournal", paper_n: 3_997_962, paper_m: 34_681_189, paper_dmax: 14_815, paper_delta: 360 },
+    ]
+}
+
+/// Loads a surrogate by (case-insensitive) name. Panics on unknown names;
+/// the valid set is exactly the [`specs`] names.
+pub fn load(name: &str, scale: Scale) -> Graph {
+    match name.to_ascii_lowercase().as_str() {
+        "youtube" => youtube(scale),
+        "wikitalk" => wikitalk(scale),
+        "dblp" => dblp(scale),
+        "pokec" => pokec(scale),
+        "livejournal" => livejournal(scale),
+        other => panic!("unknown dataset {other:?}; expected one of Youtube/WikiTalk/DBLP/Pokec/LiveJournal"),
+    }
+}
+
+/// Merges several edge sets over the same vertex universe.
+fn overlay(graphs: &[Graph]) -> Graph {
+    let n = graphs.iter().map(|g| g.num_vertices()).max().unwrap_or(0);
+    let m: usize = graphs.iter().map(|g| g.num_edges()).sum();
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for g in graphs {
+        for e in g.edges() {
+            b.add_edge(e.u, e.v);
+        }
+    }
+    b.build()
+}
+
+/// Youtube-like: preferential-attachment hubs with a light clique layer.
+pub fn youtube(scale: Scale) -> Graph {
+    let n = (24_000.0 * scale.factor()) as usize;
+    overlay(&[
+        generators::barabasi_albert(n, 3, 0xA11CE),
+        generators::clique_overlap(n, n / 2, 5, 0xA11CF),
+    ])
+}
+
+/// WikiTalk-like: one dominant hub, near-forest periphery, few triangles.
+pub fn wikitalk(scale: Scale) -> Graph {
+    let n = (40_000.0 * scale.factor()) as usize;
+    overlay(&[
+        generators::star_forest_mix(n, 12, n / 3, 0x817A),
+        generators::clique_overlap(n, n / 6, 5, 0x817B),
+    ])
+}
+
+/// DBLP-like: overlapping author cliques (papers), high clustering.
+pub fn dblp(scale: Scale) -> Graph {
+    let n = (20_000.0 * scale.factor()) as usize;
+    generators::clique_overlap(n, n * 2, 7, 0xDB1D)
+}
+
+/// Pokec-like: R-MAT social texture with a moderate clique layer; the
+/// densest surrogate per vertex.
+pub fn pokec(scale: Scale) -> Graph {
+    let scale_log2 = (14.0 + scale.factor().log2()).round().max(8.0) as u32;
+    let n = 1usize << scale_log2;
+    overlay(&[
+        generators::rmat(scale_log2, 12, (0.45, 0.22, 0.22, 0.11), 0x90C),
+        generators::clique_overlap(n, n / 2, 5, 0x90D),
+    ])
+}
+
+/// LiveJournal-like: the largest surrogate — R-MAT plus community cliques.
+pub fn livejournal(scale: Scale) -> Graph {
+    let scale_log2 = (15.0 + scale.factor().log2()).round().max(9.0) as u32;
+    let n = 1usize << scale_log2;
+    overlay(&[
+        generators::rmat(scale_log2, 10, (0.45, 0.22, 0.22, 0.11), 0x11E),
+        generators::clique_overlap(n, n, 6, 0x11F),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_graph::metrics::GraphStats;
+
+    #[test]
+    fn all_five_load_at_tiny_scale() {
+        for spec in specs() {
+            let g = load(spec.name, Scale::Tiny);
+            assert!(g.num_edges() > 500, "{} too small: m={}", spec.name, g.num_edges());
+            assert!(
+                esd_graph::triangles::count_triangles(&g) > 100,
+                "{} needs triangles for the index to be non-trivial",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn loading_is_deterministic() {
+        let a = load("dblp", Scale::Tiny);
+        let b = load("DBLP", Scale::Tiny);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_name_panics() {
+        let _ = load("orkut", Scale::Tiny);
+    }
+
+    #[test]
+    fn relative_texture_matches_table1() {
+        // The orderings the experiments rely on, checked at Small scale:
+        let yt = GraphStats::compute(&load("youtube", Scale::Small));
+        let wiki = GraphStats::compute(&load("wikitalk", Scale::Small));
+        let dblp = GraphStats::compute(&load("dblp", Scale::Small));
+        let pokec = GraphStats::compute(&load("pokec", Scale::Small));
+        let lj = GraphStats::compute(&load("livejournal", Scale::Small));
+        // WikiTalk has the most extreme hub relative to its size.
+        assert!(wiki.d_max * wiki.n.max(1) > yt.d_max * yt.n.max(1));
+        // DBLP is the most clique-dense: highest degeneracy per edge.
+        assert!(dblp.degeneracy >= yt.degeneracy);
+        // LiveJournal is the largest; Pokec densest per vertex.
+        assert!(lj.m > pokec.m && lj.m > dblp.m && lj.m > wiki.m && lj.m > yt.m);
+        assert!(pokec.m * yt.n > yt.m * pokec.n, "Pokec denser than Youtube");
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        for name in ["youtube", "dblp"] {
+            let t = load(name, Scale::Tiny).num_edges();
+            let s = load(name, Scale::Small).num_edges();
+            let b = load(name, Scale::Bench).num_edges();
+            assert!(t < s && s < b, "{name}: {t} {s} {b}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! A miniature word-association network for the Fig 13 case study.
+//!
+//! The paper uses the USF Free Association norms (5,040 words / 55,258
+//! associations) and shows that the top edge `("bank", "money")` has six
+//! ego-network components, each a distinct shared context (accounts,
+//! lending, robbery, …). This module hand-authors those polysemous cores —
+//! real words, real contexts — and pads the graph with generated semantic
+//! clusters so the search is non-trivial.
+
+use esd_graph::{generators, Graph, GraphBuilder, VertexId};
+use std::collections::HashMap;
+
+/// A word graph: vertices are words, edges are associations.
+pub struct WordNetwork {
+    /// The association graph.
+    pub graph: Graph,
+    /// `id -> word` (generated filler words are `w<number>`).
+    pub vocabulary: Vec<String>,
+    /// `word -> id` for the hand-authored words.
+    pub ids: HashMap<&'static str, VertexId>,
+}
+
+impl WordNetwork {
+    /// The word at `v`.
+    pub fn word(&self, v: VertexId) -> &str {
+        &self.vocabulary[v as usize]
+    }
+}
+
+/// Hand-authored polysemy cores. Each entry is (hub-pair, contexts); every
+/// context is a word list that is (a) fully associated with both hub words
+/// and (b) internally chained, forming one ego-network component.
+/// One polysemy core: the hub word pair and its list of contexts.
+type PolysemyCore = ((&'static str, &'static str), &'static [&'static [&'static str]]);
+
+const CORES: &[PolysemyCore] = &[
+    (
+        ("bank", "money"),
+        &[
+            // The six contexts of Fig 13.
+            &["account", "deposit", "save", "teller", "cash", "check"],
+            &["loan", "mortgage", "federal"],
+            &["rob", "steal"],
+            &["vault", "safe"],
+            &["rich", "wealth"],
+            &["bill"],
+        ],
+    ),
+    (
+        ("wood", "house"),
+        &[
+            &["build", "carpenter", "nail", "hammer"],
+            &["fire", "burn"],
+            &["cabin", "log"],
+            &["tree", "forest"],
+        ],
+    ),
+    (
+        ("cold", "water"),
+        &[
+            &["ice", "freeze", "winter"],
+            &["drink", "thirst"],
+            &["shower"],
+        ],
+    ),
+];
+
+/// Builds the word-association network: the hand-authored cores plus
+/// `filler_words` generated vocabulary organised into small semantic
+/// clusters (so CN/BT baselines have plausible competition).
+pub fn word_association(filler_words: usize, seed: u64) -> WordNetwork {
+    let mut vocabulary: Vec<String> = Vec::new();
+    let mut ids: HashMap<&'static str, VertexId> = HashMap::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+
+    let intern = |w: &'static str, vocabulary: &mut Vec<String>, ids: &mut HashMap<&'static str, VertexId>| -> VertexId {
+        *ids.entry(w).or_insert_with(|| {
+            vocabulary.push(w.to_string());
+            (vocabulary.len() - 1) as VertexId
+        })
+    };
+
+    for &((a, b), contexts) in CORES {
+        let ia = intern(a, &mut vocabulary, &mut ids);
+        let ib = intern(b, &mut vocabulary, &mut ids);
+        edges.push((ia, ib));
+        for &context in contexts {
+            let members: Vec<VertexId> = context
+                .iter()
+                .map(|&w| intern(w, &mut vocabulary, &mut ids))
+                .collect();
+            for &w in &members {
+                edges.push((ia, w));
+                edges.push((ib, w));
+            }
+            // Chain the context internally: one connected component.
+            for pair in members.windows(2) {
+                edges.push((pair[0], pair[1]));
+            }
+        }
+    }
+
+    // Generated semantic clusters over the filler vocabulary.
+    let core_n = vocabulary.len();
+    for i in 0..filler_words {
+        vocabulary.push(format!("w{i}"));
+    }
+    let filler = generators::clique_overlap(filler_words, filler_words / 3, 4, seed ^ 0x30BD);
+    let mut b = GraphBuilder::with_capacity(vocabulary.len(), edges.len() + filler.num_edges());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    for e in filler.edges() {
+        b.add_edge(e.u + core_n as VertexId, e.v + core_n as VertexId);
+    }
+    // A few random associations tying fillers to the cores, so the graph is
+    // connected-ish. Hub words are excluded as targets: a filler adjacent to
+    // both words of a hub pair would pollute that pair's ego-network.
+    use rand::prelude::*;
+    let hubs: Vec<VertexId> = CORES
+        .iter()
+        .flat_map(|&((a, b), _)| [ids[a], ids[b]])
+        .collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x30BE);
+    if filler_words > 0 {
+        for _ in 0..filler_words / 10 {
+            let f = core_n as VertexId + rng.gen_range(0..filler_words) as VertexId;
+            let c = rng.gen_range(0..core_n) as VertexId;
+            if !hubs.contains(&c) {
+                b.add_edge(f, c);
+            }
+        }
+    }
+
+    WordNetwork {
+        graph: b.build(),
+        vocabulary,
+        ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_money_has_six_contexts() {
+        let net = word_association(500, 7);
+        let (bank, money) = (net.ids["bank"], net.ids["money"]);
+        let sizes = esd_core::score::component_sizes(&net.graph, bank, money);
+        assert_eq!(sizes.len(), 6, "six components as in Fig 13: {sizes:?}");
+        assert_eq!(*sizes.last().unwrap(), 6, "largest = the account context");
+        assert_eq!(esd_core::score::edge_score(&net.graph, bank, money, 2), 5);
+    }
+
+    #[test]
+    fn top_two_at_tau2_match_fig13() {
+        // Fig 13: the top-2 edges are ("bank","money") then ("wood","house").
+        for fillers in [600, 1000] {
+            let net = word_association(fillers, 7);
+            let top = esd_core::score::naive_topk(&net.graph, 2, 2);
+            let pair = |i: usize| {
+                let mut p = [net.word(top[i].edge.u), net.word(top[i].edge.v)];
+                p.sort_unstable();
+                (p[0].to_string(), p[1].to_string())
+            };
+            assert_eq!(pair(0), ("bank".into(), "money".into()), "fillers={fillers}");
+            assert_eq!(pair(1), ("house".into(), "wood".into()), "fillers={fillers}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_no_filler_core_leakage() {
+        let a = word_association(300, 1);
+        let b = word_association(300, 1);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        // Hub pair ego-networks contain no generated filler words
+        // (fillers are named `w<number>`).
+        let is_filler = |w: &str| {
+            w.strip_prefix('w')
+                .is_some_and(|rest| !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()))
+        };
+        let (bank, money) = (a.ids["bank"], a.ids["money"]);
+        for w in a.graph.common_neighbors(bank, money) {
+            assert!(!is_filler(a.word(w)), "filler {} leaked", a.word(w));
+        }
+    }
+
+    #[test]
+    fn zero_fillers_is_just_the_cores() {
+        let net = word_association(0, 0);
+        assert!(net.graph.num_edges() > 40);
+        assert_eq!(net.vocabulary.len(), net.graph.num_vertices());
+    }
+}

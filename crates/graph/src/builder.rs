@@ -1,0 +1,110 @@
+//! Safe construction of [`Graph`] values.
+
+use crate::{Edge, Graph, VertexId};
+
+/// Accumulates edges, then produces a canonical simple [`Graph`].
+///
+/// The builder silently drops self-loops and duplicate edges (in either
+/// orientation), matching how the paper's datasets — raw SNAP edge lists —
+/// are conventionally cleaned.
+///
+/// # Examples
+///
+/// ```
+/// use esd_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, dropped
+/// b.add_edge(2, 2); // self-loop, dropped
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    dropped_self_loops: usize,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on the vertex set `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+            dropped_self_loops: 0,
+        }
+    }
+
+    /// Pre-reserves space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::with_capacity(m),
+            dropped_self_loops: 0,
+        }
+    }
+
+    /// Adds an undirected edge; orientation and duplicates don't matter.
+    /// Self-loops are counted and dropped. Endpoints may exceed the initial
+    /// `n`; the vertex set grows to cover them.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        if u == v {
+            self.dropped_self_loops += 1;
+            return;
+        }
+        self.n = self.n.max(u.max(v) as usize + 1);
+        self.edges.push(Edge::new(u, v));
+    }
+
+    /// Number of self-loops dropped so far.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Number of edge insertions recorded (before deduplication).
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalises the graph: sorts, deduplicates and freezes into CSR.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_sorted_canonical_edges(self.n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_vertex_set() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(4, 9);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn tracks_dropped_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        assert_eq!(b.dropped_self_loops(), 2);
+        assert_eq!(b.raw_edge_count(), 1);
+    }
+
+    #[test]
+    fn dedups_both_orientations() {
+        let mut b = GraphBuilder::new(5);
+        for _ in 0..3 {
+            b.add_edge(2, 4);
+            b.add_edge(4, 2);
+        }
+        assert_eq!(b.build().num_edges(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Graphviz DOT export.
+//!
+//! The paper's case-study figures (Figs 12–13) are drawings of edge
+//! ego-networks with the connected components visually grouped. This module
+//! renders any graph — and specifically ego-networks with per-component
+//! colouring — as DOT text for `dot`/`neato`.
+
+use crate::{traversal, Graph, VertexId};
+
+/// Colour palette cycled over components (Graphviz X11 scheme names).
+const PALETTE: [&str; 8] = [
+    "indianred1", "lightskyblue", "palegreen3", "plum", "goldenrod1",
+    "lightsalmon", "aquamarine3", "gray80",
+];
+
+/// Escapes a label for a quoted DOT string.
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the whole graph as a DOT document. `label` maps a vertex to its
+/// display name (`None` falls back to the numeric id).
+pub fn to_dot(g: &Graph, label: impl Fn(VertexId) -> Option<String>) -> String {
+    let mut out = String::from("graph G {\n  node [shape=ellipse, style=filled, fillcolor=white];\n");
+    for v in g.vertices() {
+        let name = label(v).unwrap_or_else(|| v.to_string());
+        out.push_str(&format!("  n{v} [label=\"{}\"];\n", escape(&name)));
+    }
+    for e in g.edges() {
+        out.push_str(&format!("  n{} -- n{};\n", e.u, e.v));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the ego-network of `(u, v)` in the style of the paper's Figs
+/// 12–13: the endpoint pair as doubled boxes, each connected component of
+/// the common neighbourhood filled with its own colour.
+pub fn ego_network_dot(
+    g: &Graph,
+    u: VertexId,
+    v: VertexId,
+    label: impl Fn(VertexId) -> Option<String>,
+) -> String {
+    let name = |x: VertexId| escape(&label(x).unwrap_or_else(|| x.to_string()));
+    let members = g.common_neighbors(u, v);
+    let components = traversal::induced_components(g, &members);
+
+    let mut out = String::from("graph ego {\n  layout=neato;\n  overlap=false;\n");
+    out.push_str(&format!(
+        "  n{u} [label=\"{}\", shape=box, peripheries=2, style=filled, fillcolor=white];\n",
+        name(u)
+    ));
+    out.push_str(&format!(
+        "  n{v} [label=\"{}\", shape=box, peripheries=2, style=filled, fillcolor=white];\n",
+        name(v)
+    ));
+    out.push_str(&format!("  n{u} -- n{v} [penwidth=2];\n"));
+    for (ci, comp) in components.iter().enumerate() {
+        let color = PALETTE[ci % PALETTE.len()];
+        out.push_str(&format!("  subgraph cluster_{ci} {{\n    style=invis;\n"));
+        for &w in comp {
+            out.push_str(&format!(
+                "    n{w} [label=\"{}\", style=filled, fillcolor={color}];\n",
+                name(w)
+            ));
+        }
+        out.push_str("  }\n");
+        // Edges inside the component.
+        for (i, &a) in comp.iter().enumerate() {
+            for &b in &comp[i + 1..] {
+                if g.has_edge(a, b) {
+                    out.push_str(&format!("  n{a} -- n{b};\n"));
+                }
+            }
+        }
+    }
+    // Spokes from the endpoints to every member, drawn faintly.
+    for &w in &members {
+        out.push_str(&format!("  n{u} -- n{w} [color=gray70];\n"));
+        out.push_str(&format!("  n{v} -- n{w} [color=gray70];\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let g = generators::complete(4);
+        let dot = to_dot(&g, |_| None);
+        for v in 0..4 {
+            assert!(dot.contains(&format!("n{v} [label=\"{v}\"]")), "{dot}");
+        }
+        assert_eq!(dot.matches(" -- ").count(), 6);
+        assert!(dot.starts_with("graph G {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_and_escaping() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let dot = to_dot(&g, |v| Some(format!("say \"{v}\"")));
+        assert!(dot.contains("say \\\"0\\\""), "{dot}");
+    }
+
+    #[test]
+    fn ego_dot_groups_components() {
+        // A gadget whose edge (0,1) has common neighbours {2,3} (edge) and
+        // {4,5} (edge) — two ego-network components.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 3), (1, 4), (1, 5), (2, 3), (4, 5)],
+        );
+        let dot = ego_network_dot(&g, 0, 1, |_| None);
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+        assert!(!dot.contains("cluster_2"), "exactly two components");
+        assert!(dot.contains("peripheries=2"));
+        // The component-internal edges (2,3) and (4,5) are present.
+        assert!(dot.contains("n2 -- n3"));
+        assert!(dot.contains("n4 -- n5"));
+    }
+
+    #[test]
+    fn ego_dot_empty_neighborhood() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let dot = ego_network_dot(&g, 0, 1, |_| None);
+        assert!(!dot.contains("cluster_"), "no components to draw");
+        assert!(dot.contains("n0 -- n1"));
+    }
+}

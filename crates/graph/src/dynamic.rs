@@ -1,0 +1,218 @@
+//! A mutable adjacency-list graph for the dynamic maintenance algorithms.
+
+use crate::{Edge, Graph, VertexId};
+
+/// An undirected simple graph with sorted adjacency vectors supporting
+/// `O(d)` edge insertion and deletion — the substrate of the index
+/// maintenance algorithms (§V of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use esd_graph::DynamicGraph;
+///
+/// let mut g = DynamicGraph::new(3);
+/// assert!(g.insert_edge(0, 1));
+/// assert!(!g.insert_edge(1, 0), "already present");
+/// assert!(g.remove_edge(0, 1));
+/// assert!(!g.remove_edge(0, 1), "already gone");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicGraph {
+    adj: Vec<Vec<VertexId>>,
+    m: usize,
+}
+
+impl DynamicGraph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Copies a static graph into mutable form.
+    pub fn from_graph(g: &Graph) -> Self {
+        let adj = g.vertices().map(|v| g.neighbors(v).to_vec()).collect();
+        Self {
+            adj,
+            m: g.num_edges(),
+        }
+    }
+
+    /// Freezes into an immutable CSR [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        let mut b = crate::GraphBuilder::with_capacity(self.num_vertices(), self.m);
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &v in nbrs {
+                if (u as VertexId) < v {
+                    b.add_edge(u as VertexId, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Sorted neighbour list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        &self.adj[u as usize]
+    }
+
+    /// `O(log d)` adjacency test.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u != v && self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Ensures the vertex set covers `v`.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if v as usize >= self.adj.len() {
+            self.adj.resize(v as usize + 1, Vec::new());
+        }
+    }
+
+    /// Inserts `(u, v)`; returns `false` if already present or a self-loop.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.ensure_vertex(u.max(v));
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[u as usize].insert(pos_u, v);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("symmetric list out of sync");
+                self.adj[v as usize].insert(pos_v, u);
+                self.m += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes `(u, v)`; returns `false` if absent.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos_u) => {
+                self.adj[u as usize].remove(pos_u);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect("symmetric list out of sync");
+                self.adj[v as usize].remove(pos_v);
+                self.m -= 1;
+                true
+            }
+        }
+    }
+
+    /// Sorted common neighbourhood `N(u) ∩ N(v)`.
+    pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        crate::intersect::intersect_adaptive(self.neighbors(u), self.neighbors(v))
+    }
+
+    /// All edges in canonical order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.m);
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &v in nbrs {
+                if (u as VertexId) < v {
+                    out.push(Edge { u: u as VertexId, v });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_static() {
+        let g = generators::erdos_renyi(40, 0.2, 5);
+        let d = DynamicGraph::from_graph(&g);
+        assert_eq!(d.to_graph(), g);
+    }
+
+    #[test]
+    fn insert_remove_keeps_sorted_symmetric() {
+        let mut g = DynamicGraph::new(5);
+        g.insert_edge(3, 1);
+        g.insert_edge(3, 0);
+        g.insert_edge(3, 4);
+        assert_eq!(g.neighbors(3), &[0, 1, 4]);
+        assert!(g.has_edge(1, 3));
+        g.remove_edge(1, 3);
+        assert_eq!(g.neighbors(3), &[0, 4]);
+        assert!(!g.has_edge(3, 1));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = DynamicGraph::new(2);
+        assert!(!g.insert_edge(1, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut g = DynamicGraph::new(0);
+        g.insert_edge(7, 2);
+        assert_eq!(g.num_vertices(), 8);
+        assert!(g.has_edge(2, 7));
+    }
+
+    #[test]
+    fn remove_out_of_range_is_noop() {
+        let mut g = DynamicGraph::new(2);
+        assert!(!g.remove_edge(0, 9));
+    }
+
+    proptest! {
+        #[test]
+        fn random_ops_match_btreeset_model(ops in prop::collection::vec((any::<bool>(), 0u32..12, 0u32..12), 0..120)) {
+            let mut g = DynamicGraph::new(12);
+            let mut model = std::collections::BTreeSet::new();
+            for (insert, a, b) in ops {
+                if a == b { continue; }
+                let key = (a.min(b), a.max(b));
+                if insert {
+                    prop_assert_eq!(g.insert_edge(a, b), model.insert(key));
+                } else {
+                    prop_assert_eq!(g.remove_edge(a, b), model.remove(&key));
+                }
+                prop_assert_eq!(g.num_edges(), model.len());
+            }
+            let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+            let expect: Vec<(u32, u32)> = model.into_iter().collect();
+            prop_assert_eq!(edges, expect);
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on five SNAP graphs that cannot be redistributed here;
+//! `esd-datasets` builds laptop-scale surrogates from these models (see
+//! DESIGN.md §7). All generators are deterministic in their `seed`.
+//!
+//! Models provided:
+//! * [`erdos_renyi`] — G(n, p) uniform random graphs.
+//! * [`barabasi_albert`] — preferential attachment; heavy-tailed degrees
+//!   with pronounced hubs (Youtube-like).
+//! * [`rmat`] — recursive-matrix (Kronecker) graphs; skewed, community-free
+//!   social-network texture (Pokec/LiveJournal-like).
+//! * [`clique_overlap`] — union of many small random cliques ("papers as
+//!   author cliques"); collaboration-network texture (DBLP-like).
+//! * [`planted_partition`] — dense communities plus sparse inter-community
+//!   bridges; used by the DBLP case study.
+//! * [`star_forest_mix`] — extreme degree skew with almost no clustering
+//!   (WikiTalk-like).
+//! * [`complete`], [`star`], [`cycle`], [`path`] — fixed topologies for tests.
+
+use crate::{Graph, GraphBuilder, VertexId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// G(n, p): each pair independently an edge with probability `p`.
+///
+/// Uses geometric skipping, so the cost is `O(n + m)` rather than `O(n²)`
+/// for small `p`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE5D0_1111);
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Skip-sampling over the linearised strict upper triangle.
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let log_q = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (r.ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        // Invert the triangular index (row-major upper triangle).
+        let (u, v) = triangle_unrank(idx, n as u64);
+        b.add_edge(u as VertexId, v as VertexId);
+        idx += 1;
+    }
+    b.build()
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the pair `(u, v)`, `u < v`,
+/// enumerating the strict upper triangle row by row.
+fn triangle_unrank(idx: u64, n: u64) -> (u64, u64) {
+    // Row u starts at S(u) = u(n-1) - u(u-1)/2 and has n-1-u cells.
+    let row_start = |u: u64| u * (n - 1) - u.saturating_sub(1) * u / 2;
+    let (mut lo, mut hi) = (0u64, n - 1); // u in [lo, hi)
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if row_start(mid) <= idx {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let u = lo;
+    let v = u + 1 + (idx - row_start(u));
+    debug_assert!(v < n);
+    (u, v)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_attach` existing vertices chosen proportionally to degree.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "attachment count must be positive");
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_mul(m_attach));
+    if n == 0 {
+        return b.build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA_BABA);
+    // Repeated-endpoints list: sampling a uniform element is sampling
+    // proportional to degree.
+    let seed_core = (m_attach + 1).min(n);
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    for u in 0..seed_core as VertexId {
+        for v in u + 1..seed_core as VertexId {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in seed_core..n {
+        let mut targets = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while targets.len() < m_attach.min(v) && guard < 50 * m_attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            targets.insert(t);
+            guard += 1;
+        }
+        for &t in &targets {
+            b.add_edge(v as VertexId, t);
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// R-MAT / Kronecker generator with the classic (a, b, c, d) quadrant
+/// probabilities. `scale` is log2 of the vertex count.
+pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64, f64), seed: u64) -> Graph {
+    let (a, bq, c, _d) = probs;
+    let n = 1usize << scale;
+    let m_target = n * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4A_7A17);
+    let mut b = GraphBuilder::with_capacity(n, m_target);
+    for _ in 0..m_target {
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left
+            } else if r < a + bq {
+                v |= 1;
+            } else if r < a + bq + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Default R-MAT probabilities used by Graph500 (skewed social texture).
+pub const RMAT_SOCIAL: (f64, f64, f64, f64) = (0.57, 0.19, 0.19, 0.05);
+
+/// Collaboration-style graph: `num_groups` random "papers", each a clique on
+/// 2..=`max_group` authors sampled with a Zipf-like bias so prolific authors
+/// recur (giving the overlapping-clique texture of DBLP).
+pub fn clique_overlap(n: usize, num_groups: usize, max_group: usize, seed: u64) -> Graph {
+    assert!(max_group >= 2, "groups below size 2 add no edges");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00DB_01DB);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    let mut members = Vec::new();
+    for _ in 0..num_groups {
+        let size = rng.gen_range(2..=max_group.min(n));
+        members.clear();
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < size {
+            // Mostly uniform authors with a minority of prolific ones
+            // (quadratic bias toward low ids). A stronger bias would turn
+            // the low-id region into a near-clique and blow the index-size
+            // ratio far past the 4–8x the paper reports.
+            let r: f64 = rng.gen();
+            let v = if rng.gen::<f64>() < 0.25 {
+                ((r * r) * n as f64) as usize % n
+            } else {
+                (r * n as f64) as usize % n
+            };
+            set.insert(v as VertexId);
+        }
+        members.extend(set.iter().copied());
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                b.add_edge(members[i], members[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Planted-partition graph: `communities` equally-sized groups, intra-group
+/// edge probability `p_in`, inter-group probability `p_out`.
+pub fn planted_partition(n: usize, communities: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
+    assert!(communities >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_FFEE);
+    let mut b = GraphBuilder::new(n);
+    let group = |v: usize| v * communities / n.max(1);
+    for u in 0..n {
+        for v in u + 1..n {
+            let p = if group(u) == group(v) { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Extreme-skew, low-clustering mix: a few large stars whose leaves are
+/// wired by a sparse random matching (WikiTalk-like texture).
+pub fn star_forest_mix(n: usize, hubs: usize, extra_edges: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51A2);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    let hubs = hubs.clamp(1, n);
+    for v in hubs..n {
+        // Attach each non-hub to a random hub; hub 0 is by far the largest.
+        let h = if rng.gen::<f64>() < 0.5 { 0 } else { rng.gen_range(0..hubs) };
+        b.add_edge(v as VertexId, h as VertexId);
+    }
+    for _ in 0..extra_edges {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: a ring lattice where each vertex connects to
+/// its `k_half` neighbours on each side, with every edge rewired to a random
+/// endpoint with probability `beta`.
+pub fn watts_strogatz(n: usize, k_half: usize, beta: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5377);
+    let mut b = GraphBuilder::with_capacity(n, n * k_half);
+    if n < 3 {
+        return b.build();
+    }
+    for u in 0..n {
+        for d in 1..=k_half.min((n - 1) / 2) {
+            let v = (u + d) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform non-self endpoint.
+                let mut w = rng.gen_range(0..n);
+                let mut guard = 0;
+                while (w == u) && guard < 16 {
+                    w = rng.gen_range(0..n);
+                    guard += 1;
+                }
+                if w != u {
+                    b.add_edge(u as VertexId, w as VertexId);
+                }
+            } else {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Configuration-model graph with a truncated power-law degree sequence
+/// `P(d) ∝ d^(-gamma)` over `d ∈ [1, d_cap]`; half-edges are matched
+/// uniformly and collisions/self-loops dropped.
+pub fn powerlaw_configuration(n: usize, gamma: f64, d_cap: usize, seed: u64) -> Graph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(d_cap >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9_D15C);
+    // Inverse-CDF sampling over the truncated support.
+    let weights: Vec<f64> = (1..=d_cap).map(|d| (d as f64).powf(-gamma)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut stubs: Vec<VertexId> = Vec::new();
+    for v in 0..n {
+        let mut r = rng.gen::<f64>() * total;
+        let mut degree = d_cap;
+        for (i, w) in weights.iter().enumerate() {
+            if r < *w {
+                degree = i + 1;
+                break;
+            }
+            r -= w;
+        }
+        for _ in 0..degree {
+            stubs.push(v as VertexId);
+        }
+    }
+    stubs.shuffle(&mut rng);
+    let mut b = GraphBuilder::with_capacity(n, stubs.len() / 2);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            b.add_edge(pair[0], pair[1]);
+        }
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// A star with `n - 1` leaves around centre 0.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// The cycle `C_n`.
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    if n >= 3 {
+        for v in 0..n as VertexId {
+            b.add_edge(v, ((v as usize + 1) % n) as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// The path `P_n`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_determinism_and_bounds() {
+        let a = erdos_renyi(100, 0.05, 7);
+        let b = erdos_renyi(100, 0.05, 7);
+        assert_eq!(a.edges(), b.edges(), "same seed, same graph");
+        let c = erdos_renyi(100, 0.05, 8);
+        assert_ne!(a.edges(), c.edges(), "different seed, different graph");
+        // Expected m = p * C(100,2) = 247.5; allow generous slack.
+        let m = a.num_edges();
+        assert!(m > 120 && m < 400, "m = {m} out of plausible range");
+    }
+
+    #[test]
+    fn er_extremes() {
+        assert_eq!(erdos_renyi(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).num_edges(), 45);
+        assert_eq!(erdos_renyi(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(erdos_renyi(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn triangle_unrank_is_bijective() {
+        let n = 23u64;
+        let mut seen = std::collections::BTreeSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (u, v) = triangle_unrank(idx, n);
+            assert!(u < v && v < n, "bad pair ({u},{v}) at {idx}");
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn ba_is_connected_with_hubs() {
+        let g = barabasi_albert(500, 3, 13);
+        assert_eq!(g.num_vertices(), 500);
+        let (_, sizes) = crate::traversal::connected_components(&g);
+        assert_eq!(sizes.len(), 1, "BA graphs are connected");
+        assert!(g.max_degree() > 20, "preferential attachment grows hubs");
+    }
+
+    #[test]
+    fn rmat_within_target() {
+        let g = rmat(10, 8, RMAT_SOCIAL, 5);
+        assert!(g.num_vertices() <= 1024);
+        // Self-loops/duplicates shrink m below the target, never above.
+        assert!(g.num_edges() <= 1024 * 8);
+        assert!(g.num_edges() > 1024 * 4, "too many collisions");
+    }
+
+    #[test]
+    fn clique_overlap_has_triangles() {
+        let g = clique_overlap(200, 120, 6, 3);
+        assert!(crate::triangles::count_triangles(&g) > 50);
+    }
+
+    #[test]
+    fn planted_partition_is_assortative() {
+        let n = 60;
+        let g = planted_partition(n, 3, 0.5, 0.01, 9);
+        let group = |v: u32| v as usize * 3 / n;
+        let (mut intra, mut inter) = (0, 0);
+        for e in g.edges() {
+            if group(e.u) == group(e.v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 10 * inter.max(1) / 2, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn fixed_topologies() {
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(star(6).max_degree(), 5);
+        assert_eq!(cycle(7).num_edges(), 7);
+        assert_eq!(path(4).num_edges(), 3);
+        assert_eq!(cycle(2).num_edges(), 0, "no degenerate cycles");
+    }
+
+    #[test]
+    fn star_forest_mix_is_skewed() {
+        let g = star_forest_mix(2000, 5, 200, 21);
+        assert!(g.max_degree() > 300, "hub 0 dominates");
+        let tri = crate::triangles::count_triangles(&g);
+        assert!(tri < 3000, "low clustering expected, got {tri} triangles");
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 1);
+        assert_eq!(g.num_edges(), 40, "ring lattice has n*k_half edges");
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        // Lattices with k_half >= 2 are triangle-rich.
+        assert!(crate::triangles::count_triangles(&g) > 0);
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_breaks_regularity() {
+        let g = watts_strogatz(200, 3, 0.3, 2);
+        let degrees: std::collections::BTreeSet<usize> =
+            g.vertices().map(|v| g.degree(v)).collect();
+        assert!(degrees.len() > 1, "rewiring must create degree variance");
+        assert!(g.num_edges() <= 600);
+        let tiny = watts_strogatz(2, 1, 0.5, 0);
+        assert_eq!(tiny.num_edges(), 0);
+    }
+
+    #[test]
+    fn powerlaw_configuration_has_heavy_tail() {
+        let g = powerlaw_configuration(3000, 2.2, 100, 4);
+        let dmax = g.max_degree();
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(dmax as f64 > 8.0 * avg, "d_max {dmax} vs avg {avg}");
+        // Deterministic.
+        assert_eq!(
+            powerlaw_configuration(300, 2.2, 50, 9).edges(),
+            powerlaw_configuration(300, 2.2, 50, 9).edges()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn powerlaw_rejects_bad_gamma() {
+        let _ = powerlaw_configuration(10, 0.5, 10, 0);
+    }
+}

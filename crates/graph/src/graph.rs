@@ -1,0 +1,270 @@
+//! The immutable CSR graph.
+
+use crate::Edge;
+
+/// Vertex identifier: dense ids in `0..n`.
+pub type VertexId = u32;
+
+/// Edge identifier: dense ids in `0..m`, assigned in lexicographic order of
+/// the canonical `(min(u,v), max(u,v))` pairs.
+pub type EdgeId = u32;
+
+/// An immutable, undirected, simple graph in CSR form.
+///
+/// Adjacency lists are sorted, enabling `O(log d)` membership tests and
+/// linear-merge common-neighbourhood computation, which the ESD algorithms
+/// rely on throughout. Build instances with [`crate::GraphBuilder`] (which
+/// deduplicates edges and removes self-loops) or [`Graph::from_edges`].
+///
+/// # Examples
+///
+/// ```
+/// use esd_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.degree(2), 3);
+/// assert!(g.has_edge(0, 2));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists, length `2m`.
+    neighbors: Vec<VertexId>,
+    /// Canonical edges sorted by `(u, v)`; index = [`EdgeId`].
+    edges: Vec<Edge>,
+    /// For each vertex `u`, the first index into `edges` with smaller endpoint
+    /// `u`; length `n + 1`. Enables `O(log d)` edge-id lookups.
+    forward_offsets: Vec<usize>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list; convenience wrapper over
+    /// [`crate::GraphBuilder`]. Self-loops and duplicates are dropped.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut b = crate::GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Internal constructor used by the builder. `edges` must be canonical,
+    /// sorted, and deduplicated; endpoints must be `< n`.
+    pub(crate) fn from_sorted_canonical_edges(n: usize, edges: Vec<Edge>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        let mut degree = vec![0usize; n];
+        for e in &edges {
+            assert!((e.v as usize) < n, "edge {e} out of bounds for n = {n}");
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as VertexId; 2 * edges.len()];
+        // Edges are sorted by (u, v); a forward pass fills u's list in order,
+        // and v's list also ends up sorted because for fixed v the us arrive
+        // in increasing order... which is not guaranteed for the v side, so we
+        // sort each list afterwards only if needed. In fact the v-side lists
+        // *are* filled in increasing u order (edges sorted by u first), and
+        // u-side lists in increasing v order, but the two interleave, so a
+        // final per-list sort keeps this simple and O(m log d_max).
+        for e in &edges {
+            neighbors[cursor[e.u as usize]] = e.v;
+            cursor[e.u as usize] += 1;
+            neighbors[cursor[e.v as usize]] = e.u;
+            cursor[e.v as usize] += 1;
+        }
+        for u in 0..n {
+            neighbors[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        let mut forward_offsets = Vec::with_capacity(n + 1);
+        forward_offsets.push(0);
+        let mut idx = 0;
+        for u in 0..n as VertexId {
+            while idx < edges.len() && edges[idx].u == u {
+                idx += 1;
+            }
+            forward_offsets.push(idx);
+        }
+        Self {
+            offsets,
+            neighbors,
+            edges,
+            forward_offsets,
+        }
+    }
+
+    /// Number of vertices `n`.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sorted neighbour list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// `O(log d)` adjacency test.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Probe the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Canonical edge id of `(u, v)`, if present.
+    #[inline]
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        let e = Edge::new(u, v);
+        let lo = self.forward_offsets[e.u as usize];
+        let hi = self.forward_offsets[e.u as usize + 1];
+        self.edges[lo..hi]
+            .binary_search_by_key(&e.v, |edge| edge.v)
+            .ok()
+            .map(|pos| (lo + pos) as EdgeId)
+    }
+
+    /// The edge with id `id`.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id as usize]
+    }
+
+    /// All canonical edges in id order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Sorted common neighbourhood `N(u) ∩ N(v)` of an edge or vertex pair.
+    ///
+    /// This is the vertex set of the edge ego-network `G_{N(uv)}`
+    /// (Definition 1 of the paper).
+    pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        crate::intersect::intersect_adaptive(self.neighbors(u), self.neighbors(v))
+    }
+
+    /// Size of `N(u) ∩ N(v)` without materialising the set.
+    pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
+        crate::intersect::intersection_size(self.neighbors(u), self.neighbors(v))
+    }
+
+    /// Total bytes of the CSR payload (used by the Fig 6(a) size report).
+    pub fn byte_size(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.edges.len() * std::mem::size_of::<Edge>()
+            + self.forward_offsets.len() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn csr_layout() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.neighbors(3), &[2]);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn edge_ids_are_lexicographic() {
+        let g = triangle_plus_pendant();
+        // Canonical edges sorted: (0,1) (0,2) (1,2) (2,3)
+        assert_eq!(g.edge_id(1, 0), Some(0));
+        assert_eq!(g.edge_id(0, 2), Some(1));
+        assert_eq!(g.edge_id(2, 1), Some(2));
+        assert_eq!(g.edge_id(3, 2), Some(3));
+        assert_eq!(g.edge_id(0, 3), None);
+        assert_eq!(g.edge_id(1, 1), None);
+        for id in 0..g.num_edges() as EdgeId {
+            let e = g.edge(id);
+            assert_eq!(g.edge_id(e.u, e.v), Some(id));
+        }
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_edges_dropped() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Graph::from_edges(10, &[(3, 7)]);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.neighbors(5), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn common_neighbors_of_triangle_edge() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.common_neighbors(0, 1), vec![2]);
+        assert_eq!(g.common_neighbors(2, 3), Vec::<VertexId>::new());
+        assert_eq!(g.common_neighbor_count(0, 1), 1);
+    }
+
+    #[test]
+    fn vertex_set_grows_to_cover_endpoints() {
+        let g = Graph::from_edges(2, &[(0, 5)]);
+        assert_eq!(g.num_vertices(), 6);
+        assert!(g.has_edge(0, 5));
+    }
+}

@@ -1,0 +1,117 @@
+//! Graph statistics: the Table I columns plus arboricity bounds.
+
+use crate::ordering::DegeneracyOrder;
+use crate::Graph;
+
+/// Summary statistics of a graph (the columns of the paper's Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of vertices `n`.
+    pub n: usize,
+    /// Number of edges `m`.
+    pub m: usize,
+    /// Maximum degree `d_max`.
+    pub d_max: usize,
+    /// Degeneracy `δ` (max core number).
+    pub degeneracy: u32,
+    /// Lower bound on the arboricity `α`: `⌈m / (n - 1)⌉` on the densest
+    /// trivial witness (the whole graph); `α ≥ ⌈(δ+1)/2⌉` also holds.
+    pub arboricity_lower: u32,
+    /// Upper bound on the arboricity: `α ≤ δ` (a degeneracy ordering
+    /// partitions the edges into `δ` forests).
+    pub arboricity_upper: u32,
+}
+
+impl GraphStats {
+    /// Computes all statistics of `g` in `O(n + m)`.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let degeneracy = DegeneracyOrder::new(g).degeneracy;
+        let whole_graph_density = if n >= 2 {
+            ((m + n - 2) / (n - 1)) as u32 // ceil(m / (n-1))
+        } else {
+            0
+        };
+        let half_core = degeneracy.div_ceil(2).max(u32::from(m > 0));
+        Self {
+            n,
+            m,
+            d_max: g.max_degree(),
+            degeneracy,
+            arboricity_lower: whole_graph_density.max(half_core),
+            arboricity_upper: degeneracy.max(u32::from(m > 0)),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} d_max={} δ={} α∈[{},{}]",
+            self.n, self.m, self.d_max, self.degeneracy, self.arboricity_lower, self.arboricity_upper
+        )
+    }
+}
+
+/// `Σ_(u,v)∈E min(d(u), d(v))` — the Chiba–Nishizeki quantity bounded by
+/// `O(αm)`; this is the exact total size of all common neighbourhood arrays
+/// the ESDIndex may touch, reported next to the index size in Fig 6(a).
+pub fn sum_min_degree(g: &Graph) -> u64 {
+    g.edges()
+        .iter()
+        .map(|e| g.degree(e.u).min(g.degree(e.v)) as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn clique_stats() {
+        let g = generators::complete(6);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 6);
+        assert_eq!(s.m, 15);
+        assert_eq!(s.d_max, 5);
+        assert_eq!(s.degeneracy, 5);
+        // α(K6) = 3; the bounds must bracket it.
+        assert!(s.arboricity_lower <= 3 && 3 <= s.arboricity_upper);
+    }
+
+    #[test]
+    fn tree_stats() {
+        let g = generators::path(10);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.degeneracy, 1);
+        assert_eq!(s.arboricity_lower, 1);
+        assert_eq!(s.arboricity_upper, 1, "a tree is one forest");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let s = GraphStats::compute(&Graph::from_edges(0, &[]));
+        assert_eq!((s.n, s.m, s.d_max), (0, 0, 0));
+        let s1 = GraphStats::compute(&Graph::from_edges(1, &[]));
+        assert_eq!(s1.arboricity_upper, 0);
+    }
+
+    #[test]
+    fn sum_min_degree_on_star() {
+        // Star: every edge has min degree 1.
+        let g = generators::star(8);
+        assert_eq!(sum_min_degree(&g), 7);
+    }
+
+    #[test]
+    fn bounds_bracket_on_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::erdos_renyi(60, 0.15, seed);
+            let s = GraphStats::compute(&g);
+            assert!(s.arboricity_lower <= s.arboricity_upper, "{s}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Subgraph extraction and random sampling (the Exp-5 scalability workload).
+
+use crate::{Graph, GraphBuilder, VertexId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Subgraph induced by `keep` (sorted vertex ids are not required). Vertices
+/// are relabelled densely in the order given; returns the subgraph and the
+/// mapping `new id -> old id`.
+pub fn induced(g: &Graph, keep: &[VertexId]) -> (Graph, Vec<VertexId>) {
+    let mut new_id = vec![u32::MAX; g.num_vertices()];
+    for (i, &v) in keep.iter().enumerate() {
+        assert!(
+            new_id[v as usize] == u32::MAX,
+            "duplicate vertex {v} in induced set"
+        );
+        new_id[v as usize] = i as u32;
+    }
+    let mut b = GraphBuilder::new(keep.len());
+    for e in g.edges() {
+        let (nu, nv) = (new_id[e.u as usize], new_id[e.v as usize]);
+        if nu != u32::MAX && nv != u32::MAX {
+            b.add_edge(nu, nv);
+        }
+    }
+    (b.build(), keep.to_vec())
+}
+
+/// Keeps each edge independently with probability `fraction` (the paper's
+/// "randomly picking 20%–80% of the edges"). The vertex set is unchanged.
+pub fn sample_edges(g: &Graph, fraction: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A3B);
+    let mut b = GraphBuilder::new(g.num_vertices());
+    for e in g.edges() {
+        if rng.gen::<f64>() < fraction {
+            b.add_edge(e.u, e.v);
+        }
+    }
+    b.build()
+}
+
+/// Induces on a uniformly random `fraction` of the vertices (the paper's
+/// vertex-sampled scalability variant). Returns the relabelled subgraph.
+pub fn sample_vertices(g: &Graph, fraction: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E57);
+    let keep: Vec<VertexId> = g
+        .vertices()
+        .filter(|_| rng.gen::<f64>() < fraction)
+        .collect();
+    induced(g, &keep).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn induced_triangle() {
+        let g = generators::complete(5);
+        let (sub, map) = induced(&g, &[1, 3, 4]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(map, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn induced_empty_set() {
+        let g = generators::complete(4);
+        let (sub, _) = induced(&g, &[]);
+        assert_eq!(sub.num_vertices(), 0);
+        assert_eq!(sub.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn induced_rejects_duplicates() {
+        let g = generators::complete(4);
+        let _ = induced(&g, &[1, 1]);
+    }
+
+    #[test]
+    fn edge_sampling_extremes_and_ratio() {
+        let g = generators::erdos_renyi(200, 0.1, 1);
+        assert_eq!(sample_edges(&g, 0.0, 2).num_edges(), 0);
+        assert_eq!(sample_edges(&g, 1.0, 2).num_edges(), g.num_edges());
+        let half = sample_edges(&g, 0.5, 2);
+        let ratio = half.num_edges() as f64 / g.num_edges() as f64;
+        assert!((0.35..0.65).contains(&ratio), "ratio = {ratio}");
+        // Sampled edges are a subset of the original.
+        for e in half.edges() {
+            assert!(g.has_edge(e.u, e.v));
+        }
+    }
+
+    #[test]
+    fn vertex_sampling_shrinks_graph() {
+        let g = generators::barabasi_albert(300, 3, 4);
+        let half = sample_vertices(&g, 0.5, 3);
+        assert!(half.num_vertices() < g.num_vertices());
+        assert!(half.num_edges() < g.num_edges());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = generators::erdos_renyi(100, 0.2, 6);
+        assert_eq!(
+            sample_edges(&g, 0.4, 9).edges(),
+            sample_edges(&g, 0.4, 9).edges()
+        );
+    }
+}

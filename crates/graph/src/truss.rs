@@ -1,0 +1,204 @@
+//! k-truss decomposition.
+//!
+//! The trussness of an edge is the largest `k` such that the edge survives
+//! in the `k`-truss: the maximal subgraph where every edge closes at least
+//! `k − 2` triangles. The paper cites truss decomposition [10], [11] as the
+//! neighbouring cohesive-subgraph machinery; it shares the edge-support
+//! kernel with the common-neighbour upper bound, and the experiments use it
+//! as an additional edge-importance baseline.
+
+use crate::{triangles, Graph};
+
+/// Trussness of every edge (index = edge id) by support peeling in
+/// `O(m^1.5)`-ish time. Edges in no triangle get trussness 2.
+pub fn truss_decomposition(g: &Graph) -> Vec<u32> {
+    let m = g.num_edges();
+    let mut support: Vec<u32> = triangles::edge_support(g);
+    let max_support = support.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket queue over support values.
+    let mut bucket_start = vec![0usize; max_support + 2];
+    for &s in &support {
+        bucket_start[s as usize + 1] += 1;
+    }
+    for i in 1..bucket_start.len() {
+        bucket_start[i] += bucket_start[i - 1];
+    }
+    let mut pos = vec![0usize; m];
+    let mut order = vec![0u32; m];
+    {
+        let mut cursor = bucket_start.clone();
+        for e in 0..m {
+            let s = support[e] as usize;
+            pos[e] = cursor[s];
+            order[cursor[s]] = e as u32;
+            cursor[s] += 1;
+        }
+    }
+    let mut removed = vec![false; m];
+    let mut truss = vec![2u32; m];
+    let mut k = 2u32;
+
+    // Helper: decrement support of a live edge, keeping buckets consistent.
+    let decrement = |e: usize,
+                         support: &mut Vec<u32>,
+                         pos: &mut Vec<usize>,
+                         order: &mut Vec<u32>,
+                         bucket_start: &mut Vec<usize>,
+                         floor: usize| {
+        let s = support[e] as usize;
+        if s == 0 {
+            return;
+        }
+        // Swap e with the first edge of its bucket (not yet processed).
+        let front = bucket_start[s].max(floor);
+        let fe = order[front] as usize;
+        let pe = pos[e];
+        order.swap(front, pe);
+        pos[e] = front;
+        pos[fe] = pe;
+        bucket_start[s] = front + 1;
+        support[e] -= 1;
+    };
+
+    for i in 0..m {
+        let e = order[i] as usize;
+        let s = support[e];
+        k = k.max(s + 2);
+        truss[e] = k;
+        removed[e] = true;
+        // Remove e = (u, v): every triangle (u, v, w) loses this edge, so
+        // the other two edges lose one support.
+        let edge = g.edge(e as u32);
+        let (a, b) = if g.degree(edge.u) <= g.degree(edge.v) {
+            (edge.u, edge.v)
+        } else {
+            (edge.v, edge.u)
+        };
+        for &w in g.neighbors(a) {
+            if w == b {
+                continue;
+            }
+            let (Some(e1), Some(e2)) = (g.edge_id(a, w), g.edge_id(b, w)) else { continue };
+            if removed[e1 as usize] || removed[e2 as usize] {
+                continue;
+            }
+            // Only decrement edges not yet peeled (position after i).
+            if pos[e1 as usize] > i {
+                decrement(e1 as usize, &mut support, &mut pos, &mut order, &mut bucket_start, i + 1);
+            }
+            if pos[e2 as usize] > i {
+                decrement(e2 as usize, &mut support, &mut pos, &mut order, &mut bucket_start, i + 1);
+            }
+        }
+    }
+    truss
+}
+
+/// The maximum trussness over all edges (0 for an edgeless graph).
+pub fn max_trussness(g: &Graph) -> u32 {
+    truss_decomposition(g).into_iter().max().unwrap_or(0)
+}
+
+/// Edges of the `k`-truss: the maximal subgraph where every edge has
+/// trussness ≥ `k`.
+pub fn k_truss_edges(g: &Graph, k: u32) -> Vec<crate::Edge> {
+    truss_decomposition(g)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t >= k)
+        .map(|(e, _)| g.edge(e as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Reference implementation: iterate peeling without bucket tricks.
+    fn naive_truss(g: &Graph) -> Vec<u32> {
+        let m = g.num_edges();
+        let mut alive: Vec<bool> = vec![true; m];
+        let mut truss = vec![2u32; m];
+        let support = |g: &Graph, alive: &[bool], e: usize| -> u32 {
+            let edge = g.edge(e as u32);
+            g.common_neighbors(edge.u, edge.v)
+                .iter()
+                .filter(|&&w| {
+                    let e1 = g.edge_id(edge.u, w).unwrap() as usize;
+                    let e2 = g.edge_id(edge.v, w).unwrap() as usize;
+                    alive[e1] && alive[e2]
+                })
+                .count() as u32
+        };
+        let mut k = 2u32;
+        let mut remaining = m;
+        while remaining > 0 {
+            // Peel everything with support <= k-2, else bump k.
+            let mut peeled_any = true;
+            while peeled_any {
+                peeled_any = false;
+                for e in 0..m {
+                    if alive[e] && support(g, &alive, e) + 2 <= k {
+                        alive[e] = false;
+                        truss[e] = k;
+                        remaining -= 1;
+                        peeled_any = true;
+                    }
+                }
+            }
+            k += 1;
+        }
+        truss
+    }
+
+    #[test]
+    fn clique_trussness() {
+        // Every edge of K_n has trussness n.
+        for n in [3usize, 4, 5, 6] {
+            let g = generators::complete(n);
+            let t = truss_decomposition(&g);
+            assert!(t.iter().all(|&x| x == n as u32), "K{n}: {t:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_is_2_truss() {
+        let g = generators::cycle(8);
+        assert!(truss_decomposition(&g).iter().all(|&t| t == 2));
+        assert_eq!(max_trussness(&generators::star(6)), 2);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..6 {
+            let g = generators::erdos_renyi(30, 0.25, seed);
+            assert_eq!(truss_decomposition(&g), naive_truss(&g), "seed {seed}");
+        }
+        for seed in 0..3 {
+            let g = generators::clique_overlap(40, 30, 6, seed);
+            assert_eq!(truss_decomposition(&g), naive_truss(&g), "overlap seed {seed}");
+        }
+    }
+
+    #[test]
+    fn k_truss_is_nested() {
+        let g = generators::clique_overlap(60, 50, 6, 1);
+        let kmax = max_trussness(&g);
+        let mut prev = g.num_edges();
+        for k in 2..=kmax {
+            let edges = k_truss_edges(&g, k).len();
+            assert!(edges <= prev, "k-trusses must be nested");
+            prev = edges;
+        }
+        assert!(k_truss_edges(&g, kmax + 1).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert!(truss_decomposition(&g).is_empty());
+        assert_eq!(max_trussness(&g), 0);
+    }
+}

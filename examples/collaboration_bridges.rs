@@ -1,0 +1,70 @@
+//! The Fig 12 case study: what kind of edge does each ranking surface in a
+//! collaboration network?
+//!
+//! * **ESD** — strong cross-community collaborations: many shared
+//!   co-authors, split across several research areas.
+//! * **CN** — strong single-community ties: many shared co-authors, all in
+//!   one area.
+//! * **BT** — weak barbell bridges: few shared co-authors, but on many
+//!   shortest paths.
+//!
+//! Run with: `cargo run --release --example collaboration_bridges`
+
+use esd::core::baselines;
+use esd::core::score::{component_sizes, naive_topk};
+use esd::datasets::dblp_case::dblp_case;
+
+fn main() {
+    let case = dblp_case(6, 40, 3);
+    let g = &case.graph;
+    println!(
+        "collaboration network: {} authors, {} co-author edges, 6 areas",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let describe = |u: u32, v: u32| {
+        let members = g.common_neighbors(u, v);
+        let sizes = component_sizes(g, u, v);
+        let mut areas: Vec<usize> = members
+            .iter()
+            .map(|&w| case.area_of[w as usize])
+            .filter(|&a| a != usize::MAX)
+            .collect();
+        areas.sort_unstable();
+        areas.dedup();
+        format!(
+            "{} shared co-authors, {} context(s) {:?}, spanning {} area(s)",
+            members.len(),
+            sizes.len(),
+            sizes,
+            areas.len()
+        )
+    };
+
+    println!("\ntop-3 by edge structural diversity (τ = 2):");
+    for s in naive_topk(g, 3, 2) {
+        let planted = if case.bridges.contains(&s.edge) { "  [planted bridge]" } else { "" };
+        println!("  {}: score {}{planted}", s.edge, s.score);
+        println!("      {}", describe(s.edge.u, s.edge.v));
+    }
+
+    println!("\ntop-3 by common neighbours (CN):");
+    for s in baselines::topk_common_neighbors(g, 3) {
+        println!("  {}: {} common neighbours", s.edge, s.score);
+        println!("      {}", describe(s.edge.u, s.edge.v));
+    }
+
+    println!("\ntop-3 by edge betweenness (BT):");
+    for s in baselines::topk_betweenness_sampled(g, 3, 200, 11) {
+        let planted = if s.edge == case.barbell { "  [planted barbell]" } else { "" };
+        println!("  {}: betweenness {:.0}{planted}", s.edge, s.weight);
+        println!("      {}", describe(s.edge.u, s.edge.v));
+    }
+
+    println!(
+        "\nESD edges are strong ties spanning several communities; CN edges \
+         sit inside one community; BT edges are weak links between \
+         communities (few or no shared co-authors)."
+    );
+}

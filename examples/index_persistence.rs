@@ -1,0 +1,67 @@
+//! Build once, ship the index: the ESDX persistence workflow.
+//!
+//! A production deployment builds the ESDIndex offline, freezes it to the
+//! flat read-only form, writes it next to the graph, and serves queries
+//! from the loaded artifact — with checksummed loading that refuses
+//! corrupted files.
+//!
+//! Run with: `cargo run --release --example index_persistence`
+
+use esd::core::index::FrozenEsdIndex;
+use esd::core::EsdIndex;
+use esd::graph::generators;
+use std::time::Instant;
+
+fn main() {
+    let g = generators::clique_overlap(5_000, 4_000, 6, 7);
+    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+
+    // Offline: build + freeze + save.
+    let start = Instant::now();
+    let index = EsdIndex::build_fast(&g);
+    println!("built ESDIndex in {:?} ({} entries)", start.elapsed(), index.total_entries());
+    let frozen = index.freeze();
+    println!(
+        "frozen: {} bytes vs {} bytes treap form ({:.1}x smaller)",
+        frozen.byte_size(),
+        index.byte_size(),
+        index.byte_size() as f64 / frozen.byte_size() as f64
+    );
+    let path = std::env::temp_dir().join("esd_example.esdx");
+    frozen.save(&path).expect("save index");
+    println!("saved to {} ({} bytes on disk)", path.display(), std::fs::metadata(&path).unwrap().len());
+
+    // Online: load + serve.
+    let start = Instant::now();
+    let served = FrozenEsdIndex::load(&path).expect("load index");
+    println!("loaded in {:?}", start.elapsed());
+    let start = Instant::now();
+    let reps = 10_000;
+    let mut checksum = 0u64;
+    for i in 0..reps {
+        let tau = 1 + (i % 4) as u32;
+        for s in served.query_slice(10, tau) {
+            checksum = checksum.wrapping_add(s.edge.key());
+        }
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{reps} queries in {:?} ({:.2} µs/query, checksum {checksum:x})",
+        elapsed,
+        elapsed.as_secs_f64() * 1e6 / reps as f64
+    );
+    assert_eq!(served.query(10, 2), index.query(10, 2), "loaded == built");
+
+    // Corruption is rejected, never silently misread.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    let corrupted = std::env::temp_dir().join("esd_example_corrupt.esdx");
+    std::fs::write(&corrupted, &bytes).unwrap();
+    match FrozenEsdIndex::load(&corrupted) {
+        Err(e) => println!("corrupted copy rejected: {e}"),
+        Ok(_) => unreachable!("checksum must catch the flip"),
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&corrupted).ok();
+}

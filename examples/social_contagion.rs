@@ -1,0 +1,123 @@
+//! Social-contagion seeding — the application motivating the paper's
+//! introduction.
+//!
+//! Ugander et al. showed contagion probability tracks the number of distinct
+//! social contexts, not the raw neighbour count. This example seeds a
+//! context-threshold cascade from (a) the top structurally diverse edges and
+//! (b) the top common-neighbour edges — each edge seeds its endpoints plus
+//! their shared circle — and measures how many users and how many
+//! communities the cascade reaches. ESD edges hand the cascade footholds in
+//! several communities at once; CN edges concentrate the same budget in one.
+//!
+//! Run with: `cargo run --release --example social_contagion`
+
+use esd::core::baselines;
+use esd::core::online::{online_topk, UpperBound};
+use esd::datasets::dblp_case::dblp_case;
+use esd::graph::{Graph, VertexId};
+use std::collections::{HashSet, VecDeque};
+
+/// A threshold cascade where a vertex activates when its *active structural
+/// contexts* (components of its neighbourhood induced on active vertices)
+/// reach `theta` — the contagion model the structural-diversity literature
+/// argues for.
+fn cascade(g: &Graph, seeds: &[VertexId], theta: usize) -> HashSet<VertexId> {
+    let mut active: HashSet<VertexId> = seeds.iter().copied().collect();
+    let mut queue: VecDeque<VertexId> = seeds.iter().copied().collect();
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if active.contains(&w) {
+                continue;
+            }
+            let active_nbrs: Vec<VertexId> = g
+                .neighbors(w)
+                .iter()
+                .copied()
+                .filter(|x| active.contains(x))
+                .collect();
+            let contexts = esd::graph::traversal::induced_component_sizes(g, &active_nbrs).len();
+            if contexts >= theta {
+                active.insert(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    active
+}
+
+/// A campaign seeds a whole collaboration: an edge's endpoints plus their
+/// shared circle (the people who already talk to both).
+fn seed_set(g: &Graph, edges: &[esd::graph::Edge]) -> Vec<VertexId> {
+    let mut seeds = Vec::new();
+    for e in edges {
+        seeds.push(e.u);
+        seeds.push(e.v);
+        seeds.extend(g.common_neighbors(e.u, e.v));
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    seeds
+}
+
+fn main() {
+    // A community-structured collaboration network with organic bridges.
+    let case = dblp_case(8, 50, 5);
+    let g = &case.graph;
+    println!(
+        "social network: {} users, {} ties, 8 communities",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let budget = 2; // campaign budget: 2 edges and their shared circles
+    let theta = 2; // activation needs 2 distinct active contexts
+
+    let esd_edges: Vec<_> = online_topk(g, budget, 2, UpperBound::CommonNeighbor)
+        .iter()
+        .map(|s| s.edge)
+        .collect();
+    let cn_edges: Vec<_> = baselines::topk_common_neighbors(g, budget)
+        .iter()
+        .map(|s| s.edge)
+        .collect();
+    let esd_seeds = seed_set(g, &esd_edges);
+    let cn_seeds = seed_set(g, &cn_edges);
+    // Equalise budgets: trim the larger seed set to the smaller one's size.
+    let budget_users = esd_seeds.len().min(cn_seeds.len());
+    let esd_seeds = &esd_seeds[..budget_users];
+    let cn_seeds = &cn_seeds[..budget_users];
+
+    let areas_of = |active: &HashSet<VertexId>| {
+        let mut areas: Vec<usize> = active
+            .iter()
+            .map(|&v| case.area_of[v as usize])
+            .filter(|&a| a != usize::MAX)
+            .collect();
+        areas.sort_unstable();
+        areas.dedup();
+        areas.len()
+    };
+
+    let esd_active = cascade(g, esd_seeds, theta);
+    let cn_active = cascade(g, cn_seeds, theta);
+
+    println!(
+        "\nseeding {budget_users} users around {budget} edges, activation \
+         threshold θ = {theta}:"
+    );
+    println!(
+        "  structural-diversity seeds reach {:>4} users across {} communities",
+        esd_active.len(),
+        areas_of(&esd_active)
+    );
+    println!(
+        "  common-neighbour seeds reach     {:>4} users across {} communities",
+        cn_active.len(),
+        areas_of(&cn_active)
+    );
+    println!(
+        "\nESD seed edges span multiple communities, giving the cascade \
+         several independent contexts to build on; CN seeds concentrate in \
+         one dense circle."
+    );
+}

@@ -1,0 +1,61 @@
+//! Integration: every top-k algorithm in the workspace returns the same
+//! ranking on every dataset surrogate — naive scoring, both online variants,
+//! the three index builders, and the maintained index.
+
+use esd::core::online::{online_topk, UpperBound};
+use esd::core::score::naive_topk;
+use esd::core::{EsdIndex, MaintainedIndex};
+use esd::datasets::{load, specs, Scale};
+
+#[test]
+fn all_algorithms_agree_on_all_surrogates() {
+    for spec in specs() {
+        let g = load(spec.name, Scale::Tiny);
+        let basic = EsdIndex::build_basic(&g);
+        let fast = EsdIndex::build_fast(&g);
+        let parallel = EsdIndex::build_parallel(&g, 3);
+        let maintained = MaintainedIndex::new(&g);
+        for tau in [1, 2, 3, 5] {
+            let reference = naive_topk(&g, 25, tau);
+            let label = format!("{} τ={tau}", spec.name);
+            assert_eq!(
+                online_topk(&g, 25, tau, UpperBound::MinDegree),
+                reference,
+                "OnlineBFS diverged on {label}"
+            );
+            assert_eq!(
+                online_topk(&g, 25, tau, UpperBound::CommonNeighbor),
+                reference,
+                "OnlineBFS+ diverged on {label}"
+            );
+            assert_eq!(basic.query(25, tau), reference, "ESDIndex diverged on {label}");
+            assert_eq!(fast.query(25, tau), reference, "ESDIndex+ diverged on {label}");
+            assert_eq!(parallel.query(25, tau), reference, "PESDIndex+ diverged on {label}");
+            assert_eq!(maintained.query(25, tau), reference, "maintained diverged on {label}");
+        }
+    }
+}
+
+#[test]
+fn agreement_survives_an_update_burst() {
+    let g = load("dblp", Scale::Tiny);
+    let mut maintained = MaintainedIndex::new(&g);
+    // Delete the current top-10 edges at τ=2, then reinsert them in reverse.
+    let victims = maintained.query(10, 2);
+    for s in &victims {
+        assert!(maintained.remove_edge(s.edge.u, s.edge.v));
+    }
+    for s in victims.iter().rev() {
+        assert!(maintained.insert_edge(s.edge.u, s.edge.v));
+    }
+    let snapshot = maintained.graph().to_graph();
+    let rebuilt = EsdIndex::build_fast(&snapshot);
+    for tau in [1, 2, 3] {
+        assert_eq!(maintained.query(50, tau), rebuilt.query(50, tau), "τ={tau}");
+        assert_eq!(
+            maintained.query(50, tau),
+            online_topk(&snapshot, 50, tau, UpperBound::CommonNeighbor),
+            "online on the mutated graph, τ={tau}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration: property-based invariants of the ESDIndex across random
+//! graph models and a long randomized maintenance soak test.
+
+use esd::core::score::{edge_score, score_from_sizes};
+use esd::core::{EsdIndex, MaintainedIndex};
+use esd::graph::{generators, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+fn random_graph(model: u8, n: usize, seed: u64) -> Graph {
+    match model % 4 {
+        0 => generators::erdos_renyi(n, 0.15, seed),
+        1 => generators::barabasi_albert(n, 3, seed),
+        2 => generators::clique_overlap(n, n, 5, seed),
+        _ => generators::planted_partition(n, 3, 0.3, 0.02, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// H(c) lists are nested (`H(c) ⊇ H(c')` for `c < c'`) and every stored
+    /// entry carries the exact score at its threshold.
+    #[test]
+    fn index_invariants(model in 0u8..4, n in 10usize..45, seed in 0u64..1000) {
+        let g = random_graph(model, n, seed);
+        let index = EsdIndex::build_fast(&g);
+        let sizes = index.component_sizes().to_vec();
+        for w in sizes.windows(2) {
+            prop_assert!(index.list_len(w[0]).unwrap() >= index.list_len(w[1]).unwrap(),
+                "H({}) must contain H({})", w[0], w[1]);
+        }
+        for &c in &sizes {
+            let len = index.list_len(c).unwrap();
+            let full = index.query(len, c);
+            prop_assert_eq!(full.len(), len);
+            for s in &full {
+                prop_assert_eq!(s.score, edge_score(&g, s.edge.u, s.edge.v, c),
+                    "stored score must be exact at τ=c");
+                prop_assert!(s.score > 0);
+            }
+            // Ranking is non-increasing.
+            for w in full.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+
+    /// Queries for every τ agree with scoring from the component multisets.
+    #[test]
+    fn query_consistent_with_component_sizes(model in 0u8..4, n in 10usize..40, seed in 0u64..500, tau in 1u32..7) {
+        let g = random_graph(model, n, seed);
+        let index = EsdIndex::build_fast(&g);
+        let got = index.query(g.num_edges(), tau);
+        for s in &got {
+            let sizes = esd::core::score::component_sizes(&g, s.edge.u, s.edge.v);
+            prop_assert_eq!(s.score, score_from_sizes(&sizes, tau));
+        }
+        // Completeness: every positive-score edge is reported.
+        let positive = g.edges().iter()
+            .filter(|e| edge_score(&g, e.u, e.v, tau) > 0)
+            .count();
+        prop_assert_eq!(got.len(), positive);
+    }
+}
+
+/// Long soak: hundreds of random updates on a mid-sized graph with periodic
+/// full consistency checks against a from-scratch rebuild.
+#[test]
+fn maintenance_soak() {
+    let g = generators::clique_overlap(60, 50, 5, 0xBEEF);
+    let mut index = MaintainedIndex::new(&g);
+    let mut rng = StdRng::seed_from_u64(0x50AC);
+    for round in 0..10 {
+        for _ in 0..40 {
+            let (a, b) = (rng.gen_range(0..60u32), rng.gen_range(0..60u32));
+            if a == b {
+                continue;
+            }
+            if rng.gen_bool(0.55) {
+                index.insert_edge(a, b);
+            } else {
+                index.remove_edge(a, b);
+            }
+        }
+        index.check_consistency();
+        let _ = round;
+    }
+}
+
+/// Deleting a vertex = deleting all its incident edges (as the paper notes,
+/// vertex updates reduce to edge updates).
+#[test]
+fn vertex_removal_via_edge_deletions() {
+    let g = generators::clique_overlap(40, 40, 5, 7);
+    let mut index = MaintainedIndex::new(&g);
+    let victim = (0..40u32)
+        .max_by_key(|&v| g.degree(v))
+        .expect("non-empty graph");
+    for &w in g.neighbors(victim) {
+        assert!(index.remove_edge(victim, w));
+    }
+    index.check_consistency();
+    assert_eq!(index.graph().degree(victim), 0);
+}

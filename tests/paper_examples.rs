@@ -1,0 +1,112 @@
+//! Integration: the paper's worked examples, end to end through the facade.
+
+use esd::core::fixtures::fig1;
+use esd::core::online::{online_topk, UpperBound};
+use esd::core::score::edge_score;
+use esd::core::{EsdIndex, MaintainedIndex};
+use esd::graph::Edge;
+
+/// Example 3: top-3 at τ = 2 are {(f,g), (h,i), (j,k)}, all scoring 2.
+#[test]
+fn example_3_tau_2() {
+    let (g, n) = fig1();
+    let index = EsdIndex::build_fast(&g);
+    let mut edges: Vec<Edge> = index.query(3, 2).iter().map(|s| s.edge).collect();
+    edges.sort_unstable();
+    let mut expect = vec![
+        Edge::new(n["f"], n["g"]),
+        Edge::new(n["h"], n["i"]),
+        Edge::new(n["j"], n["k"]),
+    ];
+    expect.sort_unstable();
+    assert_eq!(edges, expect);
+}
+
+/// Example 3: top-3 at τ = 5 are {(u,p), (u,q), (p,q)}.
+#[test]
+fn example_3_tau_5() {
+    let (g, n) = fig1();
+    let top = online_topk(&g, 3, 5, UpperBound::MinDegree);
+    let mut edges: Vec<Edge> = top.iter().map(|s| s.edge).collect();
+    edges.sort_unstable();
+    let mut expect = vec![
+        Edge::new(n["u"], n["p"]),
+        Edge::new(n["u"], n["q"]),
+        Edge::new(n["p"], n["q"]),
+    ];
+    expect.sort_unstable();
+    assert_eq!(edges, expect);
+    assert!(top.iter().all(|s| s.score == 1));
+}
+
+/// Example 4 / Fig 2: the ESDIndex structure of Fig 1(a).
+#[test]
+fn example_4_index_shape() {
+    let (g, _) = fig1();
+    let index = EsdIndex::build_fast(&g);
+    assert_eq!(index.component_sizes(), &[1, 2, 4, 5]);
+    assert_eq!(index.list_len(1), Some(40));
+    assert_eq!(index.list_len(4), Some(15));
+    assert_eq!(index.list_len(5), Some(3));
+}
+
+/// Example 5: querying (k=3, τ=2) routes to H(2) and returns score-2 edges.
+#[test]
+fn example_5_query() {
+    let (g, _) = fig1();
+    let index = EsdIndex::build_fast(&g);
+    let top = index.query(3, 2);
+    assert_eq!(top.len(), 3);
+    assert!(top.iter().all(|s| s.score == 2));
+}
+
+/// Example 6: inserting (c,d) merges (d,e)'s ego-network into one component.
+#[test]
+fn example_6_insertion() {
+    let (g, n) = fig1();
+    assert_eq!(edge_score(&g, n["d"], n["e"], 1), 2, "{{b}} and {{f,g}} before");
+    let mut index = MaintainedIndex::new(&g);
+    index.insert_edge(n["c"], n["d"]);
+    let g2 = index.graph().to_graph();
+    assert_eq!(edge_score(&g2, n["d"], n["e"], 1), 1, "one component after");
+    assert_eq!(edge_score(&g2, n["d"], n["e"], 4), 1, "…of size 4: {{b,c,f,g}}");
+}
+
+/// Example 7: deleting (u,k) creates H(3); (j,k) gets components {h,i}, {v,p,q}.
+#[test]
+fn example_7_deletion() {
+    let (g, n) = fig1();
+    let mut index = MaintainedIndex::new(&g);
+    index.remove_edge(n["u"], n["k"]);
+    assert!(index.component_sizes().contains(&3));
+    let g2 = index.graph().to_graph();
+    assert_eq!(
+        esd::core::score::component_sizes(&g2, n["j"], n["k"]),
+        vec![2, 3]
+    );
+    // τ=3 queries now route to H(3); (j,k) scores 1 there.
+    let q = index.query(100, 3);
+    assert!(q
+        .iter()
+        .any(|s| s.edge == Edge::new(n["j"], n["k"]) && s.score == 1));
+}
+
+/// Theorem 4 case 2: τ between two sizes of C routes to the next list up.
+#[test]
+fn query_routing_theorem_4() {
+    let (g, _) = fig1();
+    let index = EsdIndex::build_fast(&g);
+    // C = {1,2,4,5}: τ=3 behaves exactly like τ=4.
+    assert_eq!(index.query(50, 3), index.query(50, 4));
+    let (g2, n) = fig1();
+    for e in g2.edges() {
+        assert_eq!(
+            edge_score(&g2, e.u, e.v, 3),
+            edge_score(&g2, e.u, e.v, 4),
+            "no edge distinguishes τ=3 from τ=4 in Fig 1 ({}, {})",
+            e.u,
+            e.v
+        );
+    }
+    let _ = n;
+}

@@ -1,0 +1,77 @@
+//! Integration: the paper's analytical bounds, checked as executable
+//! invariants on the Small-scale surrogates (larger than the unit-test
+//! graphs, still fast enough for every CI run).
+
+use esd::core::online::{online_topk, UpperBound};
+use esd::core::EsdIndex;
+use esd::datasets::{load, specs, Scale};
+use esd::graph::metrics;
+
+/// Theorem 3: total index entries ≤ Σ min(d(u), d(v)) = O(αm).
+#[test]
+fn theorem_3_space_bound_on_all_surrogates() {
+    for spec in specs() {
+        let g = load(spec.name, Scale::Small);
+        let index = EsdIndex::build_fast(&g);
+        let bound = metrics::sum_min_degree(&g);
+        assert!(
+            (index.total_entries() as u64) <= bound,
+            "{}: {} entries vs bound {}",
+            spec.name,
+            index.total_entries(),
+            bound
+        );
+    }
+}
+
+/// H(c) nesting and score monotonicity across the whole C of a real
+/// surrogate: |H(c)| is non-increasing in c, and the top score at c is
+/// non-increasing too.
+#[test]
+fn list_nesting_on_surrogates() {
+    for name in ["Youtube", "Pokec"] {
+        let g = load(name, Scale::Small);
+        let index = EsdIndex::build_fast(&g);
+        let sizes = index.component_sizes().to_vec();
+        let mut prev_len = usize::MAX;
+        let mut prev_top = u32::MAX;
+        for &c in &sizes {
+            let len = index.list_len(c).unwrap();
+            assert!(len <= prev_len, "{name}: |H({c})| grew");
+            prev_len = len;
+            let top = index.query(1, c).first().map(|s| s.score).unwrap_or(0);
+            assert!(top <= prev_top, "{name}: top score grew at c={c}");
+            prev_top = top;
+        }
+    }
+}
+
+/// The headline agreement at a scale where pruning actually engages:
+/// OnlineBFS+ == IndexSearch on a Small surrogate at the default (k, τ).
+#[test]
+fn agreement_at_small_scale() {
+    let g = load("LiveJournal", Scale::Small);
+    let index = EsdIndex::build_fast(&g);
+    let online = online_topk(&g, 100, 3, UpperBound::CommonNeighbor);
+    assert_eq!(index.query(100, 3), online);
+    assert!(!online.is_empty());
+}
+
+/// Query latency is flat in τ (Fig 8's robustness claim), asserted
+/// structurally: every τ routes to some list and the result sizes shrink
+/// monotonically.
+#[test]
+fn tau_routing_is_total() {
+    let g = load("DBLP", Scale::Small);
+    let index = EsdIndex::build_fast(&g);
+    let max_c = *index.component_sizes().last().unwrap();
+    let mut prev = usize::MAX;
+    for tau in 1..=max_c + 2 {
+        let n = index.query(usize::MAX, tau).len();
+        assert!(n <= prev, "result count grew at τ={tau}");
+        prev = n;
+        if tau > max_c {
+            assert_eq!(n, 0);
+        }
+    }
+}
