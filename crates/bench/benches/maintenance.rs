@@ -12,7 +12,12 @@ fn bench_maintenance(c: &mut Criterion) {
     for name in ["Youtube", "DBLP"] {
         let g = load(name, Scale::Tiny);
         let mut index = MaintainedIndex::new(&g);
-        let edges: Vec<_> = g.edges().iter().step_by(g.num_edges() / 64 + 1).copied().collect();
+        let edges: Vec<_> = g
+            .edges()
+            .iter()
+            .step_by(g.num_edges() / 64 + 1)
+            .copied()
+            .collect();
         group.bench_with_input(BenchmarkId::new("delete_reinsert", name), &(), |b, _| {
             let mut i = 0;
             b.iter(|| {
@@ -28,7 +33,12 @@ fn bench_maintenance(c: &mut Criterion) {
 
 fn bench_batch_vs_sequential(c: &mut Criterion) {
     let g = load("DBLP", Scale::Tiny);
-    let edges: Vec<_> = g.edges().iter().step_by(g.num_edges() / 32 + 1).copied().collect();
+    let edges: Vec<_> = g
+        .edges()
+        .iter()
+        .step_by(g.num_edges() / 32 + 1)
+        .copied()
+        .collect();
     let mut group = c.benchmark_group("maintenance_batch");
     group.sample_size(10);
     group.bench_function("sequential_32_pairs", |b| {
@@ -47,7 +57,11 @@ fn bench_batch_vs_sequential(c: &mut Criterion) {
         let updates: Vec<esd_core::maintain::GraphUpdate> = edges
             .iter()
             .map(|e| esd_core::maintain::GraphUpdate::Remove(e.u, e.v))
-            .chain(edges.iter().map(|e| esd_core::maintain::GraphUpdate::Insert(e.u, e.v)))
+            .chain(
+                edges
+                    .iter()
+                    .map(|e| esd_core::maintain::GraphUpdate::Insert(e.u, e.v)),
+            )
             .collect();
         b.iter(|| index.apply_batch(&updates))
     });
@@ -58,9 +72,16 @@ fn bench_bootstrap(c: &mut Criterion) {
     let g = load("Youtube", Scale::Tiny);
     let mut group = c.benchmark_group("maintenance_bootstrap");
     group.sample_size(10);
-    group.bench_function("MaintainedIndex_new", |b| b.iter(|| MaintainedIndex::new(&g)));
+    group.bench_function("MaintainedIndex_new", |b| {
+        b.iter(|| MaintainedIndex::new(&g))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_maintenance, bench_batch_vs_sequential, bench_bootstrap);
+criterion_group!(
+    benches,
+    bench_maintenance,
+    bench_batch_vs_sequential,
+    bench_bootstrap
+);
 criterion_main!(benches);

@@ -39,7 +39,10 @@ fn bench_intersect(c: &mut Criterion) {
 fn bench_treap(c: &mut Criterion) {
     let mut group = c.benchmark_group("treap");
     let keys: Vec<RankKey> = (0..10_000u32)
-        .map(|i| RankKey { score: i % 97, edge: Edge::new(i, i + 1) })
+        .map(|i| RankKey {
+            score: i % 97,
+            edge: Edge::new(i, i + 1),
+        })
         .collect();
     group.bench_function("insert_10k", |b| {
         b.iter(|| {
@@ -80,12 +83,20 @@ fn bench_cliques(c: &mut Criterion) {
     let mut group = c.benchmark_group("cliques");
     group.sample_size(10);
     let g = generators::clique_overlap(2_000, 1_600, 6, 3);
-    group.bench_function("four_cliques", |b| b.iter(|| cliques::count_four_cliques(&g)));
+    group.bench_function("four_cliques", |b| {
+        b.iter(|| cliques::count_four_cliques(&g))
+    });
     group.bench_function("triangles", |b| {
         b.iter(|| esd_graph::triangles::count_triangles(&g))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_intersect, bench_treap, bench_dsu, bench_cliques);
+criterion_group!(
+    benches,
+    bench_intersect,
+    bench_treap,
+    bench_dsu,
+    bench_cliques
+);
 criterion_main!(benches);

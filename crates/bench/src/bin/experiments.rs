@@ -65,8 +65,19 @@ fn main() {
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
-            "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "case_dblp",
-            "case_words", "ablation", "churn", "serve",
+            "table1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "case_dblp",
+            "case_words",
+            "ablation",
+            "churn",
+            "serve",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -86,7 +97,10 @@ fn main() {
             "fig11" => fig11(scale),
             "case_dblp" => case_dblp(),
             "case_words" => case_words(),
-            "ablation" => { ablation(scale); ablation_topk(scale); }
+            "ablation" => {
+                ablation(scale);
+                ablation_topk(scale);
+            }
             "churn" => churn(scale),
             "serve" => serve(scale),
             other => eprintln!("unknown experiment {other:?} — skipping"),
@@ -98,7 +112,15 @@ fn main() {
 fn table1(scale: Scale) {
     println!("## Table I — datasets (surrogates at {scale:?} scale vs the paper's originals)\n");
     let mut t = TextTable::new(&[
-        "Dataset", "n", "m", "d_max", "δ", "paper n", "paper m", "paper d_max", "paper δ",
+        "Dataset",
+        "n",
+        "m",
+        "d_max",
+        "δ",
+        "paper n",
+        "paper m",
+        "paper d_max",
+        "paper δ",
     ]);
     for spec in specs() {
         let g = load(spec.name, scale);
@@ -123,7 +145,11 @@ fn run_online(
     k: usize,
     tau: u32,
     which: UpperBound,
-) -> (Vec<esd_core::ScoredEdge>, esd_core::online::OnlineStats, Duration) {
+) -> (
+    Vec<esd_core::ScoredEdge>,
+    esd_core::online::OnlineStats,
+    Duration,
+) {
     let ((r, s), d) = time(|| online_topk_with_stats(g, k, tau, which));
     (r, s, d)
 }
@@ -134,7 +160,12 @@ fn fig5(scale: Scale) {
     for name in ["Pokec", "LiveJournal"] {
         let g = load(name, scale);
         let mut t = TextTable::new(&[
-            "k (τ=3)", "OnlineBFS", "OnlineBFS+", "speedup", "exact evals BFS", "exact evals BFS+",
+            "k (τ=3)",
+            "OnlineBFS",
+            "OnlineBFS+",
+            "speedup",
+            "exact evals BFS",
+            "exact evals BFS+",
         ]);
         for k in KS {
             let (r1, s1, d1) = run_online(&g, k, DEFAULT_TAU, UpperBound::MinDegree);
@@ -149,7 +180,11 @@ fn fig5(scale: Scale) {
                 s2.exact_evaluations.to_string(),
             ]);
         }
-        emit(&format!("fig5_{name}_k"), &format!("### {name}, varying k"), &t);
+        emit(
+            &format!("fig5_{name}_k"),
+            &format!("### {name}, varying k"),
+            &t,
+        );
 
         let mut t = TextTable::new(&["τ (k=100)", "OnlineBFS", "OnlineBFS+", "speedup"]);
         for tau in TAUS {
@@ -162,14 +197,25 @@ fn fig5(scale: Scale) {
                 format!("{:.1}x", d1.as_secs_f64() / d2.as_secs_f64().max(1e-9)),
             ]);
         }
-        emit(&format!("fig5_{name}_tau"), &format!("### {name}, varying τ"), &t);
+        emit(
+            &format!("fig5_{name}_tau"),
+            &format!("### {name}, varying τ"),
+            &t,
+        );
     }
 }
 
 /// Fig 6: (a) index vs graph size; (b) ESDIndex vs ESDIndex+ build time.
 fn fig6(scale: Scale) {
     println!("## Fig 6 — ESDIndex size and construction time\n");
-    let mut ta = TextTable::new(&["Dataset", "graph size", "index size", "ratio", "entries", "|C|"]);
+    let mut ta = TextTable::new(&[
+        "Dataset",
+        "graph size",
+        "index size",
+        "ratio",
+        "entries",
+        "|C|",
+    ]);
     let mut tb = TextTable::new(&[
         "Dataset",
         "ESDIndex (Alg 2)",
@@ -192,7 +238,10 @@ fn fig6(scale: Scale) {
             spec.name.into(),
             fmt_bytes(g.byte_size()),
             fmt_bytes(index_fast.byte_size()),
-            format!("{:.1}x", index_fast.byte_size() as f64 / g.byte_size() as f64),
+            format!(
+                "{:.1}x",
+                index_fast.byte_size() as f64 / g.byte_size() as f64
+            ),
             index_fast.total_entries().to_string(),
             index_fast.num_lists().to_string(),
         ]);
@@ -200,13 +249,20 @@ fn fig6(scale: Scale) {
             spec.name.into(),
             fmt_duration(d_basic),
             fmt_duration(d_fast),
-            format!("{:.1}x", d_basic.as_secs_f64() / d_fast.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                d_basic.as_secs_f64() / d_fast.as_secs_f64().max(1e-9)
+            ),
             format!("{} / {}", fmt_duration(d_comp_bfs), fmt_duration(d_comp_fc)),
             fmt_duration(d_fill),
         ]);
     }
     emit("fig6a", "### (a) index size vs graph size", &ta);
-    emit("fig6b", "### (b) construction time (components phase + shared fill)", &tb);
+    emit(
+        "fig6b",
+        "### (b) construction time (components phase + shared fill)",
+        &tb,
+    );
 }
 
 /// Fig 7: PESDIndex+ speedup with increasing thread count.
@@ -215,13 +271,18 @@ fn fig7(scale: Scale) {
     println!(
         "note: this machine exposes {} CPU core(s); wall-clock speedup is\n\
          hardware-capped, so per-worker balance is reported alongside.\n",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     );
     for name in ["Pokec", "LiveJournal"] {
         let g = load(name, scale);
         let (_, base) = time(|| EsdIndex::build_fast(&g));
         let mut t = TextTable::new(&[
-            "threads", "PESDIndex+ time", "speedup vs Alg 3", "cliques/worker (min..max)",
+            "threads",
+            "PESDIndex+ time",
+            "speedup vs Alg 3",
+            "cliques/worker (min..max)",
         ]);
         for threads in [1usize, 2, 4, 8, 16, 20] {
             let ((_, report), d) = time(|| EsdIndex::build_parallel_with_report(&g, threads));
@@ -269,7 +330,11 @@ fn fig8(scale: Scale) {
                 format!("{:.0}x", d_on.as_secs_f64() / d_ix.as_secs_f64().max(1e-9)),
             ]);
         }
-        emit(&format!("fig8_{}", spec.name), &format!("### {}", spec.name), &t);
+        emit(
+            &format!("fig8_{}", spec.name),
+            &format!("### {}", spec.name),
+            &t,
+        );
     }
 }
 
@@ -285,7 +350,11 @@ fn fig9(scale: Scale) {
     for (label, sample) in samplers {
         let mut t = TextTable::new(&["fraction", "m", "OnlineBFS+", "index build", "IndexSearch"]);
         for pct in [20, 40, 60, 80, 100] {
-            let sub = if pct == 100 { g.clone() } else { sample(&g, pct as f64 / 100.0, 0x5CA1E) };
+            let sub = if pct == 100 {
+                g.clone()
+            } else {
+                sample(&g, pct as f64 / 100.0, 0x5CA1E)
+            };
             let (_, _, d_on) = run_online(&sub, DEFAULT_K, DEFAULT_TAU, UpperBound::CommonNeighbor);
             let (index, d_build) = time(|| EsdIndex::build_fast(&sub));
             let (_, d_ix) = time(|| index.query(DEFAULT_K, DEFAULT_TAU));
@@ -297,7 +366,11 @@ fn fig9(scale: Scale) {
                 fmt_duration(d_ix),
             ]);
         }
-        emit(&format!("fig9_{label}"), &format!("### sampling {label}"), &t);
+        emit(
+            &format!("fig9_{label}"),
+            &format!("### sampling {label}"),
+            &t,
+        );
     }
 }
 
@@ -307,7 +380,11 @@ fn fig10(scale: Scale) {
     let g = load("LiveJournal", scale);
     let mut t = TextTable::new(&["fraction", "m", "t=1", "t=20", "speedup"]);
     for pct in [20, 40, 60, 80, 100] {
-        let sub = if pct == 100 { g.clone() } else { subgraph::sample_edges(&g, pct as f64 / 100.0, 0x5CA1E) };
+        let sub = if pct == 100 {
+            g.clone()
+        } else {
+            subgraph::sample_edges(&g, pct as f64 / 100.0, 0x5CA1E)
+        };
         let (_, d1) = time(|| EsdIndex::build_parallel(&sub, 1));
         let (_, d20) = time(|| EsdIndex::build_parallel(&sub, 20));
         t.row(vec![
@@ -324,7 +401,13 @@ fn fig10(scale: Scale) {
 /// Fig 11: average time of 1000 edge insertions and deletions per dataset.
 fn fig11(scale: Scale) {
     println!("## Fig 11 — index maintenance (1000 insertions / 1000 deletions)\n");
-    let mut t = TextTable::new(&["Dataset", "avg Insertion", "avg Deletion", "full build", "build / deletion"]);
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "avg Insertion",
+        "avg Deletion",
+        "full build",
+        "build / deletion",
+    ]);
     for spec in specs() {
         let g = load(spec.name, scale);
         let (_, d_build) = time(|| EsdIndex::build_fast(&g));
@@ -354,7 +437,10 @@ fn fig11(scale: Scale) {
             fmt_duration(ins / performed.max(1)),
             fmt_duration(avg_del),
             fmt_duration(d_build),
-            format!("{:.0}x", d_build.as_secs_f64() / avg_del.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.0}x",
+                d_build.as_secs_f64() / avg_del.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     emit("fig11", "", &t);
@@ -366,7 +452,14 @@ fn case_dblp() {
     let case = dblp_case(6, 40, 3);
     let g = &case.graph;
     let index = EsdIndex::build_fast(g);
-    let mut t = TextTable::new(&["method", "rank", "edge", "common nbrs", "components", "areas spanned"]);
+    let mut t = TextTable::new(&[
+        "method",
+        "rank",
+        "edge",
+        "common nbrs",
+        "components",
+        "areas spanned",
+    ]);
     let describe = |u: u32, v: u32| {
         let members = g.common_neighbors(u, v);
         let sizes = esd_core::score::component_sizes(g, u, v);
@@ -393,10 +486,16 @@ fn case_dblp() {
     for (rank, s) in index.query(2, 2).iter().enumerate() {
         add("ESD", rank, s.edge.u, s.edge.v);
     }
-    for (rank, s) in esd_core::baselines::topk_common_neighbors(g, 2).iter().enumerate() {
+    for (rank, s) in esd_core::baselines::topk_common_neighbors(g, 2)
+        .iter()
+        .enumerate()
+    {
         add("CN", rank, s.edge.u, s.edge.v);
     }
-    for (rank, s) in esd_core::baselines::topk_betweenness(g, 2).iter().enumerate() {
+    for (rank, s) in esd_core::baselines::topk_betweenness(g, 2)
+        .iter()
+        .enumerate()
+    {
         add("BT", rank, s.edge.u, s.edge.v);
     }
     emit("fig12", "", &t);
@@ -405,8 +504,18 @@ fn case_dblp() {
     if let Some(Some(dir)) = CSV_DIR.get().map(|d| d.as_ref()) {
         for (method, edge) in [
             ("esd", index.query(1, 2).first().map(|s| s.edge)),
-            ("cn", esd_core::baselines::topk_common_neighbors(g, 1).first().map(|s| s.edge)),
-            ("bt", esd_core::baselines::topk_betweenness(g, 1).first().map(|s| s.edge)),
+            (
+                "cn",
+                esd_core::baselines::topk_common_neighbors(g, 1)
+                    .first()
+                    .map(|s| s.edge),
+            ),
+            (
+                "bt",
+                esd_core::baselines::topk_betweenness(g, 1)
+                    .first()
+                    .map(|s| s.edge),
+            ),
         ] {
             if let Some(e) = edge {
                 let dot = esd_graph::dot::ego_network_dot(g, e.u, e.v, |_| None);
@@ -438,7 +547,11 @@ fn case_words() {
         );
         let members = net.graph.common_neighbors(s.edge.u, s.edge.v);
         let sizes = esd_core::score::component_sizes(&net.graph, s.edge.u, s.edge.v);
-        println!("  {} shared words in components of sizes {:?}", members.len(), sizes);
+        println!(
+            "  {} shared words in components of sizes {:?}",
+            members.len(),
+            sizes
+        );
     }
     println!(
         "\nreading: each ego-network component of (\"bank\", \"money\") is a\n\
@@ -455,7 +568,11 @@ fn ablation(scale: Scale) {
 
     // (a) Treap lists vs frozen flat lists: query latency and memory.
     let mut ta = TextTable::new(&[
-        "Dataset", "treap query k=100", "frozen query k=100", "treap bytes", "frozen bytes",
+        "Dataset",
+        "treap query k=100",
+        "frozen query k=100",
+        "treap bytes",
+        "frozen bytes",
     ]);
     // (b) Persistence: save/load round-trip of the frozen index.
     let mut tb = TextTable::new(&["Dataset", "file size", "save", "load"]);
@@ -481,7 +598,10 @@ fn ablation(scale: Scale) {
         let (_, d_save) = time(|| frozen.write_to(&mut buf).expect("serialise"));
         let (loaded, d_load) =
             time(|| esd_core::index::FrozenEsdIndex::read_from(buf.as_slice()).expect("load"));
-        assert_eq!(loaded.query(100, DEFAULT_TAU), frozen.query(100, DEFAULT_TAU));
+        assert_eq!(
+            loaded.query(100, DEFAULT_TAU),
+            frozen.query(100, DEFAULT_TAU)
+        );
         tb.row(vec![
             spec.name.into(),
             fmt_bytes(buf.len()),
@@ -490,7 +610,11 @@ fn ablation(scale: Scale) {
         ]);
     }
     emit("ablation_lists", "### (a) H(c) list representation", &ta);
-    emit("ablation_persist", "### (b) frozen-index persistence (ESDX format)", &tb);
+    emit(
+        "ablation_persist",
+        "### (b) frozen-index persistence (ESDX format)",
+        &tb,
+    );
 
     // (c) Intersection kernel for the neighbourhood phase.
     let mut tc = TextTable::new(&["Dataset", "merge only", "adaptive (merge+gallop)"]);
@@ -516,12 +640,25 @@ fn ablation(scale: Scale) {
             }
             total
         });
-        tc.row(vec![name.into(), fmt_duration(d_merge), fmt_duration(d_adaptive)]);
+        tc.row(vec![
+            name.into(),
+            fmt_duration(d_merge),
+            fmt_duration(d_adaptive),
+        ]);
     }
-    emit("ablation_intersect", "### (c) common-neighbourhood intersection kernel", &tc);
+    emit(
+        "ablation_intersect",
+        "### (c) common-neighbourhood intersection kernel",
+        &tc,
+    );
 
     // (d) DAG orientation for 4-clique enumeration.
-    let mut td = TextTable::new(&["Dataset", "degree ordering", "degeneracy ordering", "max out-degree (deg/degen)"]);
+    let mut td = TextTable::new(&[
+        "Dataset",
+        "degree ordering",
+        "degeneracy ordering",
+        "max out-degree (deg/degen)",
+    ]);
     for name in ["DBLP", "LiveJournal"] {
         let g = load(name, scale);
         let count_with = |dag: &esd_graph::OrientedGraph| {
@@ -539,23 +676,36 @@ fn ablation(scale: Scale) {
             name.into(),
             fmt_duration(d_deg),
             fmt_duration(d_degen),
-            format!("{}/{}", dag_deg.max_out_degree(), dag_degen.max_out_degree()),
+            format!(
+                "{}/{}",
+                dag_deg.max_out_degree(),
+                dag_degen.max_out_degree()
+            ),
         ]);
     }
-    emit("ablation_orientation", "### (d) orientation for the 4-clique enumerator", &td);
+    emit(
+        "ablation_orientation",
+        "### (d) orientation for the 4-clique enumerator",
+        &td,
+    );
 }
 
 /// Ablation (e): one-shot top-k strategy — dequeue-twice pruning vs scoring
 /// everything with the 4-clique pass. Appended to the `ablation` output by
 /// `main` when requested via `ablation_topk`.
 fn ablation_topk(scale: Scale) {
-    let mut t = TextTable::new(&["Dataset", "τ", "OnlineBFS+ (pruned)", "batch 4-clique (exact-all)"]);
+    let mut t = TextTable::new(&[
+        "Dataset",
+        "τ",
+        "OnlineBFS+ (pruned)",
+        "batch 4-clique (exact-all)",
+    ]);
     for name in ["DBLP", "Pokec"] {
         let g = load(name, scale);
         for tau in [1u32, 3, 6] {
-            let (a, d_online) = time(|| esd_core::online::online_topk(
-                &g, DEFAULT_K, tau, UpperBound::CommonNeighbor,
-            ));
+            let (a, d_online) = time(|| {
+                esd_core::online::online_topk(&g, DEFAULT_K, tau, UpperBound::CommonNeighbor)
+            });
             let (b, d_batch) = time(|| esd_core::score::batch_topk(&g, DEFAULT_K, tau));
             assert_eq!(a, b, "strategies must agree");
             t.row(vec![
@@ -575,11 +725,23 @@ fn ablation_topk(scale: Scale) {
 fn churn(scale: Scale) {
     println!("## Churn — maintenance under a realistic temporal workload\n");
     let mut t = TextTable::new(&[
-        "Dataset", "events", "inserts", "deletes", "avg insert", "avg delete", "total", "verified",
+        "Dataset",
+        "events",
+        "inserts",
+        "deletes",
+        "avg insert",
+        "avg delete",
+        "total",
+        "verified",
     ]);
     for name in ["Youtube", "DBLP"] {
         let g = load(name, scale);
-        let trace = esd_datasets::churn::churn_trace(&g, 2000, esd_datasets::churn::ChurnMix::default(), 0xC0);
+        let trace = esd_datasets::churn::churn_trace(
+            &g,
+            2000,
+            esd_datasets::churn::ChurnMix::default(),
+            0xC0,
+        );
         let mut index = MaintainedIndex::new(&g);
         let (mut d_ins, mut d_del) = (Duration::ZERO, Duration::ZERO);
         let (mut n_ins, mut n_del) = (0u32, 0u32);
@@ -625,7 +787,11 @@ fn serve(scale: Scale) {
     println!("## Serve — mixed query/update throughput\n");
     let g = load("Pokec", scale);
     let mut t = TextTable::new(&[
-        "read:write", "ops", "maintained ops/s", "rebuild-per-write ops/s", "advantage",
+        "read:write",
+        "ops",
+        "maintained ops/s",
+        "rebuild-per-write ops/s",
+        "advantage",
     ]);
     for (reads, writes) in [(99usize, 1usize), (90, 10), (50, 50)] {
         let trace = esd_datasets::churn::churn_trace(

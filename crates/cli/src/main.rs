@@ -7,7 +7,14 @@
 //! esd query  <index.esdx> [-k N] [--tau T]       query a persisted index
 //! esd stream <graph.txt>                         read updates/queries from stdin:
 //!                                                  + u v | - u v | ? k tau | quit
+//! esd audit  <index.esdx> [graph.txt]            structural invariant audit
 //! ```
+//!
+//! `audit` runs every structural validator over a persisted index (rank
+//! order, list nesting, score monotonicity, …) and — when the source graph
+//! is supplied — the full semantic comparison against ground truth
+//! recomputed from scratch. It prints one line per violation and exits
+//! nonzero if any invariant is broken, so it can gate deployment pipelines.
 //!
 //! Graphs are SNAP-style edge lists (`u<ws>v` per line, `#` comments).
 //! `topk`/`stream` print the file's original vertex ids; a persisted index
@@ -23,7 +30,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("{USAGE}");
@@ -40,7 +47,8 @@ usage:
   esd query  <index.esdx> [-k N] [--tau T]
   esd stream <graph.txt>
   esd ego    <graph.txt> <u> <v> [-o <out.dot>]   render an edge ego-network
-  esd explain <graph.txt> <u> <v>                 score/context breakdown";
+  esd explain <graph.txt> <u> <v>                 score/context breakdown
+  esd audit  <index.esdx> [graph.txt]             structural invariant audit";
 
 struct Options {
     k: usize,
@@ -67,7 +75,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
         };
         match a.as_str() {
             "-k" => opts.k = value("-k")?.parse().map_err(|e| format!("bad -k: {e}"))?,
-            "--tau" => opts.tau = value("--tau")?.parse().map_err(|e| format!("bad --tau: {e}"))?,
+            "--tau" => {
+                opts.tau = value("--tau")?
+                    .parse()
+                    .map_err(|e| format!("bad --tau: {e}"))?
+            }
             "--algo" => opts.algo = value("--algo")?,
             "-o" | "--output" => opts.output = Some(value("-o")?),
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -80,20 +92,62 @@ fn parse(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing subcommand".into());
     };
     let opts = parse(rest)?;
+    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
-        "stats" => stats(&opts),
-        "topk" => topk(&opts),
-        "build" => build(&opts),
-        "query" => query(&opts),
-        "stream" => stream(&opts),
-        "ego" => ego(&opts),
-        "explain" => explain(&opts),
+        "stats" => done(stats(&opts)),
+        "topk" => done(topk(&opts)),
+        "build" => done(build(&opts)),
+        "query" => done(query(&opts)),
+        "stream" => done(stream(&opts)),
+        "ego" => done(ego(&opts)),
+        "explain" => done(explain(&opts)),
+        "audit" => audit(&opts),
         other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// Audits a persisted index: every structural validator always, plus the
+/// full semantic ground-truth comparison when the source graph is supplied.
+/// Exits nonzero (without usage spam) when any invariant is violated.
+fn audit(opts: &Options) -> Result<ExitCode, String> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or("missing index file argument")?;
+    let frozen = esd_core::index::FrozenEsdIndex::load(path)
+        .map_err(|e| format!("cannot load {path}: {e}"))?;
+    let violations = match opts.positional.get(1) {
+        Some(gpath) => {
+            let (g, _) =
+                io::load_edge_list(gpath).map_err(|e| format!("cannot load {gpath}: {e}"))?;
+            frozen.validate_against(&g)
+        }
+        None => frozen.validate(),
+    };
+    println!(
+        "audit {path}: {} lists, {} entries{}",
+        frozen.num_lists(),
+        frozen.total_entries(),
+        if opts.positional.len() > 1 {
+            " (checked against graph)"
+        } else {
+            ""
+        },
+    );
+    if violations.is_empty() {
+        println!("OK: every invariant holds");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("FAIL: {} violation(s)", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+        Ok(ExitCode::FAILURE)
     }
 }
 
@@ -127,9 +181,15 @@ fn stats(opts: &Options) -> Result<(), String> {
     println!("m            {}", s.m);
     println!("d_max        {}", s.d_max);
     println!("degeneracy   {}", s.degeneracy);
-    println!("arboricity   [{}, {}]", s.arboricity_lower, s.arboricity_upper);
+    println!(
+        "arboricity   [{}, {}]",
+        s.arboricity_lower, s.arboricity_upper
+    );
     println!("triangles    {}", esd_graph::triangles::count_triangles(&g));
-    println!("4-cliques    {}", esd_graph::cliques::count_four_cliques(&g));
+    println!(
+        "4-cliques    {}",
+        esd_graph::cliques::count_four_cliques(&g)
+    );
     Ok(())
 }
 
@@ -141,16 +201,24 @@ fn topk(opts: &Options) -> Result<(), String> {
         "index" => EsdIndex::build_fast(&g).query(opts.k, opts.tau),
         other => return Err(format!("unknown --algo {other:?} (online|online+|index)")),
     };
-    println!("top-{} edges by structural diversity (τ = {}):", opts.k, opts.tau);
+    println!(
+        "top-{} edges by structural diversity (τ = {}):",
+        opts.k, opts.tau
+    );
     print_results(&results, &original);
     Ok(())
 }
 
 fn build(opts: &Options) -> Result<(), String> {
     let (g, original) = load_graph(opts)?;
-    let out = opts.output.as_ref().ok_or("build requires -o <index.esdx>")?;
+    let out = opts
+        .output
+        .as_ref()
+        .ok_or("build requires -o <index.esdx>")?;
     let frozen = EsdIndex::build_fast(&g).freeze();
-    frozen.save(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    frozen
+        .save(out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
     // Sidecar with the dense -> original id mapping, one id per line.
     let ids_path = format!("{out}.ids");
     let mut w = std::io::BufWriter::new(
@@ -196,7 +264,10 @@ fn query(opts: &Options) -> Result<(), String> {
         }
     };
     let results = frozen.query(opts.k, opts.tau);
-    println!("top-{} edges by structural diversity (τ = {}):", opts.k, opts.tau);
+    println!(
+        "top-{} edges by structural diversity (τ = {}):",
+        opts.k, opts.tau
+    );
     print_results(&results, &original);
     Ok(())
 }
@@ -254,7 +325,10 @@ fn explain(opts: &Options) -> Result<(), String> {
         ex.components.len()
     );
     for (i, comp) in ex.components.iter().enumerate() {
-        let names: Vec<String> = comp.iter().map(|&w| original[w as usize].to_string()).collect();
+        let names: Vec<String> = comp
+            .iter()
+            .map(|&w| original[w as usize].to_string())
+            .collect();
         println!("  context {}: {}", i + 1, names.join(", "));
     }
     for (i, &score) in ex.scores_by_tau.iter().enumerate() {
@@ -280,7 +354,11 @@ fn stream(opts: &Options) -> Result<(), String> {
         .collect();
     let mut original = original;
     let mut index = MaintainedIndex::new(&g);
-    println!("ready: {} vertices, {} edges (+ u v | - u v | ? k tau | quit)", g.num_vertices(), g.num_edges());
+    println!(
+        "ready: {} vertices, {} edges (+ u v | - u v | ? k tau | quit)",
+        g.num_vertices(),
+        g.num_edges()
+    );
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| e.to_string())?;
@@ -303,7 +381,11 @@ fn stream(opts: &Options) -> Result<(), String> {
                 } else {
                     index.remove_edge(da, db)
                 };
-                println!("{} ({oa}, {ob}): {}", toks[0], if ok { "ok" } else { "no-op" });
+                println!(
+                    "{} ({oa}, {ob}): {}",
+                    toks[0],
+                    if ok { "ok" } else { "no-op" }
+                );
             }
             ["?", k, tau] => {
                 let k: usize = k.parse().map_err(|e| format!("bad k: {e}"))?;

@@ -32,8 +32,15 @@ fn write_fig1(dir: &std::path::Path) -> PathBuf {
 fn stats_reports_counts() {
     let dir = temp_dir();
     let graph = write_fig1(&dir);
-    let out = bin().args(["stats", graph.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["stats", graph.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("n            16"), "{text}");
     assert!(text.contains("m            40"), "{text}");
@@ -46,14 +53,30 @@ fn topk_prints_original_ids_for_every_algo() {
     let mut outputs = Vec::new();
     for algo in ["online", "online+", "index"] {
         let out = bin()
-            .args(["topk", graph.to_str().unwrap(), "-k", "3", "--tau", "2", "--algo", algo])
+            .args([
+                "topk",
+                graph.to_str().unwrap(),
+                "-k",
+                "3",
+                "--tau",
+                "2",
+                "--algo",
+                algo,
+            ])
             .output()
             .unwrap();
-        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let text = String::from_utf8(out.stdout).unwrap();
         assert!(text.contains("score 2"), "{algo}: {text}");
         // Original ids are offset by 100.
-        assert!(text.contains("(105, 106)") || text.contains("(107, 108)"), "{algo}: {text}");
+        assert!(
+            text.contains("(105, 106)") || text.contains("(107, 108)"),
+            "{algo}: {text}"
+        );
         outputs.push(text);
     }
     assert_eq!(outputs[0], outputs[1]);
@@ -70,10 +93,19 @@ fn build_then_query_roundtrip() {
     let graph = write_fig1(&dir);
     let index = dir.join("fig1.esdx");
     let out = bin()
-        .args(["build", graph.to_str().unwrap(), "-o", index.to_str().unwrap()])
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "-o",
+            index.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(index.exists());
     assert!(dir.join("fig1.esdx.ids").exists());
 
@@ -81,7 +113,11 @@ fn build_then_query_roundtrip() {
         .args(["query", index.to_str().unwrap(), "-k", "3", "--tau", "5"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     // τ=5 answers: (u,p), (u,q), (p,q) = dense (11,13),(11,14),(13,14) → +100.
     assert!(text.contains("(111, 113)"), "{text}");
@@ -123,14 +159,28 @@ fn ego_renders_dot() {
         .args(["ego", graph.to_str().unwrap(), "105", "106"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let dot = String::from_utf8(out.stdout).unwrap();
     assert!(dot.contains("graph ego"), "{dot}");
-    assert!(dot.contains("cluster_1") && !dot.contains("cluster_2"), "{dot}");
+    assert!(
+        dot.contains("cluster_1") && !dot.contains("cluster_2"),
+        "{dot}"
+    );
     // Writing to a file reports the component sizes.
     let path = dir.join("ego.dot");
     let out = bin()
-        .args(["ego", graph.to_str().unwrap(), "105", "106", "-o", path.to_str().unwrap()])
+        .args([
+            "ego",
+            graph.to_str().unwrap(),
+            "105",
+            "106",
+            "-o",
+            path.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -153,11 +203,18 @@ fn explain_breaks_down_scores() {
         .args(["explain", graph.to_str().unwrap(), "109", "110"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("6 common neighbours"), "{text}");
     assert!(text.contains("2 context(s)"), "{text}");
-    assert!(text.contains("111, 112, 113, 114"), "the K6 context: {text}");
+    assert!(
+        text.contains("111, 112, 113, 114"),
+        "the K6 context: {text}"
+    );
     assert!(text.contains("τ = 4: score 1"), "{text}");
     // Non-edge rejected.
     let out = bin()
@@ -174,7 +231,10 @@ fn error_paths() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
     // Missing file.
-    let out = bin().args(["stats", "/nonexistent/graph.txt"]).output().unwrap();
+    let out = bin()
+        .args(["stats", "/nonexistent/graph.txt"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     // Bad tau.
     let dir = temp_dir();
@@ -187,7 +247,10 @@ fn error_paths() {
     // Corrupt index file.
     let bogus = dir.join("bogus.esdx");
     std::fs::write(&bogus, b"not an index").unwrap();
-    let out = bin().args(["query", bogus.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args(["query", bogus.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("ESDX"));
 }

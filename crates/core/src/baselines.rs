@@ -44,7 +44,12 @@ pub fn topk_betweenness(g: &Graph, k: usize) -> Vec<WeightedEdge> {
 }
 
 /// Top-k edges by pivot-sampled betweenness.
-pub fn topk_betweenness_sampled(g: &Graph, k: usize, pivots: usize, seed: u64) -> Vec<WeightedEdge> {
+pub fn topk_betweenness_sampled(
+    g: &Graph,
+    k: usize,
+    pivots: usize,
+    seed: u64,
+) -> Vec<WeightedEdge> {
     rank_weighted(g, betweenness::edge_betweenness_sampled(g, pivots, seed), k)
 }
 
@@ -94,7 +99,10 @@ mod tests {
         // K6 edges among {j,k,u,v,p,q} have 4-5 common neighbours — the max.
         for s in &top {
             assert!(s.score >= 4, "{s}");
-            let clique: Vec<u32> = ["j", "k", "u", "v", "p", "q"].iter().map(|&x| n[x]).collect();
+            let clique: Vec<u32> = ["j", "k", "u", "v", "p", "q"]
+                .iter()
+                .map(|&x| n[x])
+                .collect();
             assert!(clique.contains(&s.edge.u) && clique.contains(&s.edge.v));
         }
     }

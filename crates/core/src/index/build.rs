@@ -78,7 +78,9 @@ pub(crate) fn components_by_four_cliques(g: &Graph) -> FourCliqueArtifacts {
     // A local slot of vertex `x` inside edge `e`'s neighbourhood.
     let slot = |e: u32, x: VertexId| -> usize {
         let range = &nbrs[nbr_offsets[e as usize]..nbr_offsets[e as usize + 1]];
-        range.binary_search(&x).expect("vertex in common neighbourhood")
+        range
+            .binary_search(&x)
+            .expect("vertex in common neighbourhood")
     };
 
     for u in 0..dag.num_vertices() as VertexId {
@@ -168,7 +170,10 @@ pub(crate) fn fill_lists(
     c_range: Range<usize>,
 ) {
     debug_assert_eq!(lists.len(), c_range.len());
-    debug_assert!(lists.iter().all(|l| l.is_empty()), "fill expects fresh lists");
+    debug_assert!(
+        lists.iter().all(super::ostree::ScoreTreap::is_empty),
+        "fill expects fresh lists"
+    );
     if c_range.is_empty() {
         return;
     }

@@ -122,7 +122,11 @@ impl EsdIndex {
             entries.extend(self.query(len, *c));
             list_offsets.push(entries.len());
         }
-        FrozenEsdIndex::from_parts(self.component_sizes().to_vec(), list_offsets, entries)
+        let frozen =
+            FrozenEsdIndex::from_parts(self.component_sizes().to_vec(), list_offsets, entries);
+        #[cfg(any(test, feature = "strict-invariants"))]
+        crate::audit::assert_clean("FrozenEsdIndex (post-freeze)", &frozen.validate());
+        frozen
     }
 }
 

@@ -55,7 +55,10 @@ impl EdgeComponents {
     /// Component sizes of every edge ego-network by per-edge BFS
     /// (Algorithm 2 lines 1–3).
     pub fn by_bfs(g: &Graph) -> Self {
-        build::components_by_bfs(g)
+        let comps = build::components_by_bfs(g);
+        #[cfg(any(test, feature = "strict-invariants"))]
+        crate::audit::assert_clean("EdgeComponents (by_bfs)", &comps.validate());
+        comps
     }
 
     /// Component sizes of every edge ego-network by 4-clique enumeration +
@@ -85,9 +88,9 @@ impl EdgeComponents {
 #[derive(Debug, Clone, Default)]
 pub struct EsdIndex {
     /// `C`, ascending.
-    sizes: Vec<u32>,
+    pub(crate) sizes: Vec<u32>,
     /// `H(c)` for each `c ∈ C`, parallel to `sizes`.
-    lists: Vec<ScoreTreap>,
+    pub(crate) lists: Vec<ScoreTreap>,
 }
 
 impl EsdIndex {
@@ -107,7 +110,10 @@ impl EsdIndex {
     /// experiments harness.
     pub fn build_fast_with_stats(g: &Graph) -> (Self, BuildStats) {
         let artifacts = build::components_by_four_cliques(g);
-        (Self::from_components(g, &artifacts.components), artifacts.stats)
+        (
+            Self::from_components(g, &artifacts.components),
+            artifacts.stats,
+        )
     }
 
     /// Builds the index with `threads` worker threads (the paper's
@@ -129,7 +135,10 @@ impl EsdIndex {
         let sizes = build::distinct_sizes(comps);
         let mut lists = vec![ScoreTreap::new(); sizes.len()];
         build::fill_lists(g.edges(), comps, &sizes, &mut lists, 0..sizes.len());
-        Self { sizes, lists }
+        let index = Self { sizes, lists };
+        #[cfg(any(test, feature = "strict-invariants"))]
+        crate::audit::assert_clean("EsdIndex (post-build)", &index.validate());
+        index
     }
 
     /// The distinct component sizes `C`, ascending.
@@ -151,13 +160,17 @@ impl EsdIndex {
     /// Total number of `(edge, list)` entries — the `O(αm)` quantity of
     /// Theorem 3.
     pub fn total_entries(&self) -> usize {
-        self.lists.iter().map(|l| l.len()).sum()
+        self.lists.iter().map(ostree::ScoreTreap::len).sum()
     }
 
     /// Approximate heap footprint in bytes (Fig 6(a)).
     pub fn byte_size(&self) -> usize {
         self.sizes.capacity() * std::mem::size_of::<u32>()
-            + self.lists.iter().map(|l| l.byte_size()).sum::<usize>()
+            + self
+                .lists
+                .iter()
+                .map(ostree::ScoreTreap::byte_size)
+                .sum::<usize>()
     }
 
     /// The query processing algorithm (§IV-B): top-`k` edges with the
@@ -210,7 +223,11 @@ mod tests {
         for index in [EsdIndex::build_basic(&g), EsdIndex::build_fast(&g)] {
             assert_eq!(index.component_sizes(), &[1, 2, 4, 5]);
             assert_eq!(index.list_len(1), Some(40), "H(1) contains all edges");
-            assert_eq!(index.list_len(2), Some(33), "40 minus the 7 max-size-1 edges");
+            assert_eq!(
+                index.list_len(2),
+                Some(33),
+                "40 minus the 7 max-size-1 edges"
+            );
             assert_eq!(index.list_len(4), Some(15), "the K6 edges");
             assert_eq!(index.list_len(5), Some(3));
             assert_eq!(index.list_len(3), None, "3 ∉ C");

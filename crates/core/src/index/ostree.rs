@@ -36,15 +36,15 @@ impl PartialOrd for RankKey {
     }
 }
 
-const NIL: u32 = u32::MAX;
+pub(crate) const NIL: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    key: RankKey,
-    prio: u64,
-    left: u32,
-    right: u32,
-    size: u32,
+pub(crate) struct Node {
+    pub(crate) key: RankKey,
+    pub(crate) prio: u64,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
+    pub(crate) size: u32,
 }
 
 /// Deterministic node priority.
@@ -55,8 +55,8 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn priority_of(key: &RankKey) -> u64 {
-    splitmix64(key.edge.key() ^ ((key.score as u64) << 40) ^ 0xE5D1)
+pub(crate) fn priority_of(key: &RankKey) -> u64 {
+    splitmix64(key.edge.key() ^ (u64::from(key.score) << 40) ^ 0xE5D1)
 }
 
 /// An order-statistic treap over [`RankKey`]s.
@@ -75,10 +75,10 @@ fn priority_of(key: &RankKey) -> u64 {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ScoreTreap {
-    nodes: Vec<Node>,
-    free: Vec<u32>,
-    root: u32,
-    len: usize,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) free: Vec<u32>,
+    pub(crate) root: u32,
+    pub(crate) len: usize,
 }
 
 impl ScoreTreap {
@@ -244,6 +244,8 @@ impl ScoreTreap {
         if treap.root != NIL {
             treap.fix_sizes(treap.root);
         }
+        #[cfg(any(test, feature = "strict-invariants"))]
+        crate::audit::assert_clean("ScoreTreap (from_sorted)", &treap.validate());
         treap
     }
 
@@ -255,7 +257,10 @@ impl ScoreTreap {
                 self.pull(node);
             } else {
                 stack.push((node, true));
-                let (l, r) = (self.nodes[node as usize].left, self.nodes[node as usize].right);
+                let (l, r) = (
+                    self.nodes[node as usize].left,
+                    self.nodes[node as usize].right,
+                );
                 if l != NIL {
                     stack.push((l, false));
                 }

@@ -14,7 +14,9 @@
 //!    touch disjoint state, so no locks are needed.
 //!
 //! The two phases alternate in bounded-size rounds to cap the op-buffer
-//! memory. Finally the `H(c)` lists are filled in parallel over disjoint
+//! memory. Workers are plain `std::thread::scope` scoped threads — the
+//! shards partition all mutable state, so no synchronisation primitives
+//! beyond the scope joins are needed. Finally the `H(c)` lists are filled in parallel over disjoint
 //! ranges of `C`. Union–find components are order-independent and treap
 //! shapes depend only on their keys, so the result is **byte-identical to
 //! the sequential builder for every thread count** — a property the tests
@@ -86,9 +88,8 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
         let range = &nbrs[nbr_offsets[edge as usize]..nbr_offsets[edge as usize + 1]];
         range.binary_search(&x).expect("vertex in neighbourhood") as u32
     };
-    let shard_of = |edge: u32| -> usize {
-        shard_bounds.partition_point(|&b| b <= edge as usize) - 1
-    };
+    let shard_of =
+        |edge: u32| -> usize { shard_bounds.partition_point(|&b| b <= edge as usize) - 1 };
 
     // Block size chosen so a round's op buffers stay modest while still
     // amortising the thread joins.
@@ -101,18 +102,18 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
         // Enumerate in parallel: each worker bins ops by target shard.
         let chunk = round.len().div_ceil(threads);
         let mut all_bins: Vec<(usize, Vec<Vec<Op>>, u64)> = Vec::with_capacity(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (w, part) in round.chunks(chunk.max(1)).enumerate() {
                 let dag = &dag;
                 let slot = &slot;
                 let shard_of = &shard_of;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut bins: Vec<Vec<Op>> = vec![Vec::new(); threads];
                     let mut cliques = 0u64;
                     let mut enumerator = FourCliqueEnumerator::new(g.num_vertices());
                     for &(u, v) in part {
-                        let e_uv = g.edge_id(u, v).expect("directed edge") ;
+                        let e_uv = g.edge_id(u, v).expect("directed edge");
                         enumerator.for_edge(dag, u, v, |w1, w2| {
                             cliques += 1;
                             let e_uw1 = g.edge_id(u, w1).expect("clique edge");
@@ -142,19 +143,18 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
             for h in handles {
                 all_bins.push(h.join().expect("enumeration worker"));
             }
-        })
-        .expect("enumeration scope");
+        });
         for &(w, _, cliques) in &all_bins {
             cliques_per_worker[w] += cliques;
         }
 
         // Apply in parallel: shard s drains every worker's bin s.
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (s, arena) in arenas.iter_mut().enumerate() {
                 let all_bins = &all_bins;
                 let shard_bounds = &shard_bounds;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let lo = shard_bounds[s];
                     let mut applied = 0u64;
                     for (_, bins, _) in all_bins {
@@ -170,17 +170,16 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
                 let (s, applied) = h.join().expect("apply worker");
                 ops_per_shard[s] += applied;
             }
-        })
-        .expect("apply scope");
+        });
     }
 
     // ---- Phase C: extract component sizes per shard (parallel).
     let mut pieces: Vec<(usize, EdgeComponents)> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (s, arena) in arenas.iter().enumerate() {
             let shard_bounds = &shard_bounds;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let len = shard_bounds[s + 1] - shard_bounds[s];
                 (s, build::components_from_arena(arena, len))
             }));
@@ -188,8 +187,7 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
         for h in handles {
             pieces.push(h.join().expect("extract worker"));
         }
-    })
-    .expect("extract scope");
+    });
     pieces.sort_by_key(|&(s, _)| s);
     let mut comps = EdgeComponents {
         offsets: Vec::with_capacity(m + 1),
@@ -210,7 +208,7 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
     let mut lists: Vec<ScoreTreap> = Vec::with_capacity(csizes.len());
     let per = csizes.len().div_ceil(threads).max(1);
     let mut filled: Vec<(usize, Vec<ScoreTreap>)> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = (t * per).min(csizes.len());
@@ -220,7 +218,7 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
             }
             let comps = &comps;
             let csizes = &csizes;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut chunk = vec![ScoreTreap::new(); hi - lo];
                 build::fill_lists(g.edges(), comps, csizes, &mut chunk, lo..hi);
                 (lo, chunk)
@@ -229,8 +227,7 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
         for h in handles {
             filled.push(h.join().expect("fill worker"));
         }
-    })
-    .expect("fill scope");
+    });
     filled.sort_by_key(|&(lo, _)| lo);
     for (_, chunk) in filled {
         lists.extend(chunk);
@@ -258,7 +255,7 @@ fn parallel_neighborhoods(g: &Graph, threads: usize) -> (Vec<usize>, Vec<VertexI
     }
     let chunk = m.div_ceil(threads);
     let mut parts: Vec<(usize, Vec<usize>, Vec<VertexId>)> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = (t * chunk).min(m);
@@ -266,7 +263,7 @@ fn parallel_neighborhoods(g: &Graph, threads: usize) -> (Vec<usize>, Vec<VertexI
             if lo == hi {
                 continue;
             }
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut lens = Vec::with_capacity(hi - lo);
                 let mut flat = Vec::new();
                 for e in &g.edges()[lo..hi] {
@@ -284,8 +281,7 @@ fn parallel_neighborhoods(g: &Graph, threads: usize) -> (Vec<usize>, Vec<VertexI
         for h in handles {
             parts.push(h.join().expect("neighbourhood worker"));
         }
-    })
-    .expect("neighbourhood scope");
+    });
     parts.sort_by_key(|&(lo, _, _)| lo);
     let mut offsets = Vec::with_capacity(m + 1);
     offsets.push(0usize);

@@ -69,7 +69,7 @@ impl Fnv1a {
 
     fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
-            self.0 ^= b as u64;
+            self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
@@ -209,17 +209,16 @@ impl FrozenEsdIndex {
         if u64::from_le_bytes(trailer) != computed {
             return Err(PersistError::ChecksumMismatch);
         }
-        // Each list must be rank-ordered.
-        for i in 0..num_lists {
-            let list = &entries[list_offsets[i]..list_offsets[i + 1]];
-            let ranked = list.windows(2).all(|w| {
-                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].edge < w[1].edge)
-            });
-            if !ranked {
-                return Err(PersistError::Corrupt("list not rank-ordered"));
-            }
+        // Defence in depth: run the full structural audit (rank order inside
+        // each list, nesting and score monotonicity across lists, …). A file
+        // passing the field-level checks above can still encode an index no
+        // builder would produce; such files are corrupt, never a panic or a
+        // silently wrong index.
+        let frozen = Self::from_parts(sizes, list_offsets, entries);
+        if !frozen.validate().is_empty() {
+            return Err(PersistError::Corrupt("index fails structural audit"));
         }
-        Ok(Self::from_parts(sizes, list_offsets, entries))
+        Ok(frozen)
     }
 
     /// Saves to a file. See [`Self::write_to`].

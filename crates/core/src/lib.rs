@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod baselines;
 pub mod bounds;
 pub mod explain;
@@ -86,9 +87,18 @@ mod tests {
 
     #[test]
     fn ranking_order() {
-        let a = ScoredEdge { edge: Edge::new(0, 1), score: 3 };
-        let b = ScoredEdge { edge: Edge::new(0, 2), score: 3 };
-        let c = ScoredEdge { edge: Edge::new(0, 1), score: 5 };
+        let a = ScoredEdge {
+            edge: Edge::new(0, 1),
+            score: 3,
+        };
+        let b = ScoredEdge {
+            edge: Edge::new(0, 2),
+            score: 3,
+        };
+        let c = ScoredEdge {
+            edge: Edge::new(0, 1),
+            score: 5,
+        };
         let mut v = vec![b, a, c];
         v.sort_by(ScoredEdge::ranking_cmp);
         assert_eq!(v, vec![c, a, b]);

@@ -31,10 +31,10 @@ use std::collections::{BTreeMap, HashMap};
 /// A per-edge disjoint-set forest over the common neighbourhood, keyed by
 /// vertex id — the paper's `M_uv` with its `root` and `count` fields.
 #[derive(Debug, Clone, Default)]
-struct EdgeDsu {
+pub(crate) struct EdgeDsu {
     /// `vertex -> (parent vertex, component size)`; the size is only
     /// meaningful at roots.
-    nodes: HashMap<VertexId, (VertexId, u32)>,
+    pub(crate) nodes: HashMap<VertexId, (VertexId, u32)>,
 }
 
 impl EdgeDsu {
@@ -79,7 +79,7 @@ impl EdgeDsu {
     }
 
     /// Sorted multiset of component sizes (the edge's `C_uv`).
-    fn component_sizes(&self) -> Vec<u32> {
+    pub(crate) fn component_sizes(&self) -> Vec<u32> {
         let mut sizes: Vec<u32> = self
             .nodes
             .iter()
@@ -119,13 +119,13 @@ pub enum GraphUpdate {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MaintainedIndex {
-    g: DynamicGraph,
+    pub(crate) g: DynamicGraph,
     /// `M_uv` per edge (absent when the common neighbourhood is empty).
-    forests: HashMap<u64, EdgeDsu>,
+    pub(crate) forests: HashMap<u64, EdgeDsu>,
     /// `H(c)` per size `c ∈ C`.
-    lists: BTreeMap<u32, ScoreTreap>,
+    pub(crate) lists: BTreeMap<u32, ScoreTreap>,
     /// `c -> number of edges whose C_uv contains c`. Keys are exactly `C`.
-    refcounts: BTreeMap<u32, usize>,
+    pub(crate) refcounts: BTreeMap<u32, usize>,
 }
 
 impl MaintainedIndex {
@@ -162,15 +162,23 @@ impl MaintainedIndex {
 
         let csizes = build::distinct_sizes(&artifacts.components);
         let mut treaps = vec![ScoreTreap::new(); csizes.len()];
-        build::fill_lists(g.edges(), &artifacts.components, &csizes, &mut treaps, 0..csizes.len());
+        build::fill_lists(
+            g.edges(),
+            &artifacts.components,
+            &csizes,
+            &mut treaps,
+            0..csizes.len(),
+        );
         let lists = csizes.into_iter().zip(treaps).collect();
 
-        Self {
+        let index = Self {
             g: DynamicGraph::from_graph(g),
             forests,
             lists,
             refcounts,
-        }
+        };
+        index.strict_audit();
+        index
     }
 
     /// The current graph.
@@ -185,7 +193,9 @@ impl MaintainedIndex {
 
     /// Entry count of `H(c)`, if `c ∈ C`.
     pub fn list_len(&self, c: u32) -> Option<usize> {
-        self.lists.get(&c).map(|l| l.len())
+        self.lists
+            .get(&c)
+            .map(super::index::ostree::ScoreTreap::len)
     }
 
     /// Top-`k` edges at threshold `tau` (same contract as
@@ -213,6 +223,7 @@ impl MaintainedIndex {
         self.retract_entries(&affected);
         self.mutate_insert(u, v, &nuv);
         self.restore_entries(&affected);
+        self.strict_audit();
         true
     }
 
@@ -265,6 +276,7 @@ impl MaintainedIndex {
         self.retract_entries(&affected);
         self.mutate_remove(u, v, &affected);
         self.restore_entries(&affected);
+        self.strict_audit();
         true
     }
 
@@ -341,6 +353,7 @@ impl MaintainedIndex {
             }
         }
         self.restore_entries(&order);
+        self.strict_audit();
         (applied, skipped)
     }
 
@@ -390,7 +403,9 @@ impl MaintainedIndex {
     fn retract_entries(&mut self, affected: &[u64]) {
         let mut dead = Vec::new();
         for &key in affected {
-            let Some(forest) = self.forests.get(&key) else { continue };
+            let Some(forest) = self.forests.get(&key) else {
+                continue;
+            };
             let sizes = forest.component_sizes();
             let Some(&cmax) = sizes.last() else { continue };
             let edge = Edge::from_key(key);
@@ -422,7 +437,7 @@ impl MaintainedIndex {
             let sizes = self
                 .forests
                 .get(&key)
-                .map(|f| f.component_sizes())
+                .map(EdgeDsu::component_sizes)
                 .unwrap_or_default();
             let mut distinct = sizes.clone();
             distinct.dedup();
@@ -501,33 +516,36 @@ impl MaintainedIndex {
         self.forests.insert(e.key(), dsu);
     }
 
-    /// Exhaustive consistency check against a from-scratch rebuild; used by
-    /// the differential tests and debug assertions. Panics on divergence.
+    /// Exhaustive consistency check; used by the differential tests and
+    /// debug assertions. Panics on divergence with a full violation report.
+    ///
+    /// Thin wrapper over [`MaintainedIndex::validate_deep`], which recomputes
+    /// every forest's ego-network partition from scratch — equivalent in
+    /// strength to the full rebuild comparison it replaced, but reporting
+    /// *every* violated invariant with its location rather than stopping at
+    /// the first `assert_eq!`.
     pub fn check_consistency(&self) {
-        let g = self.g.to_graph();
-        let reference = crate::index::EsdIndex::build_fast(&g);
-        assert_eq!(
-            self.component_sizes(),
-            reference.component_sizes(),
-            "C diverged"
-        );
-        for &c in reference.component_sizes() {
-            assert_eq!(
-                self.list_len(c),
-                reference.list_len(c),
-                "|H({c})| diverged"
-            );
-        }
-        for &c in reference.component_sizes() {
-            let k = self.list_len(c).unwrap();
-            assert_eq!(self.query(k, c), reference.query(k, c), "H({c}) diverged");
-        }
+        crate::audit::assert_clean("MaintainedIndex", &self.validate_deep());
     }
+
+    /// Structural audit at every maintenance boundary when the
+    /// `strict-invariants` feature (or `cfg(test)`) is active; free
+    /// otherwise. Uses the shallow [`MaintainedIndex::validate`] — the deep
+    /// partition check stays opt-in via [`MaintainedIndex::check_consistency`].
+    #[cfg(any(test, feature = "strict-invariants"))]
+    fn strict_audit(&self) {
+        crate::audit::assert_clean("MaintainedIndex (post-update)", &self.validate());
+    }
+
+    /// No-op without `strict-invariants`.
+    #[cfg(not(any(test, feature = "strict-invariants")))]
+    #[inline(always)]
+    fn strict_audit(&self) {}
 }
 
 /// Edges of the subgraph induced by `members` (each unordered pair once),
 /// i.e. the ego-network edges used by Algorithms 4–5.
-fn ego_edges(g: &DynamicGraph, members: &[VertexId]) -> Vec<(VertexId, VertexId)> {
+pub(crate) fn ego_edges(g: &DynamicGraph, members: &[VertexId]) -> Vec<(VertexId, VertexId)> {
     let mut out = Vec::new();
     let mut buf = Vec::new();
     for &w1 in members {
@@ -591,7 +609,12 @@ mod tests {
         // And H(3) answers τ=3 queries including edges with size-4+ comps.
         let q3 = index.query(100, 3);
         let q4 = index.query(100, 4);
-        assert!(q3.len() > q4.len(), "H(3) ⊋ H(4): got {} vs {}", q3.len(), q4.len());
+        assert!(
+            q3.len() > q4.len(),
+            "H(3) ⊋ H(4): got {} vs {}",
+            q3.len(),
+            q4.len()
+        );
     }
 
     #[test]
@@ -639,7 +662,11 @@ mod tests {
         }
         index.check_consistency();
         let max = *index.component_sizes().last().unwrap();
-        assert!(max > 5, "a larger component must exist, got C = {:?}", index.component_sizes());
+        assert!(
+            max > 5,
+            "a larger component must exist, got C = {:?}",
+            index.component_sizes()
+        );
     }
 
     #[test]

@@ -152,14 +152,10 @@ mod tests {
         let (g, n) = fig1();
         let top = naive_topk(&g, 3, 2);
         let edges: Vec<_> = top.iter().map(|s| s.edge).collect();
-        let expect: Vec<esd_graph::Edge> = [
-            (n["f"], n["g"]),
-            (n["h"], n["i"]),
-            (n["j"], n["k"]),
-        ]
-        .iter()
-        .map(|&(a, b)| esd_graph::Edge::new(a, b))
-        .collect();
+        let expect: Vec<esd_graph::Edge> = [(n["f"], n["g"]), (n["h"], n["i"]), (n["j"], n["k"])]
+            .iter()
+            .map(|&(a, b)| esd_graph::Edge::new(a, b))
+            .collect();
         let mut sorted = edges.clone();
         sorted.sort_unstable();
         let mut expect_sorted = expect.clone();
@@ -180,7 +176,11 @@ mod tests {
         let (g, _) = fig1();
         for tau in 1..=6 {
             for k in [1, 3, 10, 40] {
-                assert_eq!(batch_topk(&g, k, tau), naive_topk(&g, k, tau), "k={k} τ={tau}");
+                assert_eq!(
+                    batch_topk(&g, k, tau),
+                    naive_topk(&g, k, tau),
+                    "k={k} τ={tau}"
+                );
             }
         }
         for seed in 0..4 {

@@ -41,9 +41,14 @@ pub fn vertex_topk(g: &Graph, k: usize, tau: u32) -> Vec<ScoredVertex> {
         .collect();
     let mut out = Vec::new();
     while out.len() < k {
-        let Some((priority, Reverse(v), exact)) = queue.pop() else { break };
+        let Some((priority, Reverse(v), exact)) = queue.pop() else {
+            break;
+        };
         if exact {
-            out.push(ScoredVertex { vertex: v, score: priority });
+            out.push(ScoredVertex {
+                vertex: v,
+                score: priority,
+            });
             continue;
         }
         let s = vertex_score(g, v, tau);
@@ -180,7 +185,10 @@ mod tests {
     fn naive(g: &Graph, k: usize, tau: u32) -> Vec<ScoredVertex> {
         let mut all: Vec<ScoredVertex> = g
             .vertices()
-            .map(|v| ScoredVertex { vertex: v, score: vertex_score(g, v, tau) })
+            .map(|v| ScoredVertex {
+                vertex: v,
+                score: vertex_score(g, v, tau),
+            })
             .filter(|s| s.score > 0)
             .collect();
         all.sort_by(|a, b| b.score.cmp(&a.score).then(a.vertex.cmp(&b.vertex)));
@@ -229,7 +237,11 @@ mod tests {
         let index = VertexSdIndex::build(&g);
         for tau in 1..=6 {
             for k in [1, 4, 16, 100] {
-                assert_eq!(index.query(k, tau), vertex_topk(&g, k, tau), "k={k} τ={tau}");
+                assert_eq!(
+                    index.query(k, tau),
+                    vertex_topk(&g, k, tau),
+                    "k={k} τ={tau}"
+                );
             }
         }
     }
@@ -244,7 +256,11 @@ mod tests {
             ] {
                 let index = VertexSdIndex::build(&g);
                 for tau in [1, 2, 3] {
-                    assert_eq!(index.query(12, tau), vertex_topk(&g, 12, tau), "seed={seed} τ={tau}");
+                    assert_eq!(
+                        index.query(12, tau),
+                        vertex_topk(&g, 12, tau),
+                        "seed={seed} τ={tau}"
+                    );
                 }
             }
         }

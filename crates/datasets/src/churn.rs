@@ -38,7 +38,11 @@ impl Default for ChurnMix {
     fn default() -> Self {
         // Closure-heavy, mildly growing — the regime where maintenance cost
         // is dominated by 4-clique updates.
-        Self { growth: 2, closure: 5, decay: 3 }
+        Self {
+            growth: 2,
+            closure: 5,
+            decay: 3,
+        }
     }
 }
 
@@ -53,11 +57,7 @@ pub fn churn_trace(initial: &Graph, steps: usize, mix: ChurnMix, seed: u64) -> V
     let mut next_vertex = g.num_vertices() as VertexId;
 
     // Degree-proportional sampling via a repeated-endpoint reservoir.
-    let mut endpoints: Vec<VertexId> = initial
-        .edges()
-        .iter()
-        .flat_map(|e| [e.u, e.v])
-        .collect();
+    let mut endpoints: Vec<VertexId> = initial.edges().iter().flat_map(|e| [e.u, e.v]).collect();
 
     let mut guard_failures = 0;
     while events.len() < steps && guard_failures < 50 * steps + 100 {
@@ -157,11 +157,17 @@ mod tests {
     #[test]
     fn closure_events_create_triangles() {
         let g = generators::clique_overlap(80, 60, 5, 2);
-        let closure_only = ChurnMix { growth: 0, closure: 1, decay: 0 };
+        let closure_only = ChurnMix {
+            growth: 0,
+            closure: 1,
+            decay: 0,
+        };
         let trace = churn_trace(&g, 100, closure_only, 5);
         let mut replay = DynamicGraph::from_graph(&g);
         for &ev in &trace {
-            let ChurnEvent::Insert(a, b) = ev else { panic!("closure only inserts") };
+            let ChurnEvent::Insert(a, b) = ev else {
+                panic!("closure only inserts")
+            };
             // By construction the endpoints share at least one neighbour.
             assert!(!replay.common_neighbors(a, b).is_empty());
             replay.insert_edge(a, b);
@@ -183,7 +189,16 @@ mod tests {
         let trace = churn_trace(&empty, 50, ChurnMix::default(), 0);
         assert!(trace.is_empty(), "nothing to grow from or decay");
         let tiny = generators::complete(3);
-        let trace = churn_trace(&tiny, 10, ChurnMix { growth: 1, closure: 0, decay: 0 }, 0);
+        let trace = churn_trace(
+            &tiny,
+            10,
+            ChurnMix {
+                growth: 1,
+                closure: 0,
+                decay: 0,
+            },
+            0,
+        );
         assert!(!trace.is_empty());
     }
 }

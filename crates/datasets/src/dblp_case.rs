@@ -18,6 +18,7 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// The planted graph plus its ground truth.
+#[derive(Debug)]
 pub struct DblpCase {
     /// The collaboration graph.
     pub graph: Graph,
@@ -34,7 +35,10 @@ pub struct DblpCase {
 /// each, plus planted bridges and a barbell.
 pub fn dblp_case(communities: usize, area_size: usize, seed: u64) -> DblpCase {
     assert!(communities >= 4, "need at least 4 areas to bridge across");
-    assert!(area_size >= 12, "areas must be large enough to host contexts");
+    assert!(
+        area_size >= 12,
+        "areas must be large enough to host contexts"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD801);
     let n_regular = communities * area_size;
     // 2 bridge pairs + 1 barbell pair = 6 special vertices.
@@ -45,7 +49,8 @@ pub fn dblp_case(communities: usize, area_size: usize, seed: u64) -> DblpCase {
     // Dense intra-area collaboration: overlapping small cliques per area.
     for a in 0..communities {
         let base = (a * area_size) as VertexId;
-        let papers = generators::clique_overlap(area_size, area_size * 2, 5, seed ^ (a as u64) << 8);
+        let papers =
+            generators::clique_overlap(area_size, area_size * 2, 5, seed ^ (a as u64) << 8);
         for e in papers.edges() {
             b.add_edge(base + e.u, base + e.v);
         }
@@ -145,7 +150,10 @@ mod tests {
         let case = dblp_case(6, 40, 3);
         let cn = esd_core::baselines::topk_common_neighbors(&case.graph, 3);
         for s in &cn {
-            let (au, av) = (case.area_of[s.edge.u as usize], case.area_of[s.edge.v as usize]);
+            let (au, av) = (
+                case.area_of[s.edge.u as usize],
+                case.area_of[s.edge.v as usize],
+            );
             assert!(
                 au == av && au != usize::MAX,
                 "CN edge {} spans areas {au}/{av}",

@@ -54,11 +54,41 @@ pub struct DatasetSpec {
 /// The five Table I rows, in the paper's order.
 pub fn specs() -> [DatasetSpec; 5] {
     [
-        DatasetSpec { name: "Youtube", paper_n: 1_134_890, paper_m: 2_987_624, paper_dmax: 28_754, paper_delta: 51 },
-        DatasetSpec { name: "WikiTalk", paper_n: 2_394_385, paper_m: 4_659_565, paper_dmax: 100_029, paper_delta: 131 },
-        DatasetSpec { name: "DBLP", paper_n: 1_843_617, paper_m: 8_350_260, paper_dmax: 2_213, paper_delta: 279 },
-        DatasetSpec { name: "Pokec", paper_n: 1_632_803, paper_m: 22_301_964, paper_dmax: 14_854, paper_delta: 47 },
-        DatasetSpec { name: "LiveJournal", paper_n: 3_997_962, paper_m: 34_681_189, paper_dmax: 14_815, paper_delta: 360 },
+        DatasetSpec {
+            name: "Youtube",
+            paper_n: 1_134_890,
+            paper_m: 2_987_624,
+            paper_dmax: 28_754,
+            paper_delta: 51,
+        },
+        DatasetSpec {
+            name: "WikiTalk",
+            paper_n: 2_394_385,
+            paper_m: 4_659_565,
+            paper_dmax: 100_029,
+            paper_delta: 131,
+        },
+        DatasetSpec {
+            name: "DBLP",
+            paper_n: 1_843_617,
+            paper_m: 8_350_260,
+            paper_dmax: 2_213,
+            paper_delta: 279,
+        },
+        DatasetSpec {
+            name: "Pokec",
+            paper_n: 1_632_803,
+            paper_m: 22_301_964,
+            paper_dmax: 14_854,
+            paper_delta: 47,
+        },
+        DatasetSpec {
+            name: "LiveJournal",
+            paper_n: 3_997_962,
+            paper_m: 34_681_189,
+            paper_dmax: 14_815,
+            paper_delta: 360,
+        },
     ]
 }
 
@@ -71,14 +101,20 @@ pub fn load(name: &str, scale: Scale) -> Graph {
         "dblp" => dblp(scale),
         "pokec" => pokec(scale),
         "livejournal" => livejournal(scale),
-        other => panic!("unknown dataset {other:?}; expected one of Youtube/WikiTalk/DBLP/Pokec/LiveJournal"),
+        other => panic!(
+            "unknown dataset {other:?}; expected one of Youtube/WikiTalk/DBLP/Pokec/LiveJournal"
+        ),
     }
 }
 
 /// Merges several edge sets over the same vertex universe.
 fn overlay(graphs: &[Graph]) -> Graph {
-    let n = graphs.iter().map(|g| g.num_vertices()).max().unwrap_or(0);
-    let m: usize = graphs.iter().map(|g| g.num_edges()).sum();
+    let n = graphs
+        .iter()
+        .map(esd_graph::Graph::num_vertices)
+        .max()
+        .unwrap_or(0);
+    let m: usize = graphs.iter().map(esd_graph::Graph::num_edges).sum();
     let mut b = GraphBuilder::with_capacity(n, m);
     for g in graphs {
         for e in g.edges() {
@@ -142,7 +178,12 @@ mod tests {
     fn all_five_load_at_tiny_scale() {
         for spec in specs() {
             let g = load(spec.name, Scale::Tiny);
-            assert!(g.num_edges() > 500, "{} too small: m={}", spec.name, g.num_edges());
+            assert!(
+                g.num_edges() > 500,
+                "{} too small: m={}",
+                spec.name,
+                g.num_edges()
+            );
             assert!(
                 esd_graph::triangles::count_triangles(&g) > 100,
                 "{} needs triangles for the index to be non-trivial",

@@ -11,6 +11,7 @@ use esd_graph::{generators, Graph, GraphBuilder, VertexId};
 use std::collections::HashMap;
 
 /// A word graph: vertices are words, edges are associations.
+#[derive(Debug)]
 pub struct WordNetwork {
     /// The association graph.
     pub graph: Graph,
@@ -31,7 +32,10 @@ impl WordNetwork {
 /// context is a word list that is (a) fully associated with both hub words
 /// and (b) internally chained, forming one ego-network component.
 /// One polysemy core: the hub word pair and its list of contexts.
-type PolysemyCore = ((&'static str, &'static str), &'static [&'static [&'static str]]);
+type PolysemyCore = (
+    (&'static str, &'static str),
+    &'static [&'static [&'static str]],
+);
 
 const CORES: &[PolysemyCore] = &[
     (
@@ -73,7 +77,10 @@ pub fn word_association(filler_words: usize, seed: u64) -> WordNetwork {
     let mut ids: HashMap<&'static str, VertexId> = HashMap::new();
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
 
-    let intern = |w: &'static str, vocabulary: &mut Vec<String>, ids: &mut HashMap<&'static str, VertexId>| -> VertexId {
+    let intern = |w: &'static str,
+                  vocabulary: &mut Vec<String>,
+                  ids: &mut HashMap<&'static str, VertexId>|
+     -> VertexId {
         *ids.entry(w).or_insert_with(|| {
             vocabulary.push(w.to_string());
             (vocabulary.len() - 1) as VertexId
@@ -164,8 +171,16 @@ mod tests {
                 p.sort_unstable();
                 (p[0].to_string(), p[1].to_string())
             };
-            assert_eq!(pair(0), ("bank".into(), "money".into()), "fillers={fillers}");
-            assert_eq!(pair(1), ("house".into(), "wood".into()), "fillers={fillers}");
+            assert_eq!(
+                pair(0),
+                ("bank".into(), "money".into()),
+                "fillers={fillers}"
+            );
+            assert_eq!(
+                pair(1),
+                ("house".into(), "wood".into()),
+                "fillers={fillers}"
+            );
         }
     }
 

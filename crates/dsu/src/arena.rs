@@ -23,18 +23,21 @@
 #[derive(Debug, Clone)]
 pub struct ArenaDsu {
     /// `offsets[g]..offsets[g+1]` is group `g`'s slot range; length = #groups + 1.
-    offsets: Vec<usize>,
+    pub(crate) offsets: Vec<usize>,
     /// Parents as *local* slot ids within each group.
-    parent: Vec<u32>,
+    pub(crate) parent: Vec<u32>,
     /// Component size, valid at local roots.
-    size: Vec<u32>,
+    pub(crate) size: Vec<u32>,
 }
 
 impl ArenaDsu {
     /// Creates an arena from monotone group offsets (`offsets[0] == 0`, last
     /// entry is the total slot count). Every slot starts as a singleton.
     pub fn new(offsets: Vec<usize>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least the terminal 0");
+        assert!(
+            !offsets.is_empty(),
+            "offsets must contain at least the terminal 0"
+        );
         assert_eq!(offsets[0], 0, "offsets must start at 0");
         assert!(
             offsets.windows(2).all(|w| w[0] <= w[1]),
@@ -219,7 +222,9 @@ mod tests {
 
         impl Model {
             pub fn new(n: usize) -> Self {
-                Self { label: (0..n).collect() }
+                Self {
+                    label: (0..n).collect(),
+                }
             }
 
             pub fn union(&mut self, a: usize, b: usize) {

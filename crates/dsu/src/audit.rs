@@ -1,0 +1,300 @@
+//! Structural invariant auditing for the union–find structures.
+//!
+//! Both DSU layouts expose `validate()` returning typed, located
+//! [`DsuViolation`]s (empty = sound). The audited invariants:
+//!
+//! * every parent pointer stays inside its slot group;
+//! * every parent chain reaches a root within `len` steps (no cycles);
+//! * the size stored at each root equals the number of slots whose chain
+//!   terminates there;
+//! * ([`SlotDsu`] only) the cached set count equals the number of roots.
+
+use crate::{ArenaDsu, SlotDsu};
+
+/// One violated invariant of a disjoint-set structure, with its location.
+///
+/// `group` is always 0 for [`SlotDsu`], which manages a single slot range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DsuViolation {
+    /// The offsets array is empty, does not start at 0, or decreases.
+    BadOffsets {
+        /// First group index where the offsets are malformed.
+        group: usize,
+    },
+    /// A parent pointer leaves its group's slot range.
+    ParentOutOfBounds {
+        /// Group owning the slot.
+        group: usize,
+        /// Local slot with the stray pointer.
+        slot: usize,
+        /// The out-of-range parent value.
+        parent: u32,
+    },
+    /// A parent chain does not terminate (cycle among non-root slots).
+    ParentCycle {
+        /// Group owning the slot.
+        group: usize,
+        /// Local slot whose chain never reaches a root.
+        slot: usize,
+    },
+    /// The size stored at a root disagrees with the recomputed member count.
+    RootSizeMismatch {
+        /// Group owning the root.
+        group: usize,
+        /// Local slot of the root.
+        root: usize,
+        /// Size recorded at the root.
+        stored: u32,
+        /// Member count recomputed by following every chain.
+        actual: u32,
+    },
+    /// The cached number of disjoint sets disagrees with the root count.
+    SetCountMismatch {
+        /// Cached value.
+        stored: usize,
+        /// Number of roots actually present.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for DsuViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadOffsets { group } => write!(f, "malformed group offsets at group {group}"),
+            Self::ParentOutOfBounds {
+                group,
+                slot,
+                parent,
+            } => {
+                write!(
+                    f,
+                    "group {group} slot {slot} has out-of-range parent {parent}"
+                )
+            }
+            Self::ParentCycle { group, slot } => {
+                write!(f, "group {group} slot {slot} sits on a parent cycle")
+            }
+            Self::RootSizeMismatch {
+                group,
+                root,
+                stored,
+                actual,
+            } => write!(
+                f,
+                "group {group} root {root} stores size {stored}, chains give {actual}"
+            ),
+            Self::SetCountMismatch { stored, actual } => {
+                write!(f, "cached set count {stored} but {actual} roots exist")
+            }
+        }
+    }
+}
+
+/// Audits one contiguous parent/size group. `parent` and `size` are the
+/// group's local arrays (parents as local slot ids).
+fn audit_group(group: usize, parent: &[u32], size: &[u32], out: &mut Vec<DsuViolation>) {
+    let len = parent.len();
+    // Bounds first: chain-walking below must not index out of range.
+    let mut bounded = true;
+    for (slot, &p) in parent.iter().enumerate() {
+        if (p as usize) >= len {
+            out.push(DsuViolation::ParentOutOfBounds {
+                group,
+                slot,
+                parent: p,
+            });
+            bounded = false;
+        }
+    }
+    if !bounded {
+        return;
+    }
+    // Resolve each slot's root by walking at most `len` parents; recompute
+    // member counts per root.
+    let mut members = vec![0u32; len];
+    for slot in 0..len {
+        let mut cur = slot;
+        let mut steps = 0;
+        loop {
+            let p = parent[cur] as usize;
+            if p == cur {
+                members[cur] += 1;
+                break;
+            }
+            steps += 1;
+            if steps > len {
+                out.push(DsuViolation::ParentCycle { group, slot });
+                break;
+            }
+            cur = p;
+        }
+    }
+    for root in 0..len {
+        if parent[root] as usize == root && size[root] != members[root] {
+            out.push(DsuViolation::RootSizeMismatch {
+                group,
+                root,
+                stored: size[root],
+                actual: members[root],
+            });
+        }
+    }
+}
+
+impl SlotDsu {
+    /// Audits every structural invariant; returns all violations found
+    /// (empty = sound). `O(len)` amortised (paths are short after halving).
+    pub fn validate(&self) -> Vec<DsuViolation> {
+        let mut out = Vec::new();
+        audit_group(0, &self.parent, &self.size, &mut out);
+        let roots = (0..self.parent.len())
+            .filter(|&x| self.parent[x] as usize == x)
+            .count();
+        if self.num_sets() != roots {
+            out.push(DsuViolation::SetCountMismatch {
+                stored: self.num_sets(),
+                actual: roots,
+            });
+        }
+        out
+    }
+}
+
+impl ArenaDsu {
+    /// Audits every group of the arena; returns all violations found
+    /// (empty = sound).
+    pub fn validate(&self) -> Vec<DsuViolation> {
+        let mut out = Vec::new();
+        if self.offsets.is_empty() || self.offsets[0] != 0 {
+            out.push(DsuViolation::BadOffsets { group: 0 });
+            return out;
+        }
+        for (g, w) in self.offsets.windows(2).enumerate() {
+            if w[0] > w[1] || w[1] > self.parent.len() {
+                out.push(DsuViolation::BadOffsets { group: g });
+                return out;
+            }
+        }
+        if self.offsets.last() != Some(&self.parent.len()) {
+            out.push(DsuViolation::BadOffsets {
+                group: self.offsets.len() - 1,
+            });
+            return out;
+        }
+        for g in 0..self.num_groups() {
+            let (lo, hi) = (self.offsets[g], self.offsets[g + 1]);
+            audit_group(g, &self.parent[lo..hi], &self.size[lo..hi], &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn merged_slot_dsu() -> SlotDsu {
+        let mut dsu = SlotDsu::new(6);
+        dsu.union(0, 1);
+        dsu.union(1, 2);
+        dsu.union(4, 5);
+        dsu
+    }
+
+    #[test]
+    fn clean_structures_have_no_violations() {
+        assert_eq!(SlotDsu::new(0).validate(), Vec::new());
+        assert_eq!(merged_slot_dsu().validate(), Vec::new());
+        let mut arena = ArenaDsu::new(vec![0, 4, 4, 9]);
+        arena.union(0, 0, 3);
+        arena.union(2, 1, 4);
+        assert_eq!(arena.validate(), Vec::new());
+    }
+
+    #[test]
+    fn detects_parent_out_of_bounds() {
+        let mut dsu = merged_slot_dsu();
+        dsu.parent[3] = 99;
+        let v = dsu.validate();
+        assert!(
+            v.contains(&DsuViolation::ParentOutOfBounds {
+                group: 0,
+                slot: 3,
+                parent: 99
+            }),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut dsu = SlotDsu::new(4);
+        dsu.parent[0] = 1;
+        dsu.parent[1] = 0; // 0 <-> 1, neither is a root
+        let v = dsu.validate();
+        assert!(
+            v.contains(&DsuViolation::ParentCycle { group: 0, slot: 0 }),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_root_size_mismatch() {
+        let mut dsu = merged_slot_dsu();
+        let root = dsu.find(0);
+        dsu.size[root] = 17;
+        let v = dsu.validate();
+        assert!(
+            v.contains(&DsuViolation::RootSizeMismatch {
+                group: 0,
+                root,
+                stored: 17,
+                actual: 3
+            }),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_set_count_mismatch() {
+        let mut dsu = merged_slot_dsu();
+        dsu.num_sets = 1;
+        let v = dsu.validate();
+        assert!(
+            v.contains(&DsuViolation::SetCountMismatch {
+                stored: 1,
+                actual: 3
+            }),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn arena_detects_cross_group_faults() {
+        let mut arena = ArenaDsu::new(vec![0, 3, 6]);
+        arena.union(1, 0, 2);
+        // Corrupt group 1's root size; group 0 must stay clean.
+        let base = 3;
+        let root = arena.find(1, 0);
+        arena.size[base + root] = 9;
+        let v = arena.validate();
+        assert_eq!(v.len(), 1, "got {v:?}");
+        assert!(
+            matches!(v[0], DsuViolation::RootSizeMismatch { group: 1, .. }),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn arena_detects_bad_offsets() {
+        let mut arena = ArenaDsu::new(vec![0, 2, 4]);
+        arena.offsets[1] = 3; // overlaps group 1's range end
+        arena.offsets[2] = 2; // decreasing
+        let v = arena.validate();
+        assert!(
+            v.contains(&DsuViolation::BadOffsets { group: 1 }),
+            "got {v:?}"
+        );
+    }
+}

@@ -18,10 +18,13 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
+
 mod arena;
 mod slot;
 
 pub use arena::ArenaDsu;
+pub use audit::DsuViolation;
 pub use slot::SlotDsu;
 
 #[cfg(test)]

@@ -20,16 +20,19 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct SlotDsu {
-    parent: Vec<u32>,
+    pub(crate) parent: Vec<u32>,
     /// Valid only at roots: number of elements in the set.
-    size: Vec<u32>,
-    num_sets: usize,
+    pub(crate) size: Vec<u32>,
+    pub(crate) num_sets: usize,
 }
 
 impl SlotDsu {
     /// Creates `len` singleton sets.
     pub fn new(len: usize) -> Self {
-        assert!(len <= u32::MAX as usize, "SlotDsu supports at most u32::MAX slots");
+        assert!(
+            len <= u32::MAX as usize,
+            "SlotDsu supports at most u32::MAX slots"
+        );
         Self {
             parent: (0..len as u32).collect(),
             size: vec![1; len],
@@ -81,7 +84,11 @@ impl SlotDsu {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big as u32;
         self.size[big] += self.size[small];
         self.num_sets -= 1;

@@ -17,7 +17,7 @@ pub fn edge_betweenness(g: &Graph) -> Vec<f64> {
     let mut scores = accumulate(g, &sources);
     // Brandes accumulates each unordered pair twice (once per endpoint as
     // source); halve for the conventional normalisation.
-    for s in scores.iter_mut() {
+    for s in &mut scores {
         *s /= 2.0;
     }
     scores
@@ -36,7 +36,7 @@ pub fn edge_betweenness_sampled(g: &Graph, pivots: usize, seed: u64) -> Vec<f64>
     sources.truncate(pivots.min(n));
     let scale = n as f64 / sources.len() as f64 / 2.0;
     let mut scores = accumulate(g, &sources);
-    for s in scores.iter_mut() {
+    for s in &mut scores {
         *s *= scale;
     }
     scores
@@ -131,7 +131,10 @@ mod tests {
         let bridge = g.edge_id(0, 4).unwrap() as usize;
         let max = bt.iter().cloned().fold(f64::MIN, f64::max);
         assert!((bt[bridge] - max).abs() < 1e-9, "bridge must rank first");
-        assert!((bt[bridge] - 16.0).abs() < 1e-9, "4x4 pairs cross the bridge");
+        assert!(
+            (bt[bridge] - 16.0).abs() < 1e-9,
+            "4x4 pairs cross the bridge"
+        );
     }
 
     #[test]

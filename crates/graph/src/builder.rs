@@ -72,7 +72,10 @@ impl GraphBuilder {
     pub fn build(mut self) -> Graph {
         self.edges.sort_unstable();
         self.edges.dedup();
-        Graph::from_sorted_canonical_edges(self.n, self.edges)
+        let g = Graph::from_sorted_canonical_edges(self.n, self.edges);
+        #[cfg(any(test, feature = "strict-invariants"))]
+        crate::audit::assert_clean("Graph (post-build)", &g.validate());
+        g
     }
 }
 

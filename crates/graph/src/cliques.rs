@@ -18,6 +18,7 @@ use crate::{Graph, OrientedGraph, VertexId};
 /// `w1 → w2` directed. The membership test "is `w2` a common out-neighbour"
 /// uses a generation-stamped scratch array, so repeated runs reuse the
 /// allocation.
+#[derive(Debug)]
 pub struct FourCliqueEnumerator {
     stamp: Vec<u32>,
     generation: u32,
@@ -48,7 +49,11 @@ impl FourCliqueEnumerator {
         mut f: impl FnMut(VertexId, VertexId),
     ) {
         self.common.clear();
-        crate::intersect::intersect_into(dag.out_neighbors(u), dag.out_neighbors(v), &mut self.common);
+        crate::intersect::intersect_into(
+            dag.out_neighbors(u),
+            dag.out_neighbors(v),
+            &mut self.common,
+        );
         if self.common.len() < 2 {
             return;
         }

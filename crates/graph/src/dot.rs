@@ -9,8 +9,14 @@ use crate::{traversal, Graph, VertexId};
 
 /// Colour palette cycled over components (Graphviz X11 scheme names).
 const PALETTE: [&str; 8] = [
-    "indianred1", "lightskyblue", "palegreen3", "plum", "goldenrod1",
-    "lightsalmon", "aquamarine3", "gray80",
+    "indianred1",
+    "lightskyblue",
+    "palegreen3",
+    "plum",
+    "goldenrod1",
+    "lightsalmon",
+    "aquamarine3",
+    "gray80",
 ];
 
 /// Escapes a label for a quoted DOT string.
@@ -21,7 +27,8 @@ fn escape(label: &str) -> String {
 /// Renders the whole graph as a DOT document. `label` maps a vertex to its
 /// display name (`None` falls back to the numeric id).
 pub fn to_dot(g: &Graph, label: impl Fn(VertexId) -> Option<String>) -> String {
-    let mut out = String::from("graph G {\n  node [shape=ellipse, style=filled, fillcolor=white];\n");
+    let mut out =
+        String::from("graph G {\n  node [shape=ellipse, style=filled, fillcolor=white];\n");
     for v in g.vertices() {
         let name = label(v).unwrap_or_else(|| v.to_string());
         out.push_str(&format!("  n{v} [label=\"{}\"];\n", escape(&name)));
@@ -114,7 +121,19 @@ mod tests {
         // {4,5} (edge) — two ego-network components.
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 3), (1, 4), (1, 5), (2, 3), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (4, 5),
+            ],
         );
         let dot = ego_network_dot(&g, 0, 1, |_| None);
         assert!(dot.contains("cluster_0"));

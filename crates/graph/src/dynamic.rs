@@ -19,8 +19,8 @@ use crate::{Edge, Graph, VertexId};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DynamicGraph {
-    adj: Vec<Vec<VertexId>>,
-    m: usize,
+    pub(crate) adj: Vec<Vec<VertexId>>,
+    pub(crate) m: usize,
 }
 
 impl DynamicGraph {
@@ -139,7 +139,10 @@ impl DynamicGraph {
         for (u, nbrs) in self.adj.iter().enumerate() {
             for &v in nbrs {
                 if (u as VertexId) < v {
-                    out.push(Edge { u: u as VertexId, v });
+                    out.push(Edge {
+                        u: u as VertexId,
+                        v,
+                    });
                 }
             }
         }

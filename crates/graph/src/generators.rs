@@ -219,7 +219,11 @@ pub fn star_forest_mix(n: usize, hubs: usize, extra_edges: usize, seed: u64) -> 
     let hubs = hubs.clamp(1, n);
     for v in hubs..n {
         // Attach each non-hub to a random hub; hub 0 is by far the largest.
-        let h = if rng.gen::<f64>() < 0.5 { 0 } else { rng.gen_range(0..hubs) };
+        let h = if rng.gen::<f64>() < 0.5 {
+            0
+        } else {
+            rng.gen_range(0..hubs)
+        };
         b.add_edge(v as VertexId, h as VertexId);
     }
     for _ in 0..extra_edges {

@@ -31,14 +31,14 @@ pub type EdgeId = u32;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     /// CSR offsets, length `n + 1`.
-    offsets: Vec<usize>,
+    pub(crate) offsets: Vec<usize>,
     /// Concatenated sorted adjacency lists, length `2m`.
-    neighbors: Vec<VertexId>,
+    pub(crate) neighbors: Vec<VertexId>,
     /// Canonical edges sorted by `(u, v)`; index = [`EdgeId`].
-    edges: Vec<Edge>,
+    pub(crate) edges: Vec<Edge>,
     /// For each vertex `u`, the first index into `edges` with smaller endpoint
     /// `u`; length `n + 1`. Enables `O(log d)` edge-id lookups.
-    forward_offsets: Vec<usize>,
+    pub(crate) forward_offsets: Vec<usize>,
 }
 
 impl Graph {
@@ -55,7 +55,10 @@ impl Graph {
     /// Internal constructor used by the builder. `edges` must be canonical,
     /// sorted, and deduplicated; endpoints must be `< n`.
     pub(crate) fn from_sorted_canonical_edges(n: usize, edges: Vec<Edge>) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be sorted+dedup"
+        );
         let mut degree = vec![0usize; n];
         for e in &edges {
             assert!((e.v as usize) < n, "edge {e} out of bounds for n = {n}");
@@ -139,7 +142,11 @@ impl Graph {
             return false;
         }
         // Probe the smaller adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 

@@ -89,7 +89,12 @@ pub fn load_edge_list(path: impl AsRef<Path>) -> Result<(Graph, Vec<u64>), IoErr
 /// Writes `g` as a `#`-commented edge list compatible with [`read_edge_list`].
 pub fn write_edge_list(g: &Graph, writer: impl Write) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# undirected graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# undirected graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for e in g.edges() {
         writeln!(w, "{}\t{}", e.u, e.v)?;
     }
@@ -145,7 +150,11 @@ mod tests {
         assert_eq!(g.num_edges(), g2.num_edges());
         // Relabelled in first-appearance order, which differs from id order
         // only when isolated vertices exist; compare degree multisets.
-        let mut d1: Vec<usize> = g.vertices().map(|v| g.degree(v)).filter(|&d| d > 0).collect();
+        let mut d1: Vec<usize> = g
+            .vertices()
+            .map(|v| g.degree(v))
+            .filter(|&d| d > 0)
+            .collect();
         let mut d2: Vec<usize> = g2.vertices().map(|v| g2.degree(v)).collect();
         d1.sort_unstable();
         d2.sort_unstable();

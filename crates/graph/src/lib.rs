@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod betweenness;
 pub mod builder;
 pub mod cliques;
@@ -84,7 +85,7 @@ impl Edge {
 
     /// Packs the edge into a single `u64` key (useful for hash maps).
     pub fn key(&self) -> u64 {
-        ((self.u as u64) << 32) | self.v as u64
+        (u64::from(self.u) << 32) | u64::from(self.v)
     }
 
     /// Inverse of [`Self::key`].

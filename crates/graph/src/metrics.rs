@@ -50,7 +50,12 @@ impl std::fmt::Display for GraphStats {
         write!(
             f,
             "n={} m={} d_max={} δ={} α∈[{},{}]",
-            self.n, self.m, self.d_max, self.degeneracy, self.arboricity_lower, self.arboricity_upper
+            self.n,
+            self.m,
+            self.d_max,
+            self.degeneracy,
+            self.arboricity_lower,
+            self.arboricity_upper
         )
     }
 }

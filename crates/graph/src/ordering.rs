@@ -163,7 +163,11 @@ impl OrientedGraph {
         let mut cursor = offsets.clone();
         let mut targets = vec![0 as VertexId; g.num_edges()];
         for e in g.edges() {
-            let (src, dst) = if rank(e.u) < rank(e.v) { (e.u, e.v) } else { (e.v, e.u) };
+            let (src, dst) = if rank(e.u) < rank(e.v) {
+                (e.u, e.v)
+            } else {
+                (e.v, e.u)
+            };
             targets[cursor[src as usize]] = dst;
             cursor[src as usize] += 1;
         }

@@ -57,7 +57,10 @@ pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<u32> {
 /// member's neighbour list with `members`, so the cost is
 /// `O(Σ_{w ∈ members} min(d(w), |members|))` — the bound used by Theorem 2.
 pub fn induced_component_sizes(g: &Graph, members: &[VertexId]) -> Vec<u32> {
-    debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be sorted+unique");
+    debug_assert!(
+        members.windows(2).all(|w| w[0] < w[1]),
+        "members must be sorted+unique"
+    );
     let k = members.len();
     if k == 0 {
         return Vec::new();
@@ -80,7 +83,9 @@ pub fn induced_component_sizes(g: &Graph, members: &[VertexId]) -> Vec<u32> {
             buf.clear();
             crate::intersect::intersect_into(g.neighbors(w), members, &mut buf);
             for &x in &buf {
-                let lx = members.binary_search(&x).expect("member of the induced set");
+                let lx = members
+                    .binary_search(&x)
+                    .expect("member of the induced set");
                 if !visited[lx] {
                     visited[lx] = true;
                     queue.push(lx);
@@ -100,7 +105,10 @@ pub fn induced_component_sizes(g: &Graph, members: &[VertexId]) -> Vec<u32> {
 /// `members` must be sorted. Components are returned largest-first, ties by
 /// smallest member.
 pub fn induced_components(g: &Graph, members: &[VertexId]) -> Vec<Vec<VertexId>> {
-    debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be sorted+unique");
+    debug_assert!(
+        members.windows(2).all(|w| w[0] < w[1]),
+        "members must be sorted+unique"
+    );
     let k = members.len();
     let mut visited = vec![false; k];
     let mut out: Vec<Vec<VertexId>> = Vec::new();
@@ -118,7 +126,9 @@ pub fn induced_components(g: &Graph, members: &[VertexId]) -> Vec<Vec<VertexId>>
             buf.clear();
             crate::intersect::intersect_into(g.neighbors(members[local]), members, &mut buf);
             for &x in &buf {
-                let lx = members.binary_search(&x).expect("member of the induced set");
+                let lx = members
+                    .binary_search(&x)
+                    .expect("member of the induced set");
                 if !visited[lx] {
                     visited[lx] = true;
                     queue.push(lx);

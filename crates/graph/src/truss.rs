@@ -41,11 +41,11 @@ pub fn truss_decomposition(g: &Graph) -> Vec<u32> {
 
     // Helper: decrement support of a live edge, keeping buckets consistent.
     let decrement = |e: usize,
-                         support: &mut Vec<u32>,
-                         pos: &mut Vec<usize>,
-                         order: &mut Vec<u32>,
-                         bucket_start: &mut Vec<usize>,
-                         floor: usize| {
+                     support: &mut Vec<u32>,
+                     pos: &mut Vec<usize>,
+                     order: &mut Vec<u32>,
+                     bucket_start: &mut Vec<usize>,
+                     floor: usize| {
         let s = support[e] as usize;
         if s == 0 {
             return;
@@ -79,16 +79,32 @@ pub fn truss_decomposition(g: &Graph) -> Vec<u32> {
             if w == b {
                 continue;
             }
-            let (Some(e1), Some(e2)) = (g.edge_id(a, w), g.edge_id(b, w)) else { continue };
+            let (Some(e1), Some(e2)) = (g.edge_id(a, w), g.edge_id(b, w)) else {
+                continue;
+            };
             if removed[e1 as usize] || removed[e2 as usize] {
                 continue;
             }
             // Only decrement edges not yet peeled (position after i).
             if pos[e1 as usize] > i {
-                decrement(e1 as usize, &mut support, &mut pos, &mut order, &mut bucket_start, i + 1);
+                decrement(
+                    e1 as usize,
+                    &mut support,
+                    &mut pos,
+                    &mut order,
+                    &mut bucket_start,
+                    i + 1,
+                );
             }
             if pos[e2 as usize] > i {
-                decrement(e2 as usize, &mut support, &mut pos, &mut order, &mut bucket_start, i + 1);
+                decrement(
+                    e2 as usize,
+                    &mut support,
+                    &mut pos,
+                    &mut order,
+                    &mut bucket_start,
+                    i + 1,
+                );
             }
         }
     }
@@ -178,7 +194,11 @@ mod tests {
         }
         for seed in 0..3 {
             let g = generators::clique_overlap(40, 30, 6, seed);
-            assert_eq!(truss_decomposition(&g), naive_truss(&g), "overlap seed {seed}");
+            assert_eq!(
+                truss_decomposition(&g),
+                naive_truss(&g),
+                "overlap seed {seed}"
+            );
         }
     }
 

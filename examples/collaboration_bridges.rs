@@ -44,7 +44,11 @@ fn main() {
 
     println!("\ntop-3 by edge structural diversity (τ = 2):");
     for s in naive_topk(g, 3, 2) {
-        let planted = if case.bridges.contains(&s.edge) { "  [planted bridge]" } else { "" };
+        let planted = if case.bridges.contains(&s.edge) {
+            "  [planted bridge]"
+        } else {
+            ""
+        };
         println!("  {}: score {}{planted}", s.edge, s.score);
         println!("      {}", describe(s.edge.u, s.edge.v));
     }
@@ -57,7 +61,11 @@ fn main() {
 
     println!("\ntop-3 by edge betweenness (BT):");
     for s in baselines::topk_betweenness_sampled(g, 3, 200, 11) {
-        let planted = if s.edge == case.barbell { "  [planted barbell]" } else { "" };
+        let planted = if s.edge == case.barbell {
+            "  [planted barbell]"
+        } else {
+            ""
+        };
         println!("  {}: betweenness {:.0}{planted}", s.edge, s.weight);
         println!("      {}", describe(s.edge.u, s.edge.v));
     }

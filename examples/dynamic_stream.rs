@@ -14,7 +14,11 @@ use std::time::Instant;
 
 fn main() {
     let g = generators::clique_overlap(1_200, 900, 6, 99);
-    println!("start: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "start: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let mut live = MaintainedIndex::new(&g);
     let mut rng = StdRng::seed_from_u64(0xD1CE);
@@ -44,7 +48,7 @@ fn main() {
                 "  after {:>3} updates: top-3 at τ=2 = {}",
                 step + 1,
                 top.iter()
-                    .map(|s| s.to_string())
+                    .map(std::string::ToString::to_string)
                     .collect::<Vec<_>>()
                     .join(", ")
             );
@@ -59,8 +63,7 @@ fn main() {
     let one_rebuild = start.elapsed();
 
     println!(
-        "\n{updates} updates ({inserted} inserts, {deleted} deletes) maintained in {:?}",
-        maintain_time
+        "\n{updates} updates ({inserted} inserts, {deleted} deletes) maintained in {maintain_time:?}"
     );
     println!(
         "one full rebuild takes {:?} → rebuilding per update would cost ~{:?}",

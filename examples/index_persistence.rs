@@ -14,12 +14,20 @@ use std::time::Instant;
 
 fn main() {
     let g = generators::clique_overlap(5_000, 4_000, 6, 7);
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Offline: build + freeze + save.
     let start = Instant::now();
     let index = EsdIndex::build_fast(&g);
-    println!("built ESDIndex in {:?} ({} entries)", start.elapsed(), index.total_entries());
+    println!(
+        "built ESDIndex in {:?} ({} entries)",
+        start.elapsed(),
+        index.total_entries()
+    );
     let frozen = index.freeze();
     println!(
         "frozen: {} bytes vs {} bytes treap form ({:.1}x smaller)",
@@ -29,7 +37,11 @@ fn main() {
     );
     let path = std::env::temp_dir().join("esd_example.esdx");
     frozen.save(&path).expect("save index");
-    println!("saved to {} ({} bytes on disk)", path.display(), std::fs::metadata(&path).unwrap().len());
+    println!(
+        "saved to {} ({} bytes on disk)",
+        path.display(),
+        std::fs::metadata(&path).unwrap().len()
+    );
 
     // Online: load + serve.
     let start = Instant::now();
@@ -48,7 +60,7 @@ fn main() {
     println!(
         "{reps} queries in {:?} ({:.2} µs/query, checksum {checksum:x})",
         elapsed,
-        elapsed.as_secs_f64() * 1e6 / reps as f64
+        elapsed.as_secs_f64() * 1e6 / f64::from(reps)
     );
     assert_eq!(served.query(10, 2), index.query(10, 2), "loaded == built");
 

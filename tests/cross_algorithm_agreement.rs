@@ -28,10 +28,26 @@ fn all_algorithms_agree_on_all_surrogates() {
                 reference,
                 "OnlineBFS+ diverged on {label}"
             );
-            assert_eq!(basic.query(25, tau), reference, "ESDIndex diverged on {label}");
-            assert_eq!(fast.query(25, tau), reference, "ESDIndex+ diverged on {label}");
-            assert_eq!(parallel.query(25, tau), reference, "PESDIndex+ diverged on {label}");
-            assert_eq!(maintained.query(25, tau), reference, "maintained diverged on {label}");
+            assert_eq!(
+                basic.query(25, tau),
+                reference,
+                "ESDIndex diverged on {label}"
+            );
+            assert_eq!(
+                fast.query(25, tau),
+                reference,
+                "ESDIndex+ diverged on {label}"
+            );
+            assert_eq!(
+                parallel.query(25, tau),
+                reference,
+                "PESDIndex+ diverged on {label}"
+            );
+            assert_eq!(
+                maintained.query(25, tau),
+                reference,
+                "maintained diverged on {label}"
+            );
         }
     }
 }

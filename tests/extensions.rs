@@ -17,7 +17,11 @@ fn frozen_persistence_roundtrip_on_surrogates() {
         let loaded = FrozenEsdIndex::read_from(buf.as_slice()).unwrap();
         assert_eq!(loaded, frozen, "{name}");
         for tau in [1, 2, 3] {
-            assert_eq!(loaded.query(20, tau), index.query(20, tau), "{name} τ={tau}");
+            assert_eq!(
+                loaded.query(20, tau),
+                index.query(20, tau),
+                "{name} τ={tau}"
+            );
         }
     }
 }
@@ -60,9 +64,19 @@ fn rankings_are_semantically_distinct() {
     // community-structured graph (each captures a different notion).
     let case = esd::datasets::dblp_case::dblp_case(6, 40, 3);
     let g = &case.graph;
-    let esd_top: Vec<_> = EsdIndex::build_fast(g).query(5, 2).iter().map(|s| s.edge).collect();
-    let cn_top: Vec<_> = baselines::topk_common_neighbors(g, 5).iter().map(|s| s.edge).collect();
-    let tr_top: Vec<_> = baselines::topk_trussness(g, 5).iter().map(|s| s.edge).collect();
+    let esd_top: Vec<_> = EsdIndex::build_fast(g)
+        .query(5, 2)
+        .iter()
+        .map(|s| s.edge)
+        .collect();
+    let cn_top: Vec<_> = baselines::topk_common_neighbors(g, 5)
+        .iter()
+        .map(|s| s.edge)
+        .collect();
+    let tr_top: Vec<_> = baselines::topk_trussness(g, 5)
+        .iter()
+        .map(|s| s.edge)
+        .collect();
     let bt_top: Vec<_> = baselines::topk_betweenness_sampled(g, 5, 120, 1)
         .iter()
         .map(|s| s.edge)

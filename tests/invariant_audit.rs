@@ -1,0 +1,177 @@
+//! Invariant-audit integration tests.
+//!
+//! Three layers of defence exercised end to end:
+//!
+//! 1. **Differential churn** — random insert/delete streams against a
+//!    [`MaintainedIndex`], auditing the full structural invariant set after
+//!    every single mutation and the deep (ground-truth partition) set at the
+//!    end. The `strict-invariants` feature is active here, so every mutation
+//!    *also* self-audits inside the library.
+//! 2. **Static builds** — every builder's output audits clean, both
+//!    structurally and against ground truth recomputed from the graph.
+//! 3. **Persistence** — flipping any single byte of an ESDX file (every
+//!    position, several masks) must yield a [`PersistError`], never a panic
+//!    and never a silently different index; same for every truncation
+//!    length.
+
+use esd_core::fixtures::fig1;
+use esd_core::index::FrozenEsdIndex;
+use esd_core::maintain::MaintainedIndex;
+use esd_core::EsdIndex;
+use esd_graph::generators;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random churn: the audit layer must stay clean after every mutation.
+    #[test]
+    fn maintained_index_survives_random_churn(
+        seed in 0u64..1_000,
+        ops in prop::collection::vec(any::<u32>(), 1..48),
+    ) {
+        const N: u32 = 22;
+        let g = generators::erdos_renyi(N as usize, 0.18, seed);
+        let mut index = MaintainedIndex::new(&g);
+        for &op in &ops {
+            let insert = op & 1 == 1;
+            let u = (op >> 1) % N;
+            let v = (op >> 9) % N;
+            if insert {
+                index.insert_edge(u, v);
+            } else {
+                index.remove_edge(u, v);
+            }
+            let violations = index.validate();
+            prop_assert!(
+                violations.is_empty(),
+                "after {}({u},{v}): {violations:?}",
+                if insert { "insert" } else { "remove" }
+            );
+        }
+        let deep = index.validate_deep();
+        prop_assert!(deep.is_empty(), "deep audit after churn: {deep:?}");
+    }
+
+    /// Batched churn takes different code paths (shared retract/restore);
+    /// the audit must stay clean there too.
+    #[test]
+    fn batched_churn_audits_clean(
+        seed in 0u64..1_000,
+        ops in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        use esd_core::maintain::GraphUpdate;
+        const N: u32 = 20;
+        let g = generators::erdos_renyi(N as usize, 0.2, seed);
+        let mut index = MaintainedIndex::new(&g);
+        let updates: Vec<GraphUpdate> = ops
+            .iter()
+            .map(|&op| {
+                let (u, v) = ((op >> 1) % N, (op >> 9) % N);
+                if op & 1 == 1 {
+                    GraphUpdate::Insert(u, v)
+                } else {
+                    GraphUpdate::Remove(u, v)
+                }
+            })
+            .collect();
+        index.apply_batch(&updates);
+        let deep = index.validate_deep();
+        prop_assert!(deep.is_empty(), "deep audit after batch: {deep:?}");
+    }
+}
+
+/// Every static builder's output audits clean — structurally and against
+/// ground truth recomputed from the graph (including the Theorem 3 bound).
+#[test]
+fn static_builders_audit_clean() {
+    let (fig, _) = fig1();
+    let mut graphs = vec![fig];
+    for seed in 0..3 {
+        graphs.push(generators::clique_overlap(70, 60, 5, seed));
+        graphs.push(generators::erdos_renyi(40, 0.2, seed));
+    }
+    for g in &graphs {
+        for index in [
+            EsdIndex::build_basic(g),
+            EsdIndex::build_fast(g),
+            EsdIndex::build_parallel(g, 4),
+        ] {
+            assert_eq!(index.validate_against(g), Vec::new());
+            assert_eq!(index.freeze().validate_against(g), Vec::new());
+        }
+    }
+}
+
+/// Exhaustive single-byte corruption: for every byte position and several
+/// flip masks, the loader must return an error — structural or checksum —
+/// and must never panic or accept the mutated file.
+#[test]
+fn esdx_every_single_byte_corruption_is_rejected() {
+    let (g, _) = fig1();
+    let frozen = FrozenEsdIndex::build(&g);
+    let mut buf = Vec::new();
+    frozen.write_to(&mut buf).unwrap();
+    for pos in 0..buf.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut bad = buf.clone();
+            bad[pos] ^= mask;
+            assert!(
+                FrozenEsdIndex::read_from(bad.as_slice()).is_err(),
+                "flipping byte {pos} with mask {mask:#04x} must not load"
+            );
+        }
+    }
+}
+
+/// Every possible truncation of a valid ESDX file is rejected.
+#[test]
+fn esdx_every_truncation_is_rejected() {
+    let (g, _) = fig1();
+    let frozen = FrozenEsdIndex::build(&g);
+    let mut buf = Vec::new();
+    frozen.write_to(&mut buf).unwrap();
+    for cut in 0..buf.len() {
+        assert!(
+            FrozenEsdIndex::read_from(&buf[..cut]).is_err(),
+            "truncation to {cut} bytes must not load"
+        );
+    }
+}
+
+/// A crafted file that satisfies every field-level check and carries a valid
+/// checksum but breaks the cross-list nesting invariant must still be
+/// rejected by the loader's structural audit.
+#[test]
+fn esdx_semantically_corrupt_but_checksummed_file_is_rejected() {
+    // Two lists: H(1) = {(0,1): 2}, H(2) = {(2,3): 1}. Each list is locally
+    // rank-ordered with canonical positive-score entries and the offsets are
+    // monotone — but H(2) ⊄ H(1), which no builder can produce.
+    let mut body = Vec::new();
+    body.extend_from_slice(b"ESDX");
+    body.extend_from_slice(&1u32.to_le_bytes()); // version
+    body.extend_from_slice(&2u64.to_le_bytes()); // |C|
+    body.extend_from_slice(&2u64.to_le_bytes()); // entries
+    body.extend_from_slice(&1u32.to_le_bytes()); // C = {1, 2}
+    body.extend_from_slice(&2u32.to_le_bytes());
+    for off in [0u64, 1, 2] {
+        body.extend_from_slice(&off.to_le_bytes());
+    }
+    for (u, v, s) in [(0u32, 1u32, 2u32), (2, 3, 1)] {
+        body.extend_from_slice(&u.to_le_bytes());
+        body.extend_from_slice(&v.to_le_bytes());
+        body.extend_from_slice(&s.to_le_bytes());
+    }
+    // Valid FNV-1a trailer over the body.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &body {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    body.extend_from_slice(&h.to_le_bytes());
+    let err = FrozenEsdIndex::read_from(body.as_slice());
+    assert!(
+        err.is_err(),
+        "nesting-violating file must be rejected, got {err:?}"
+    );
+}

@@ -64,12 +64,20 @@ fn example_5_query() {
 #[test]
 fn example_6_insertion() {
     let (g, n) = fig1();
-    assert_eq!(edge_score(&g, n["d"], n["e"], 1), 2, "{{b}} and {{f,g}} before");
+    assert_eq!(
+        edge_score(&g, n["d"], n["e"], 1),
+        2,
+        "{{b}} and {{f,g}} before"
+    );
     let mut index = MaintainedIndex::new(&g);
     index.insert_edge(n["c"], n["d"]);
     let g2 = index.graph().to_graph();
     assert_eq!(edge_score(&g2, n["d"], n["e"], 1), 1, "one component after");
-    assert_eq!(edge_score(&g2, n["d"], n["e"], 4), 1, "…of size 4: {{b,c,f,g}}");
+    assert_eq!(
+        edge_score(&g2, n["d"], n["e"], 4),
+        1,
+        "…of size 4: {{b,c,f,g}}"
+    );
 }
 
 /// Example 7: deleting (u,k) creates H(3); (j,k) gets components {h,i}, {v,p,q}.

@@ -1,0 +1,208 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of the criterion 0.5 API the `esd-bench`
+//! benches use: [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, `sample_size`, [`BenchmarkId`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical sampling it runs each benchmark a
+//! small fixed number of iterations and prints the mean wall time — enough
+//! to eyeball regressions and, more importantly, to keep `cargo test
+//! --benches` compiling and running the bench bodies.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iteration count.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores time limits.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs benchmark `id` in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), f);
+        self
+    }
+
+    /// Runs benchmark `id` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters: 3,
+        mean_nanos: 0.0,
+    };
+    f(&mut bencher);
+    let mean = bencher.mean_nanos;
+    let pretty = if mean >= 1e9 {
+        format!("{:.3} s", mean / 1e9)
+    } else if mean >= 1e6 {
+        format!("{:.3} ms", mean / 1e6)
+    } else if mean >= 1e3 {
+        format!("{:.3} µs", mean / 1e3)
+    } else {
+        format!("{mean:.0} ns")
+    };
+    println!("bench {group}/{id}: {pretty}", id = id.id);
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one("", &id.into(), f);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// Declares a group function invoking the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u64;
+        group.sample_size(10).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("with", 5), &5u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        assert!(runs >= 3, "bench body ran {runs} times");
+    }
+}
