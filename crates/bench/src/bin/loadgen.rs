@@ -1,0 +1,250 @@
+//! Closed-loop load generator for the `esd-serve` query service.
+//!
+//! Drives a mixed read/write workload through [`ServiceHandle`]s at each
+//! requested worker count and reports throughput, tail latency, and cache
+//! behaviour, then measures query availability while a 1000-edge batch is
+//! being applied. The first row (0 workers = inline single-threaded mode)
+//! is the scaling baseline.
+//!
+//! ```text
+//! loadgen [--n V] [--ops N] [--write-ratio R] [--workers 0,2,8] [--seed S]
+//! ```
+//!
+//! Queries draw `k` log-uniformly from `[16, 2048]` and `τ` from `[1, 4]`
+//! so the result cache sees a realistic mix of hits and misses instead of
+//! one key served entirely from cache.
+
+use esd_core::maintain::GraphUpdate;
+use esd_graph::{generators, Graph};
+use esd_serve::{Service, ServiceConfig, ServiceHandle};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    n: u32,
+    ops: u64,
+    write_ratio: f64,
+    workers: Vec<usize>,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        n: 600,
+        ops: 2000,
+        write_ratio: 0.05,
+        workers: vec![0, 8],
+        seed: 0xBE7C,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--n" => cfg.n = value("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?,
+            "--ops" => {
+                cfg.ops = value("--ops")?
+                    .parse()
+                    .map_err(|e| format!("bad --ops: {e}"))?
+            }
+            "--write-ratio" => {
+                cfg.write_ratio = value("--write-ratio")?
+                    .parse()
+                    .map_err(|e| format!("bad --write-ratio: {e}"))?
+            }
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("bad --workers: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other} \
+                     (--n | --ops | --write-ratio | --workers | --seed)"
+                ))
+            }
+        }
+    }
+    if !(0.0..=1.0).contains(&cfg.write_ratio) {
+        return Err("--write-ratio must be in [0, 1]".into());
+    }
+    Ok(cfg)
+}
+
+/// One closed-loop client: issues `ops` operations back to back, each a
+/// query (log-uniform `k`, random `τ`) or a single-edge update.
+fn client(handle: &ServiceHandle, n: u32, ops: u64, write_ratio: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..ops {
+        if rng.gen_bool(write_ratio) {
+            let (a, b) = loop {
+                let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                if a != b {
+                    break (a, b);
+                }
+            };
+            let update = if rng.gen_bool(0.7) {
+                GraphUpdate::Insert(a, b)
+            } else {
+                GraphUpdate::Remove(a, b)
+            };
+            handle.apply(vec![update]).expect("update failed");
+        } else {
+            let k = (16.0 * 128f64.powf(rng.gen::<f64>())) as usize; // 16..2048
+            let tau = rng.gen_range(1..=4);
+            handle.query(k, tau).expect("query failed");
+        }
+    }
+}
+
+/// Runs one workload phase against a fresh service and returns the row for
+/// the report table plus the measured throughput (ops/s).
+fn run_phase(g: &Graph, cfg: &Config, workers: usize) -> (Vec<String>, f64) {
+    let service = Service::start(
+        g,
+        &ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let clients = workers.max(1);
+    let per_client = cfg.ops / clients as u64;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let handle = handle.clone();
+            let seed = cfg.seed + 1000 * c as u64;
+            scope.spawn(move || client(&handle, cfg.n, per_client, cfg.write_ratio, seed));
+        }
+    });
+    let wall = started.elapsed();
+    let m = handle.metrics();
+    let total_ops = m.queries_served.get() + m.updates_applied.get() + m.updates_skipped.get();
+    let throughput = total_ops as f64 / wall.as_secs_f64();
+    let row = vec![
+        workers.to_string(),
+        clients.to_string(),
+        total_ops.to_string(),
+        esd_bench::fmt_duration(wall),
+        format!("{throughput:.0}"),
+        format!("{}", m.query_latency.percentile_us(0.50)),
+        format!("{}", m.query_latency.percentile_us(0.99)),
+        format!("{}", m.update_latency.percentile_us(0.99)),
+        format!("{:.0}%", m.hit_rate() * 100.0),
+    ];
+    service.shutdown();
+    (row, throughput)
+}
+
+/// Applies one 1000-edge batch while reader threads keep querying, and
+/// reports how many queries completed during the apply window — the
+/// snapshot-isolation availability claim, measured.
+fn run_update_storm(g: &Graph, cfg: &Config) {
+    let service = Service::start(
+        g,
+        &ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5707);
+    let mut batch = Vec::with_capacity(1000);
+    while batch.len() < 1000 {
+        let (a, b) = (rng.gen_range(0..cfg.n), rng.gen_range(0..cfg.n));
+        if a == b {
+            continue;
+        }
+        batch.push(if rng.gen_bool(0.7) {
+            GraphUpdate::Insert(a, b)
+        } else {
+            GraphUpdate::Remove(a, b)
+        });
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let during = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let handle = handle.clone();
+            let done = Arc::clone(&done);
+            let during = Arc::clone(&during);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    handle.query(100, 2).expect("query during batch failed");
+                    during.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    let (outcome, wall) = esd_bench::time(|| handle.apply(batch).expect("batch failed"));
+    done.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    println!(
+        "update storm: 1000-edge batch applied in {} ({} applied, {} no-ops, epoch {}); \
+         {} queries completed during the apply window (p99 {} µs)",
+        esd_bench::fmt_duration(wall),
+        outcome.applied,
+        outcome.skipped,
+        outcome.epoch,
+        during.load(Ordering::Relaxed),
+        handle.metrics().query_latency.percentile_us(0.99),
+    );
+    service.shutdown();
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let n = cfg.n as usize;
+    let g = generators::clique_overlap(n, n * 3 / 4, 6, cfg.seed);
+    println!(
+        "loadgen: {} vertices, {} edges; {} ops/phase, {:.0}% writes, {} core(s)\n",
+        g.num_vertices(),
+        g.num_edges(),
+        cfg.ops,
+        cfg.write_ratio * 100.0,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+
+    let mut table = esd_bench::TextTable::new(&[
+        "workers", "clients", "ops", "wall", "ops/s", "q_p50_us", "q_p99_us", "u_p99_us",
+        "hit_rate",
+    ]);
+    let mut baseline = None;
+    let mut speedups = Vec::new();
+    for &workers in &cfg.workers {
+        let (row, throughput) = run_phase(&g, &cfg, workers);
+        table.row(row);
+        let base = *baseline.get_or_insert(throughput);
+        speedups.push((workers, throughput / base));
+    }
+    println!("{}", table.render());
+    for (workers, speedup) in &speedups[1..] {
+        println!("speedup at {workers} workers vs baseline: {speedup:.2}x");
+    }
+    println!();
+    run_update_storm(&g, &cfg);
+}

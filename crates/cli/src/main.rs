@@ -7,8 +7,16 @@
 //! esd query  <index.esdx> [-k N] [--tau T]       query a persisted index
 //! esd stream <graph.txt>                         read updates/queries from stdin:
 //!                                                  + u v | - u v | ? k tau | quit
+//! esd serve  <graph.txt> [--port P] [--threads N]  TCP query service (same protocol)
+//! esd ego    <graph.txt> <u> <v> [-o <out.dot>]  render an edge ego-network
+//! esd explain <graph.txt> <u> <v>                score/context breakdown
 //! esd audit  <index.esdx> [graph.txt]            structural invariant audit
 //! ```
+//!
+//! `stream` and `serve` share one engine (`esd-serve`): `stream` runs the
+//! protocol session inline on stdin, `serve` puts the same session behind a
+//! worker pool and a TCP accept loop, with snapshot isolation, a result
+//! cache, and live `metrics`.
 //!
 //! `audit` runs every structural validator over a persisted index (rank
 //! order, list nesting, score monotonicity, …) and — when the source graph
@@ -22,10 +30,12 @@
 //! writes next to the index as `<index>.ids` so `query` can translate back.
 
 use esd_core::online::{online_topk, UpperBound};
-use esd_core::{EsdIndex, MaintainedIndex, ScoredEdge};
+use esd_core::{EsdIndex, ScoredEdge};
 use esd_graph::io;
+use esd_serve::{IdMap, LineOutcome, Server, Service, ServiceConfig, Session};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +56,7 @@ usage:
   esd build  <graph.txt> -o <index.esdx>
   esd query  <index.esdx> [-k N] [--tau T]
   esd stream <graph.txt>
+  esd serve  <graph.txt> [--port P] [--threads N] TCP query service
   esd ego    <graph.txt> <u> <v> [-o <out.dot>]   render an edge ego-network
   esd explain <graph.txt> <u> <v>                 score/context breakdown
   esd audit  <index.esdx> [graph.txt]             structural invariant audit";
@@ -55,6 +66,8 @@ struct Options {
     tau: u32,
     algo: String,
     output: Option<String>,
+    port: u16,
+    threads: usize,
     positional: Vec<String>,
 }
 
@@ -64,6 +77,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         tau: 2,
         algo: "index".into(),
         output: None,
+        port: 7687,
+        threads: 4,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -82,6 +97,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--algo" => opts.algo = value("--algo")?,
             "-o" | "--output" => opts.output = Some(value("-o")?),
+            "--port" => {
+                opts.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("bad --port: {e}"))?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => opts.positional.push(other.to_string()),
         }
@@ -104,6 +129,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "build" => done(build(&opts)),
         "query" => done(query(&opts)),
         "stream" => done(stream(&opts)),
+        "serve" => done(serve(&opts)),
         "ego" => done(ego(&opts)),
         "explain" => done(explain(&opts)),
         "audit" => audit(&opts),
@@ -251,7 +277,13 @@ fn query(opts: &Options) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
         Err(_) => {
             // No sidecar: identity mapping covering every vertex the index
-            // mentions.
+            // mentions. Results then show dense ids, which only match the
+            // input file when its ids were already 0..n in first-appearance
+            // order — warn so nobody misreads them as original ids.
+            eprintln!(
+                "warning: {path}.ids not found; printing dense vertex ids \
+                 (rebuild with `esd build` to restore original ids)"
+            );
             let max_vertex = frozen
                 .component_sizes()
                 .iter()
@@ -343,61 +375,71 @@ fn explain(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Streaming maintenance on stdin: the same [`Session`] logic as `esd
+/// serve`, run inline on the calling thread (`workers: 0`), so every
+/// update/query response carries its per-op latency and epoch.
 fn stream(opts: &Options) -> Result<(), String> {
     let (g, original) = load_graph(opts)?;
-    // Reverse mapping original -> dense for update commands; new ids get
-    // fresh dense slots.
-    let mut to_dense: std::collections::HashMap<u64, u32> = original
-        .iter()
-        .enumerate()
-        .map(|(d, &o)| (o, d as u32))
-        .collect();
-    let mut original = original;
-    let mut index = MaintainedIndex::new(&g);
+    let service = Service::start(
+        &g,
+        &ServiceConfig {
+            workers: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    let session = Session::new(service.handle(), Arc::new(IdMap::from_original(original)));
     println!(
-        "ready: {} vertices, {} edges (+ u v | - u v | ? k tau | quit)",
+        "ready: {} vertices, {} edges (+ u v | - u v | ? k tau | metrics | quit)",
         g.num_vertices(),
         g.num_edges()
     );
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| e.to_string())?;
-        let toks: Vec<&str> = line.split_whitespace().collect();
-        match toks.as_slice() {
-            [] => continue,
-            ["quit" | "q" | "exit"] => break,
-            ["+", a, b] | ["-", a, b] => {
-                let parse = |t: &str| t.parse::<u64>().map_err(|e| format!("bad id {t}: {e}"));
-                let (oa, ob) = (parse(a)?, parse(b)?);
-                let mut dense = |o: u64, original: &mut Vec<u64>| {
-                    *to_dense.entry(o).or_insert_with(|| {
-                        original.push(o);
-                        (original.len() - 1) as u32
-                    })
-                };
-                let (da, db) = (dense(oa, &mut original), dense(ob, &mut original));
-                let ok = if toks[0] == "+" {
-                    index.insert_edge(da, db)
-                } else {
-                    index.remove_edge(da, db)
-                };
-                println!(
-                    "{} ({oa}, {ob}): {}",
-                    toks[0],
-                    if ok { "ok" } else { "no-op" }
-                );
+        match session.handle_line(&line) {
+            LineOutcome::Respond(text) => {
+                print!("{text}");
+                std::io::stdout().flush().map_err(|e| e.to_string())?;
             }
-            ["?", k, tau] => {
-                let k: usize = k.parse().map_err(|e| format!("bad k: {e}"))?;
-                let tau: u32 = tau.parse().map_err(|e| format!("bad tau: {e}"))?;
-                if tau == 0 {
-                    println!("tau must be >= 1");
-                    continue;
-                }
-                print_results(&index.query(k, tau), &original);
-            }
-            other => println!("unrecognised command {other:?}"),
+            LineOutcome::Quit => break,
         }
     }
+    service.shutdown();
+    Ok(())
+}
+
+/// TCP query service: the engine behind `stream`, behind a worker pool and
+/// an accept loop. Runs until stdin sees `quit` or EOF, then prints the
+/// final metrics registry.
+fn serve(opts: &Options) -> Result<(), String> {
+    let (g, original) = load_graph(opts)?;
+    let service = Service::start(
+        &g,
+        &ServiceConfig {
+            workers: opts.threads,
+            ..ServiceConfig::default()
+        },
+    );
+    let ids = Arc::new(IdMap::from_original(original));
+    let server = Server::start(("127.0.0.1", opts.port), service.handle(), ids)
+        .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
+    println!(
+        "listening on {} ({} worker thread(s); protocol: + u v | - u v | ? k tau | metrics | quit)",
+        server.local_addr(),
+        opts.threads
+    );
+    // Piped stdout is block-buffered; tests (and scripts) need the banner
+    // before the first connection attempt.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if matches!(line.trim(), "quit" | "q" | "exit") {
+            break;
+        }
+    }
+    server.stop();
+    print!("{}", service.handle().metrics_text());
+    service.shutdown();
     Ok(())
 }

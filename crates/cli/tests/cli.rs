@@ -1,7 +1,8 @@
 //! End-to-end tests of the `esd` binary: every subcommand over temp files,
 //! including error paths.
 
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 
@@ -148,6 +149,111 @@ fn stream_updates_and_queries() {
     assert!(text.contains("- (111, 110): no-op"), "{text}");
     assert!(text.contains("(109, 110)"), "(j,k) appears in H(3): {text}");
     assert!(text.contains("unrecognised"), "{text}");
+}
+
+/// Without the `.ids` sidecar, `query` still succeeds: it warns on stderr
+/// and prints dense ids (fig1's original ids are dense ids + 100).
+#[test]
+fn query_without_ids_sidecar_warns_and_uses_dense_ids() {
+    let dir = temp_dir();
+    let graph = write_fig1(&dir);
+    let index = dir.join("nosidecar.esdx");
+    let out = bin()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "-o",
+            index.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::remove_file(dir.join("nosidecar.esdx.ids")).unwrap();
+
+    let out = bin()
+        .args(["query", index.to_str().unwrap(), "-k", "3", "--tau", "5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("warning"), "{err}");
+    assert!(err.contains(".ids not found"), "{err}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Same answers as build_then_query_roundtrip, minus the +100 offset.
+    assert!(text.contains("(11, 13)"), "{text}");
+    assert!(text.contains("(13, 14)"), "{text}");
+}
+
+/// `esd serve` end to end: bind an ephemeral port, query and update over
+/// TCP with original ids, then shut down via stdin and check the final
+/// metrics dump.
+#[test]
+fn serve_answers_over_tcp() {
+    let dir = temp_dir();
+    let graph = write_fig1(&dir);
+    let mut child = bin()
+        .args([
+            "serve",
+            graph.to_str().unwrap(),
+            "--port",
+            "0",
+            "--threads",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The banner names the bound address (port 0 → ephemeral).
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    child_out.read_line(&mut banner).unwrap();
+    assert!(banner.starts_with("listening on "), "{banner}");
+    let addr = banner
+        .trim_start_matches("listening on ")
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    writeln!(conn, "? 3 3").unwrap();
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "unexpected EOF");
+        let done = line.starts_with("# ");
+        lines.push(line);
+        if done {
+            break;
+        }
+    }
+    let text = lines.concat();
+    // Original (offset) ids, and the framing summary line.
+    assert!(text.contains("(109, 110)"), "{text}");
+    assert!(text.contains("result(s)"), "{text}");
+    writeln!(conn, "- 111 110").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("- (111, 110): ok"), "{line}");
+    writeln!(conn, "quit").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "bye");
+
+    // `quit` on stdin stops the server and dumps final metrics.
+    child.stdin.as_mut().unwrap().write_all(b"quit\n").unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut child_out, &mut rest).unwrap();
+    assert!(rest.contains("queries_served"), "{rest}");
+    assert!(rest.contains("updates_applied"), "{rest}");
 }
 
 #[test]

@@ -1,0 +1,56 @@
+//! `esd-serve` — a concurrent query service over the maintained ESDIndex.
+//!
+//! The paper's index family (§IV–V) is a read-optimised structure built to
+//! answer many `(k, τ)` queries cheaply; this crate turns it into an online
+//! serving engine:
+//!
+//! * **Snapshot isolation** ([`Snapshot`]): a writer applies
+//!   [`GraphUpdate`](esd_core::maintain::GraphUpdate) batches to a private
+//!   [`MaintainedIndex`](esd_core::MaintainedIndex) and atomically
+//!   publishes immutable, epoch-stamped snapshots. Readers never block on
+//!   writes and never observe a half-applied batch.
+//! * **A worker pool** ([`Service`]) draining a bounded request queue with
+//!   backpressure ([`ServeError::QueueFull`]) and per-request deadlines
+//!   ([`ServeError::DeadlineExceeded`]).
+//! * **A result cache** keyed on `(k, τ, epoch)` — publication of a new
+//!   snapshot structurally invalidates every cached answer.
+//! * **Live metrics** ([`MetricsRegistry`]): queries served, cache hit
+//!   rate, updates applied, queue depth, p50/p99 latency per operation.
+//! * **Two surfaces**: the [`ServiceHandle`] library API, and a TCP
+//!   [`Server`] speaking the `esd stream` line protocol (`+ u v | - u v |
+//!   ? k tau | metrics | quit`) via the shared [`Session`] logic.
+//!
+//! ```
+//! use esd_serve::{Service, ServiceConfig};
+//! use esd_core::maintain::GraphUpdate;
+//! use esd_graph::generators;
+//!
+//! let g = generators::clique_overlap(200, 150, 5, 7);
+//! let service = Service::start(&g, &ServiceConfig::default());
+//! let handle = service.handle();
+//!
+//! let before = handle.query(5, 2).unwrap();
+//! handle.apply(vec![GraphUpdate::Insert(0, 199)]).unwrap();
+//! let after = handle.query(5, 2).unwrap();
+//! assert!(after.epoch >= before.epoch);
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+pub mod ids;
+pub mod metrics;
+pub mod protocol;
+mod queue;
+pub mod server;
+pub mod service;
+pub mod session;
+mod snapshot;
+
+pub use ids::IdMap;
+pub use metrics::MetricsRegistry;
+pub use server::Server;
+pub use service::{BatchOutcome, QueryResponse, ServeError, Service, ServiceConfig, ServiceHandle};
+pub use session::{LineOutcome, Session};
+pub use snapshot::Snapshot;

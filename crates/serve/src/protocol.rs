@@ -1,0 +1,205 @@
+//! The line protocol shared by `esd stream` (stdin) and `esd serve` (TCP):
+//!
+//! ```text
+//! + u v        insert edge (original ids)
+//! - u v        remove edge
+//! ? k tau      top-k query at threshold tau
+//! metrics      dump the metrics registry
+//! quit         end the session
+//! ```
+//!
+//! Responses are plain text. Update responses are a single line; query
+//! responses are the ranked result lines followed by a `#`-prefixed summary
+//! line (result count, latency, cache provenance, epoch) that doubles as a
+//! frame terminator for TCP clients. Errors are a single `error: …` line —
+//! a session never dies on a malformed request.
+
+use crate::service::{BatchOutcome, QueryResponse};
+use crate::IdMap;
+use esd_core::ScoredEdge;
+
+/// One parsed request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// `+ u v` — insert an edge, original ids.
+    Insert(u64, u64),
+    /// `- u v` — remove an edge, original ids.
+    Remove(u64, u64),
+    /// `? k tau` — top-k query.
+    Query {
+        /// Number of results requested.
+        k: usize,
+        /// Component-size threshold (≥ 1).
+        tau: u32,
+    },
+    /// `metrics` — dump the metrics registry.
+    Metrics,
+    /// `quit` — end the session.
+    Quit,
+}
+
+/// Parses one protocol line. `Ok(None)` is a blank line (ignored);
+/// `Err` carries a message suitable for an `error:` response.
+pub fn parse_line(line: &str) -> Result<Option<Request>, String> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let int = |t: &str, what: &str| {
+        t.parse::<u64>()
+            .map_err(|e| format!("bad {what} {t:?}: {e}"))
+    };
+    match toks.as_slice() {
+        [] => Ok(None),
+        ["quit" | "q" | "exit"] => Ok(Some(Request::Quit)),
+        ["metrics"] => Ok(Some(Request::Metrics)),
+        ["+", a, b] => Ok(Some(Request::Insert(int(a, "id")?, int(b, "id")?))),
+        ["-", a, b] => Ok(Some(Request::Remove(int(a, "id")?, int(b, "id")?))),
+        ["?", k, tau] => {
+            let k = usize::try_from(int(k, "k")?).map_err(|e| format!("bad k: {e}"))?;
+            let tau = u32::try_from(int(tau, "tau")?).map_err(|e| format!("bad tau: {e}"))?;
+            if tau == 0 {
+                return Err("tau must be >= 1".into());
+            }
+            Ok(Some(Request::Query { k, tau }))
+        }
+        other => Err(format!("unrecognised command {other:?}")),
+    }
+}
+
+fn fmt_us(d: std::time::Duration) -> String {
+    format!("{:.1} µs", d.as_secs_f64() * 1e6)
+}
+
+/// Formats an update response line, e.g. `+ (7, 9): ok (14.2 µs, epoch 3)`.
+pub fn format_update(insert: bool, a: u64, b: u64, outcome: &BatchOutcome) -> String {
+    format!(
+        "{} ({a}, {b}): {} ({}, epoch {})\n",
+        if insert { "+" } else { "-" },
+        if outcome.applied > 0 { "ok" } else { "no-op" },
+        fmt_us(outcome.latency),
+        outcome.epoch,
+    )
+}
+
+/// Formats the ranked result lines (original ids) for a query response.
+fn format_results(results: &[ScoredEdge], ids: &IdMap) -> String {
+    let mut out = String::new();
+    for (rank, s) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>4}  ({}, {})  score {}\n",
+            rank + 1,
+            ids.original_of(s.edge.u),
+            ids.original_of(s.edge.v),
+            s.score
+        ));
+    }
+    if results.is_empty() {
+        out.push_str("(no edge has a component of size ≥ τ)\n");
+    }
+    out
+}
+
+/// Formats a full query response: result lines plus the `#` summary /
+/// terminator line.
+pub fn format_query(resp: &QueryResponse, ids: &IdMap) -> String {
+    let mut out = format_results(&resp.results, ids);
+    out.push_str(&format!(
+        "# {} result(s) in {} ({}, epoch {})\n",
+        resp.results.len(),
+        fmt_us(resp.latency),
+        if resp.cache_hit {
+            "cache hit"
+        } else {
+            "cache miss"
+        },
+        resp.epoch,
+    ));
+    out
+}
+
+/// Formats an error line.
+pub fn format_error(msg: &str) -> String {
+    format!("error: {msg}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_line("  "), Ok(None));
+        assert_eq!(parse_line("+ 3 9"), Ok(Some(Request::Insert(3, 9))));
+        assert_eq!(parse_line("- 3 9"), Ok(Some(Request::Remove(3, 9))));
+        assert_eq!(
+            parse_line("? 10 2"),
+            Ok(Some(Request::Query { k: 10, tau: 2 }))
+        );
+        assert_eq!(parse_line("metrics"), Ok(Some(Request::Metrics)));
+        for q in ["quit", "q", "exit"] {
+            assert_eq!(parse_line(q), Ok(Some(Request::Quit)));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("bogus line")
+            .unwrap_err()
+            .contains("unrecognised"));
+        assert!(parse_line("+ x 9").unwrap_err().contains("bad id"));
+        assert!(parse_line("? 5 0").unwrap_err().contains("tau"));
+        assert!(parse_line("? 5").unwrap_err().contains("unrecognised"));
+    }
+
+    #[test]
+    fn query_formatting_frames_with_summary() {
+        let ids = IdMap::from_original(vec![100, 101]);
+        let resp = QueryResponse {
+            results: Arc::new(vec![ScoredEdge {
+                edge: esd_graph::Edge::new(0, 1),
+                score: 3,
+            }]),
+            epoch: 2,
+            cache_hit: true,
+            latency: Duration::from_micros(12),
+        };
+        let text = format_query(&resp, &ids);
+        assert!(text.contains("(100, 101)  score 3"));
+        assert!(text.lines().last().unwrap().starts_with("# 1 result(s)"));
+        assert!(text.contains("cache hit"));
+        assert!(text.contains("epoch 2"));
+    }
+
+    #[test]
+    fn empty_query_still_frames() {
+        let ids = IdMap::default();
+        let resp = QueryResponse {
+            results: Arc::new(Vec::new()),
+            epoch: 0,
+            cache_hit: false,
+            latency: Duration::from_micros(1),
+        };
+        let text = format_query(&resp, &ids);
+        assert!(text.contains("no edge has a component"));
+        assert!(text.lines().last().unwrap().starts_with("# 0 result(s)"));
+    }
+
+    #[test]
+    fn update_formatting() {
+        let outcome = BatchOutcome {
+            applied: 1,
+            skipped: 0,
+            epoch: 4,
+            latency: Duration::from_micros(20),
+        };
+        let line = format_update(true, 7, 9, &outcome);
+        assert!(line.starts_with("+ (7, 9): ok"));
+        let noop = BatchOutcome {
+            applied: 0,
+            skipped: 1,
+            epoch: 4,
+            latency: Duration::from_micros(5),
+        };
+        assert!(format_update(false, 7, 9, &noop).starts_with("- (7, 9): no-op"));
+    }
+}

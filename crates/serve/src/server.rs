@@ -1,0 +1,116 @@
+//! The TCP front-end: an accept loop handing each connection to its own
+//! thread running a [`Session`] over the shared [`ServiceHandle`].
+//!
+//! Connections speak the line protocol of [`crate::protocol`]; `quit` (or
+//! EOF) ends a connection without touching the server. [`Server::stop`]
+//! closes the accept loop; connection threads finish their current session
+//! and exit when their clients disconnect.
+
+use crate::service::ServiceHandle;
+use crate::session::{LineOutcome, Session};
+use crate::IdMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running TCP server.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks a free port) and starts the accept loop.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        handle: ServiceHandle,
+        ids: Arc<IdMap>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("esd-accept".into())
+                .spawn(move || accept_loop(&listener, &handle, &ids, &stop))?
+        };
+        Ok(Self {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Existing connections run until their clients quit or disconnect.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    handle: &ServiceHandle,
+    ids: &Arc<IdMap>,
+    stop: &Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let session = Session::new(handle.clone(), Arc::clone(ids));
+        let _ = std::thread::Builder::new()
+            .name("esd-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(&stream, &session);
+            });
+    }
+}
+
+/// Runs one connection to completion: read a line, handle it, write the
+/// response, flush. Returns on `quit`, EOF, or any socket error.
+fn handle_connection(stream: &TcpStream, session: &Session) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        match session.handle_line(&line) {
+            LineOutcome::Respond(text) => {
+                writer.write_all(text.as_bytes())?;
+                writer.flush()?;
+            }
+            LineOutcome::Quit => {
+                writer.write_all(b"bye\n")?;
+                writer.flush()?;
+                break;
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,644 @@
+//! The query service: a worker pool draining a bounded request queue, a
+//! single writer applying update batches to a private index, and atomic
+//! snapshot publication gluing the two together.
+//!
+//! ## Threading model
+//!
+//! * **Readers** never block on writes. A query loads the current
+//!   [`Snapshot`] `Arc` and runs entirely against that frozen state;
+//!   concurrent publications are invisible to it (stale-but-consistent).
+//! * **The writer** is the only mutator. It drains queued update requests,
+//!   coalesces them into one critical section, applies each request with
+//!   [`MaintainedIndex::apply_batch`], and publishes a fresh epoch-stamped
+//!   snapshot once per chunk — so a storm of single-edge updates costs one
+//!   index clone, not one per edge.
+//! * **Backpressure**: both queues are bounded; a full queue rejects the
+//!   request with [`ServeError::QueueFull`] instead of growing without
+//!   bound. Every request carries a deadline; requests that are already
+//!   late when a worker picks them up are answered with
+//!   [`ServeError::DeadlineExceeded`] rather than executed.
+//!
+//! With `workers == 0` the service runs **inline**: queries and updates
+//! execute on the calling thread through exactly the same engine (snapshot,
+//! cache, metrics). This is the mode the `esd stream` stdin loop uses, so
+//! the interactive tool and the TCP server share one code path.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::metrics::MetricsRegistry;
+use crate::queue::{BoundedQueue, PushRefused};
+use crate::snapshot::{Snapshot, SnapshotCell};
+use esd_core::maintain::GraphUpdate;
+use esd_core::{MaintainedIndex, ScoredEdge};
+use esd_graph::Graph;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Service::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Query worker threads. `0` runs the whole engine inline on the
+    /// calling thread (single-threaded mode, no writer thread either).
+    pub workers: usize,
+    /// Capacity of the query and update queues (each).
+    pub queue_capacity: usize,
+    /// Result cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 1024,
+            cache_capacity: 4096,
+            default_deadline: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// Why the service could not answer a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is full — shed load and retry.
+    QueueFull,
+    /// The request's deadline passed before it could be served.
+    DeadlineExceeded,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// The request itself is invalid (e.g. `τ = 0`).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull => write!(f, "queue full"),
+            Self::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Self::ShuttingDown => write!(f, "service shutting down"),
+            Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A successful query, with its provenance.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The ranked results (shared with the cache — cheap to clone).
+    pub results: Arc<Vec<ScoredEdge>>,
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Whether the answer came from the result cache.
+    pub cache_hit: bool,
+    /// End-to-end latency (submission to completion).
+    pub latency: Duration,
+}
+
+/// A successful update batch, with its provenance.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOutcome {
+    /// Updates actually applied.
+    pub applied: usize,
+    /// Updates skipped as no-ops.
+    pub skipped: usize,
+    /// Epoch current once this batch was visible to readers.
+    pub epoch: u64,
+    /// End-to-end latency (submission to publication).
+    pub latency: Duration,
+}
+
+/// A one-shot response slot: the requester parks on it, the worker fills it.
+#[derive(Debug)]
+struct Slot<T> {
+    value: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Self {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn put(&self, v: T) {
+        *self.value.lock().expect("slot poisoned") = Some(v);
+        self.ready.notify_one();
+    }
+
+    /// Waits until the slot is filled or `deadline` passes.
+    fn wait(&self, deadline: Option<Instant>) -> Option<T> {
+        let mut guard = self.value.lock().expect("slot poisoned");
+        loop {
+            if let Some(v) = guard.take() {
+                return Some(v);
+            }
+            match deadline {
+                None => guard = self.ready.wait(guard).expect("slot poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    guard = self
+                        .ready
+                        .wait_timeout(guard, d - now)
+                        .expect("slot poisoned")
+                        .0;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueryJob {
+    k: usize,
+    tau: u32,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    slot: Arc<Slot<Result<QueryResponse, ServeError>>>,
+}
+
+#[derive(Debug)]
+struct UpdateJob {
+    updates: Vec<GraphUpdate>,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    slot: Arc<Slot<Result<BatchOutcome, ServeError>>>,
+}
+
+/// Shared engine state: everything the workers, the writer, and the
+/// handles touch.
+#[derive(Debug)]
+pub(crate) struct Engine {
+    snapshot: SnapshotCell,
+    cache: ResultCache,
+    metrics: MetricsRegistry,
+    /// The writer's private working copy. Readers never lock this; they go
+    /// through the published snapshot.
+    writer_index: Mutex<MaintainedIndex>,
+    query_queue: BoundedQueue<QueryJob>,
+    update_queue: BoundedQueue<UpdateJob>,
+    inline: bool,
+    default_deadline: Option<Duration>,
+}
+
+impl Engine {
+    fn new(g: &Graph, cfg: &ServiceConfig) -> Self {
+        let index = MaintainedIndex::new(g);
+        Self {
+            snapshot: SnapshotCell::new(Snapshot::new(0, index.clone())),
+            cache: ResultCache::new(cfg.cache_capacity),
+            metrics: MetricsRegistry::default(),
+            writer_index: Mutex::new(index),
+            query_queue: BoundedQueue::new(cfg.queue_capacity),
+            update_queue: BoundedQueue::new(cfg.queue_capacity),
+            inline: cfg.workers == 0,
+            default_deadline: cfg.default_deadline,
+        }
+    }
+
+    fn effective_deadline(&self, deadline: Option<Instant>) -> Option<Instant> {
+        deadline.or_else(|| self.default_deadline.map(|d| Instant::now() + d))
+    }
+
+    /// Executes one query against the current snapshot, consulting and
+    /// filling the cache. `started` anchors the reported latency.
+    fn execute_query(&self, k: usize, tau: u32, started: Instant) -> QueryResponse {
+        let snapshot = self.snapshot.load();
+        let key = CacheKey {
+            k: k as u64,
+            tau,
+            epoch: snapshot.epoch(),
+        };
+        let (results, cache_hit) = match self.cache.get(&key) {
+            Some(hit) => {
+                self.metrics.cache_hits.incr();
+                (hit, true)
+            }
+            None => {
+                self.metrics.cache_misses.incr();
+                let fresh = Arc::new(snapshot.query(k, tau));
+                self.cache.insert(key, Arc::clone(&fresh));
+                (fresh, false)
+            }
+        };
+        self.metrics.queries_served.incr();
+        let latency = started.elapsed();
+        self.metrics.query_latency.record(latency);
+        QueryResponse {
+            results,
+            epoch: snapshot.epoch(),
+            cache_hit,
+            latency,
+        }
+    }
+
+    /// Applies one request's updates under an already-held writer lock.
+    /// Returns `(applied, skipped)`; publication happens separately.
+    fn apply_locked(
+        &self,
+        index: &mut MutexGuard<'_, MaintainedIndex>,
+        updates: &[GraphUpdate],
+    ) -> (usize, usize) {
+        let (applied, skipped) = index.apply_batch(updates);
+        self.metrics.updates_applied.add(applied as u64);
+        self.metrics.updates_skipped.add(skipped as u64);
+        (applied, skipped)
+    }
+
+    /// Publishes the writer's current state as a new epoch and purges
+    /// stale cache entries. Call with the writer lock held so no competing
+    /// publication can interleave.
+    fn publish_locked(&self, index: &MutexGuard<'_, MaintainedIndex>) -> u64 {
+        let epoch = self.snapshot.load().epoch() + 1;
+        self.snapshot
+            .store(Arc::new(Snapshot::new(epoch, (**index).clone())));
+        self.cache.purge_older_than(epoch);
+        self.metrics.snapshots_published.incr();
+        epoch
+    }
+
+    /// Inline (single-threaded) update path: apply + publish on the caller.
+    fn apply_inline(&self, updates: &[GraphUpdate], started: Instant) -> BatchOutcome {
+        let mut index = self.writer_index.lock().expect("writer poisoned");
+        let (applied, skipped) = self.apply_locked(&mut index, updates);
+        let epoch = if applied > 0 {
+            self.publish_locked(&index)
+        } else {
+            self.snapshot.load().epoch()
+        };
+        drop(index);
+        let latency = started.elapsed();
+        self.metrics.update_latency.record(latency);
+        BatchOutcome {
+            applied,
+            skipped,
+            epoch,
+            latency,
+        }
+    }
+
+    fn shutdown(&self) {
+        self.query_queue.close();
+        self.update_queue.close();
+    }
+}
+
+/// How many queued update requests the writer coalesces into one
+/// publication. Bounds writer-side latency while amortising the snapshot
+/// clone across a burst.
+const WRITER_CHUNK: usize = 64;
+
+fn worker_loop(engine: &Engine) {
+    while let Some(job) = engine.query_queue.pop() {
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            engine.metrics.deadline_exceeded.incr();
+            job.slot.put(Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        job.slot
+            .put(Ok(engine.execute_query(job.k, job.tau, job.enqueued)));
+    }
+}
+
+fn writer_loop(engine: &Engine) {
+    while let Some(first) = engine.update_queue.pop() {
+        let mut chunk = vec![first];
+        while chunk.len() < WRITER_CHUNK {
+            match engine.update_queue.try_pop() {
+                Some(job) => chunk.push(job),
+                None => break,
+            }
+        }
+        let mut index = engine.writer_index.lock().expect("writer poisoned");
+        let mut outcomes: Vec<Option<(usize, usize)>> = Vec::with_capacity(chunk.len());
+        let mut applied_total = 0;
+        for job in &chunk {
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                outcomes.push(None);
+                continue;
+            }
+            let (applied, skipped) = engine.apply_locked(&mut index, &job.updates);
+            applied_total += applied;
+            outcomes.push(Some((applied, skipped)));
+        }
+        let epoch = if applied_total > 0 {
+            engine.publish_locked(&index)
+        } else {
+            engine.snapshot.load().epoch()
+        };
+        drop(index);
+        for (job, outcome) in chunk.into_iter().zip(outcomes) {
+            match outcome {
+                Some((applied, skipped)) => {
+                    let latency = job.enqueued.elapsed();
+                    engine.metrics.update_latency.record(latency);
+                    job.slot.put(Ok(BatchOutcome {
+                        applied,
+                        skipped,
+                        epoch,
+                        latency,
+                    }));
+                }
+                None => {
+                    engine.metrics.deadline_exceeded.incr();
+                    job.slot.put(Err(ServeError::DeadlineExceeded));
+                }
+            }
+        }
+    }
+}
+
+/// The running service: owns the worker and writer threads. Obtain
+/// [`ServiceHandle`]s via [`Service::handle`]; drop (or
+/// [`Service::shutdown`]) to stop.
+#[derive(Debug)]
+pub struct Service {
+    engine: Arc<Engine>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Builds the index for `g` and starts the configured threads.
+    pub fn start(g: &Graph, cfg: &ServiceConfig) -> Self {
+        let engine = Arc::new(Engine::new(g, cfg));
+        let mut threads = Vec::new();
+        for i in 0..cfg.workers {
+            let engine = Arc::clone(&engine);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("esd-worker-{i}"))
+                    .spawn(move || worker_loop(&engine))
+                    .expect("spawn worker"),
+            );
+        }
+        if cfg.workers > 0 {
+            let engine = Arc::clone(&engine);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("esd-writer".into())
+                    .spawn(move || writer_loop(&engine))
+                    .expect("spawn writer"),
+            );
+        }
+        Self { engine, threads }
+    }
+
+    /// A cloneable handle for submitting queries and updates.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            engine: Arc::clone(&self.engine),
+        }
+    }
+
+    /// Stops accepting work, drains the queues, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.engine.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A cloneable, thread-safe handle to a running [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    engine: Arc<Engine>,
+}
+
+impl ServiceHandle {
+    /// Top-`k` query at threshold `tau` with the service's default deadline.
+    pub fn query(&self, k: usize, tau: u32) -> Result<QueryResponse, ServeError> {
+        self.query_before(k, tau, None)
+    }
+
+    /// Top-`k` query with an explicit deadline (`None` falls back to the
+    /// configured default; a default of `None` waits indefinitely).
+    pub fn query_before(
+        &self,
+        k: usize,
+        tau: u32,
+        deadline: Option<Instant>,
+    ) -> Result<QueryResponse, ServeError> {
+        if tau == 0 {
+            return Err(ServeError::BadRequest("tau must be at least 1".into()));
+        }
+        let started = Instant::now();
+        let deadline = self.engine.effective_deadline(deadline);
+        if self.engine.inline {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                self.engine.metrics.deadline_exceeded.incr();
+                return Err(ServeError::DeadlineExceeded);
+            }
+            return Ok(self.engine.execute_query(k, tau, started));
+        }
+        let slot = Arc::new(Slot::new());
+        let job = QueryJob {
+            k,
+            tau,
+            deadline,
+            enqueued: started,
+            slot: Arc::clone(&slot),
+        };
+        match self.engine.query_queue.try_push(job) {
+            Ok(depth) => self
+                .engine
+                .metrics
+                .queue_depth_peak
+                .record_max(depth as u64),
+            Err(PushRefused::Full) => {
+                self.engine.metrics.rejected_queue_full.incr();
+                return Err(ServeError::QueueFull);
+            }
+            Err(PushRefused::Closed) => return Err(ServeError::ShuttingDown),
+        }
+        match slot.wait(deadline) {
+            Some(result) => result,
+            None => {
+                self.engine.metrics.deadline_exceeded.incr();
+                Err(ServeError::DeadlineExceeded)
+            }
+        }
+    }
+
+    /// Applies a batch of updates with the default deadline. The returned
+    /// outcome's epoch is already visible to subsequent queries.
+    pub fn apply(&self, updates: Vec<GraphUpdate>) -> Result<BatchOutcome, ServeError> {
+        self.apply_before(updates, None)
+    }
+
+    /// Applies a batch of updates with an explicit deadline.
+    pub fn apply_before(
+        &self,
+        updates: Vec<GraphUpdate>,
+        deadline: Option<Instant>,
+    ) -> Result<BatchOutcome, ServeError> {
+        let started = Instant::now();
+        let deadline = self.engine.effective_deadline(deadline);
+        if self.engine.inline {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                self.engine.metrics.deadline_exceeded.incr();
+                return Err(ServeError::DeadlineExceeded);
+            }
+            return Ok(self.engine.apply_inline(&updates, started));
+        }
+        let slot = Arc::new(Slot::new());
+        let job = UpdateJob {
+            updates,
+            deadline,
+            enqueued: started,
+            slot: Arc::clone(&slot),
+        };
+        match self.engine.update_queue.try_push(job) {
+            Ok(_) => {}
+            Err(PushRefused::Full) => {
+                self.engine.metrics.rejected_queue_full.incr();
+                return Err(ServeError::QueueFull);
+            }
+            Err(PushRefused::Closed) => return Err(ServeError::ShuttingDown),
+        }
+        match slot.wait(deadline) {
+            Some(result) => result,
+            None => {
+                self.engine.metrics.deadline_exceeded.incr();
+                Err(ServeError::DeadlineExceeded)
+            }
+        }
+    }
+
+    /// The current published snapshot (stable for as long as you hold it).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.engine.snapshot.load()
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.engine.metrics
+    }
+
+    /// Renders the metrics block, including live gauges (queue depths,
+    /// cache size, current epoch).
+    pub fn metrics_text(&self) -> String {
+        self.engine.metrics.render(&[
+            ("query_queue_depth", self.engine.query_queue.len() as u64),
+            ("update_queue_depth", self.engine.update_queue.len() as u64),
+            ("cache_entries", self.engine.cache.len() as u64),
+            ("snapshot_epoch", self.engine.snapshot.load().epoch()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_graph::generators;
+
+    fn test_graph() -> Graph {
+        generators::clique_overlap(120, 90, 5, 42)
+    }
+
+    #[test]
+    fn inline_mode_answers_like_the_index() {
+        let g = test_graph();
+        let expected = MaintainedIndex::new(&g).query(10, 2);
+        let service = Service::start(
+            &g,
+            &ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let resp = service.handle().query(10, 2).unwrap();
+        assert_eq!(*resp.results, expected);
+        assert_eq!(resp.epoch, 0);
+        assert!(!resp.cache_hit);
+        let again = service.handle().query(10, 2).unwrap();
+        assert!(again.cache_hit, "second identical query hits the cache");
+        service.shutdown();
+    }
+
+    #[test]
+    fn threaded_mode_round_trips() {
+        let g = test_graph();
+        let expected = MaintainedIndex::new(&g).query(10, 2);
+        let service = Service::start(
+            &g,
+            &ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        for _ in 0..20 {
+            assert_eq!(*handle.query(10, 2).unwrap().results, expected);
+        }
+        assert_eq!(handle.metrics().queries_served.get(), 20);
+        service.shutdown();
+    }
+
+    #[test]
+    fn tau_zero_is_a_bad_request() {
+        let service = Service::start(&test_graph(), &ServiceConfig::default());
+        assert!(matches!(
+            service.handle().query(5, 0),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn queue_full_rejects_instead_of_queueing_unboundedly() {
+        // Engine with a tiny queue and NO worker threads draining it: the
+        // first submission parks a job, the second must be refused.
+        let cfg = ServiceConfig {
+            workers: 4, // ignored: we build the Engine directly
+            queue_capacity: 1,
+            cache_capacity: 0,
+            default_deadline: Some(Duration::from_millis(200)),
+        };
+        let engine = Arc::new(Engine::new(&test_graph(), &cfg));
+        let handle = ServiceHandle {
+            engine: Arc::clone(&engine),
+        };
+        let parked = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.query(5, 1))
+        };
+        // Wait until the first job is actually queued.
+        while engine.query_queue.len() < 1 {
+            std::thread::yield_now();
+        }
+        assert!(matches!(handle.query(5, 1), Err(ServeError::QueueFull)));
+        assert_eq!(engine.metrics.rejected_queue_full.get(), 1);
+        // The parked job times out at its deadline instead of hanging.
+        assert!(matches!(
+            parked.join().unwrap(),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        engine.shutdown();
+        assert!(matches!(handle.query(5, 1), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_with_pending_handles() {
+        let service = Service::start(&test_graph(), &ServiceConfig::default());
+        let handle = service.handle();
+        drop(service); // Drop-based shutdown.
+        assert!(matches!(handle.query(5, 1), Err(ServeError::ShuttingDown)));
+    }
+}

@@ -1,0 +1,135 @@
+//! One protocol session: the glue between a line source (stdin or a TCP
+//! connection) and the [`ServiceHandle`]. `esd stream` and every `esd
+//! serve` connection run exactly this code, so the two surfaces cannot
+//! drift apart.
+
+use crate::protocol::{self, Request};
+use crate::service::ServiceHandle;
+use crate::IdMap;
+use esd_core::maintain::GraphUpdate;
+use std::sync::Arc;
+
+/// What a handled line produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// Text to send back to the client (may span multiple lines).
+    Respond(String),
+    /// The client asked to end the session.
+    Quit,
+}
+
+/// A protocol session bound to one service handle and the shared id map.
+#[derive(Debug, Clone)]
+pub struct Session {
+    handle: ServiceHandle,
+    ids: Arc<IdMap>,
+}
+
+impl Session {
+    /// Creates a session over `handle` using the shared id mapping `ids`.
+    pub fn new(handle: ServiceHandle, ids: Arc<IdMap>) -> Self {
+        Self { handle, ids }
+    }
+
+    /// The session's id map (shared across sessions of one server).
+    pub fn ids(&self) -> &Arc<IdMap> {
+        &self.ids
+    }
+
+    /// The underlying service handle.
+    pub fn handle(&self) -> &ServiceHandle {
+        &self.handle
+    }
+
+    /// Handles one request line and produces the response text. Service
+    /// errors (deadline exceeded, queue full) become `error:` lines, never
+    /// panics or hangs.
+    pub fn handle_line(&self, line: &str) -> LineOutcome {
+        let request = match protocol::parse_line(line) {
+            Ok(Some(r)) => r,
+            Ok(None) => return LineOutcome::Respond(String::new()),
+            Err(msg) => return LineOutcome::Respond(protocol::format_error(&msg)),
+        };
+        match request {
+            Request::Quit => LineOutcome::Quit,
+            Request::Metrics => LineOutcome::Respond(self.handle.metrics_text()),
+            Request::Query { k, tau } => match self.handle.query(k, tau) {
+                Ok(resp) => LineOutcome::Respond(protocol::format_query(&resp, &self.ids)),
+                Err(e) => LineOutcome::Respond(protocol::format_error(&e.to_string())),
+            },
+            Request::Insert(a, b) | Request::Remove(a, b) => {
+                let insert = matches!(request, Request::Insert(..));
+                let (da, db) = self.ids.dense_pair(a, b);
+                let update = if insert {
+                    GraphUpdate::Insert(da, db)
+                } else {
+                    GraphUpdate::Remove(da, db)
+                };
+                match self.handle.apply(vec![update]) {
+                    Ok(outcome) => {
+                        LineOutcome::Respond(protocol::format_update(insert, a, b, &outcome))
+                    }
+                    Err(e) => LineOutcome::Respond(protocol::format_error(&e.to_string())),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Service, ServiceConfig};
+    use esd_graph::Graph;
+
+    fn session() -> (Service, Session) {
+        // K4 plus a spare vertex: every edge scores 1 at τ ≤ 2.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let service = Service::start(
+            &g,
+            &ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let ids = Arc::new(IdMap::from_original(vec![100, 101, 102, 103, 104]));
+        let session = Session::new(service.handle(), ids);
+        (service, session)
+    }
+
+    #[test]
+    fn full_session_flow() {
+        let (_service, s) = session();
+        // Query: 6 edges, all score 1 at τ=2.
+        let LineOutcome::Respond(text) = s.handle_line("? 10 2") else {
+            panic!("expected response");
+        };
+        assert!(text.contains("(100, 101)  score 1"), "{text}");
+        assert!(text.contains("# 6 result(s)"), "{text}");
+        // Remove an edge, then a no-op repeat.
+        let LineOutcome::Respond(text) = s.handle_line("- 102 103") else {
+            panic!()
+        };
+        assert!(text.starts_with("- (102, 103): ok"), "{text}");
+        let LineOutcome::Respond(text) = s.handle_line("- 102 103") else {
+            panic!()
+        };
+        assert!(text.starts_with("- (102, 103): no-op"), "{text}");
+        // Unseen original ids grow the map instead of erroring.
+        let LineOutcome::Respond(text) = s.handle_line("+ 999 100") else {
+            panic!()
+        };
+        assert!(text.starts_with("+ (999, 100): ok"), "{text}");
+        // Metrics and errors.
+        let LineOutcome::Respond(text) = s.handle_line("metrics") else {
+            panic!()
+        };
+        assert!(text.contains("queries_served"), "{text}");
+        let LineOutcome::Respond(text) = s.handle_line("bogus line") else {
+            panic!()
+        };
+        assert!(text.contains("unrecognised"), "{text}");
+        assert_eq!(s.handle_line("quit"), LineOutcome::Quit);
+        assert_eq!(s.handle_line(""), LineOutcome::Respond(String::new()));
+    }
+}

@@ -1,0 +1,78 @@
+//! Snapshot isolation for readers: the writer applies updates to a private
+//! [`MaintainedIndex`] and publishes immutable, epoch-stamped copies.
+//! Readers grab an `Arc` to the current snapshot and keep using it for the
+//! whole query — they can never observe a half-applied batch, only the
+//! state before or after one.
+
+use esd_core::{MaintainedIndex, ScoredEdge};
+use std::sync::{Arc, RwLock};
+
+/// An immutable, epoch-stamped view of the index.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    index: MaintainedIndex,
+}
+
+impl Snapshot {
+    pub(crate) fn new(epoch: u64, index: MaintainedIndex) -> Self {
+        Self { epoch, index }
+    }
+
+    /// Publication number: 0 for the boot snapshot, +1 per published batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Top-`k` edges at threshold `tau` against this frozen state.
+    pub fn query(&self, k: usize, tau: u32) -> Vec<ScoredEdge> {
+        self.index.query(k, tau)
+    }
+
+    /// The underlying index (read-only).
+    pub fn index(&self) -> &MaintainedIndex {
+        &self.index
+    }
+}
+
+/// The publication point: a single atomic slot holding the current
+/// snapshot. `load` is a brief read-lock and an `Arc` bump; `store` swaps
+/// the pointer. Readers holding an older `Arc` are unaffected by a swap.
+#[derive(Debug)]
+pub(crate) struct SnapshotCell(RwLock<Arc<Snapshot>>);
+
+impl SnapshotCell {
+    pub(crate) fn new(snapshot: Snapshot) -> Self {
+        Self(RwLock::new(Arc::new(snapshot)))
+    }
+
+    pub(crate) fn load(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.0.read().expect("snapshot cell poisoned"))
+    }
+
+    pub(crate) fn store(&self, snapshot: Arc<Snapshot>) {
+        *self.0.write().expect("snapshot cell poisoned") = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_graph::Graph;
+
+    #[test]
+    fn old_arcs_survive_publication() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]);
+        let cell = SnapshotCell::new(Snapshot::new(0, MaintainedIndex::new(&g)));
+        let old = cell.load();
+
+        let mut next = MaintainedIndex::new(&g);
+        next.remove_edge(2, 3);
+        cell.store(Arc::new(Snapshot::new(1, next)));
+
+        assert_eq!(old.epoch(), 0);
+        assert_eq!(cell.load().epoch(), 1);
+        // The retained snapshot still answers from the pre-publication state.
+        assert_eq!(old.query(10, 1).len(), old.index().graph().num_edges());
+    }
+}

@@ -1,0 +1,305 @@
+//! Concurrency and end-to-end tests of the query service.
+//!
+//! Runs with `strict-invariants` armed (dev-dependency feature), so every
+//! batch the writer applies re-validates the index before the snapshot is
+//! published — the isolation tests below double as audit-under-concurrency
+//! tests.
+
+use esd_core::maintain::GraphUpdate;
+use esd_core::{MaintainedIndex, ScoredEdge};
+use esd_graph::{generators, Graph};
+use esd_serve::{IdMap, ServeError, Server, Service, ServiceConfig};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const K: usize = 25;
+const TAU: u32 = 2;
+
+fn test_graph() -> Graph {
+    generators::clique_overlap(250, 200, 5, 0xE5D)
+}
+
+/// A batch of random inserts+removes over the same vertex universe.
+fn random_batch(n: u32, len: usize, seed: u64) -> Vec<GraphUpdate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batch = Vec::with_capacity(len);
+    while batch.len() < len {
+        let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if a == b {
+            continue;
+        }
+        batch.push(if rng.gen_bool(0.7) {
+            GraphUpdate::Insert(a, b)
+        } else {
+            GraphUpdate::Remove(a, b)
+        });
+    }
+    batch
+}
+
+/// Concurrent readers during a writer batch must see only fully-published
+/// snapshots: every response matches either the pre-batch or the
+/// post-batch ground truth, never a mix.
+#[test]
+fn readers_see_only_published_snapshots() {
+    let g = test_graph();
+    let batch = random_batch(250, 1000, 7);
+
+    // Ground truth before and after, computed on private copies.
+    let before: Vec<ScoredEdge> = MaintainedIndex::new(&g).query(K, TAU);
+    let after: Vec<ScoredEdge> = {
+        let mut scratch = MaintainedIndex::new(&g);
+        scratch.apply_batch(&batch);
+        scratch.query(K, TAU)
+    };
+    assert_ne!(before, after, "the batch must change the top-k");
+
+    let service = Service::start(
+        &g,
+        &ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let writer_done = Arc::new(AtomicBool::new(false));
+    // 4 readers + the writer: the barrier guarantees every reader completes
+    // at least one query strictly before the batch starts.
+    let barrier = Arc::new(std::sync::Barrier::new(5));
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let handle = handle.clone();
+            let done = Arc::clone(&writer_done);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut responses = vec![handle.query(K, TAU).expect("query failed")];
+                barrier.wait();
+                while !done.load(Ordering::Relaxed) {
+                    responses.push(handle.query(K, TAU).expect("query failed"));
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                // One more after the writer finished: must be post-batch.
+                responses.push(handle.query(K, TAU).expect("query failed"));
+                responses
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let outcome = handle.apply(batch).expect("batch apply failed");
+    assert!(outcome.applied > 0);
+    writer_done.store(true, Ordering::Relaxed);
+
+    let mut total = 0usize;
+    let mut saw_pre = false;
+    let mut saw_post = false;
+    for reader in readers {
+        let responses = reader.join().unwrap();
+        let last_epoch = responses.last().unwrap().epoch;
+        assert_eq!(last_epoch, outcome.epoch, "final read is post-publication");
+        for resp in responses {
+            total += 1;
+            if *resp.results == before {
+                saw_pre = true;
+                assert!(resp.epoch < outcome.epoch, "pre-batch data ⇒ old epoch");
+            } else if *resp.results == after {
+                saw_post = true;
+                assert!(resp.epoch >= outcome.epoch, "post-batch data ⇒ new epoch");
+            } else {
+                panic!("response matches neither pre- nor post-batch ground truth");
+            }
+        }
+    }
+    assert!(saw_pre, "some reads should land before publication");
+    assert!(saw_post, "final reads land after publication");
+    assert!(total >= 8);
+    service.shutdown();
+}
+
+/// Publication of a new snapshot invalidates the cache: the same `(k, τ)`
+/// stops hitting and returns the updated answer.
+#[test]
+fn cache_is_invalidated_by_publication() {
+    let g = test_graph();
+    let service = Service::start(
+        &g,
+        &ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+
+    let first = handle.query(K, TAU).unwrap();
+    assert!(!first.cache_hit);
+    let second = handle.query(K, TAU).unwrap();
+    assert!(second.cache_hit, "identical query against same epoch hits");
+    assert_eq!(*first.results, *second.results);
+    assert!(handle.metrics().cache_hits.get() >= 1);
+
+    let batch = random_batch(250, 400, 11);
+    let expected = {
+        let mut scratch = MaintainedIndex::new(&g);
+        scratch.apply_batch(&batch);
+        scratch.query(K, TAU)
+    };
+    let outcome = handle.apply(batch).unwrap();
+    assert!(outcome.applied > 0);
+
+    let third = handle.query(K, TAU).unwrap();
+    assert!(!third.cache_hit, "new epoch ⇒ cache miss");
+    assert_eq!(third.epoch, outcome.epoch);
+    assert_eq!(*third.results, expected, "post-update answer is fresh");
+    service.shutdown();
+}
+
+/// An already-expired deadline yields `DeadlineExceeded` — promptly, not by
+/// hanging — on both the query and the update path.
+#[test]
+fn expired_deadlines_error_instead_of_hanging() {
+    let g = test_graph();
+    let service = Service::start(
+        &g,
+        &ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let past = Instant::now() - Duration::from_millis(1);
+
+    let started = Instant::now();
+    let q = handle.query_before(K, TAU, Some(past));
+    assert!(matches!(q, Err(ServeError::DeadlineExceeded)), "{q:?}");
+    let u = handle.apply_before(vec![GraphUpdate::Insert(0, 249)], Some(past));
+    assert!(matches!(u, Err(ServeError::DeadlineExceeded)), "{u:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline errors must be prompt"
+    );
+    assert!(handle.metrics().deadline_exceeded.get() >= 2);
+
+    // The service still works afterwards.
+    assert!(handle.query(K, TAU).is_ok());
+    service.shutdown();
+}
+
+fn read_query_response(reader: &mut impl BufRead) -> Vec<String> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "unexpected EOF");
+        let done = line.starts_with("# ");
+        lines.push(line.trim_end().to_string());
+        if done {
+            return lines;
+        }
+    }
+}
+
+/// Full TCP round trip: queries, updates, metrics, quit — two concurrent
+/// connections sharing one engine and id map.
+#[test]
+fn tcp_server_round_trip() {
+    let g = test_graph();
+    let expected = MaintainedIndex::new(&g).query(5, TAU);
+    let service = Service::start(&g, &ServiceConfig::default());
+    let ids = Arc::new(IdMap::from_original((0..250).collect()));
+    let server = Server::start("127.0.0.1:0", service.handle(), Arc::clone(&ids)).unwrap();
+    let addr = server.local_addr();
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    writeln!(conn, "? 5 {TAU}").unwrap();
+    let lines = read_query_response(&mut reader);
+    assert_eq!(lines.len(), expected.len() + 1);
+    assert!(lines.last().unwrap().contains("result(s)"));
+    let top = &expected[0];
+    assert!(
+        lines[0].contains(&format!("({}, {})", top.edge.u, top.edge.v)),
+        "{lines:?}"
+    );
+
+    // A second connection updates; this connection sees the new epoch.
+    {
+        let mut other = TcpStream::connect(addr).unwrap();
+        let mut other_reader = BufReader::new(other.try_clone().unwrap());
+        writeln!(other, "+ 0 249").unwrap();
+        let mut line = String::new();
+        other_reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("+ (0, 249): ok"), "{line}");
+        writeln!(other, "quit").unwrap();
+        line.clear();
+        other_reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "bye");
+    }
+
+    writeln!(conn, "? 5 {TAU}").unwrap();
+    let lines = read_query_response(&mut reader);
+    assert!(
+        lines.last().unwrap().contains("epoch 1"),
+        "update published a new epoch: {lines:?}"
+    );
+
+    // Malformed input errors without killing the connection.
+    writeln!(conn, "what is this").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("error: unrecognised"), "{line}");
+
+    // Metrics block is framed.
+    writeln!(conn, "metrics").unwrap();
+    let mut saw = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0);
+        let done = line.starts_with("-- end metrics --");
+        saw.push(line);
+        if done {
+            break;
+        }
+    }
+    let metrics_text = saw.concat();
+    assert!(metrics_text.contains("queries_served"), "{metrics_text}");
+    assert!(metrics_text.contains("updates_applied"), "{metrics_text}");
+    assert!(metrics_text.contains("query_p99_us"), "{metrics_text}");
+
+    writeln!(conn, "quit").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "bye");
+
+    server.stop();
+    service.shutdown();
+}
+
+/// Sequential consistency across many small batches: interleaved queries
+/// always equal a from-scratch index over the same prefix of updates.
+#[test]
+fn interleaved_updates_and_queries_agree_with_rebuild() {
+    let g = generators::clique_overlap(80, 60, 5, 3);
+    let service = Service::start(
+        &g,
+        &ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let mut mirror = MaintainedIndex::new(&g);
+    for round in 0..10 {
+        let batch = random_batch(80, 20, 1000 + round);
+        mirror.apply_batch(&batch);
+        handle.apply(batch).unwrap();
+        let resp = handle.query(15, 1).unwrap();
+        assert_eq!(*resp.results, mirror.query(15, 1), "round {round}");
+    }
+    service.shutdown();
+}

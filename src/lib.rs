@@ -22,6 +22,8 @@
 //! * [`dsu`] — union–find structures.
 //! * [`core`] — the paper's algorithms.
 //! * [`datasets`] — deterministic surrogate datasets for the evaluation.
+//! * [`serve`] — a concurrent query service over the maintained index:
+//!   snapshot isolation, worker pool, result cache, live metrics, TCP server.
 //!
 //! ## Quickstart
 //!
@@ -51,3 +53,4 @@ pub use esd_core as core;
 pub use esd_datasets as datasets;
 pub use esd_dsu as dsu;
 pub use esd_graph as graph;
+pub use esd_serve as serve;
