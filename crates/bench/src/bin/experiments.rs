@@ -1,8 +1,14 @@
 //! Regenerates every table and figure of the paper's evaluation (§VI).
 //!
 //! ```text
-//! experiments [--scale tiny|small|bench] [table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|case_dblp|case_words|all]
+//! experiments [--scale tiny|small|bench] [--csv <dir>]
+//!             [table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|case_dblp|case_words|ablation|churn|serve|all]
 //! ```
+//!
+//! `--csv <dir>` additionally writes each table as `<dir>/<name>.csv`. The
+//! output here is human-oriented text/CSV; the machine-readable JSON perf
+//! baseline (stage timings + kernel counters) comes from `esd bench --json`
+//! instead (see `docs/observability.md`).
 //!
 //! Each experiment prints a paper-style text table. Absolute numbers differ
 //! from the paper (1-core container, synthetic surrogates — see DESIGN.md

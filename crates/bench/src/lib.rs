@@ -6,6 +6,9 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+pub mod suite;
+
 use std::time::{Duration, Instant};
 
 /// Times a closure once and returns `(result, elapsed)`.
@@ -15,15 +18,50 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
-/// Times a closure over `reps` repetitions and returns the mean duration of
-/// one call (the result of the last call is dropped).
-pub fn time_avg(reps: usize, mut f: impl FnMut()) -> Duration {
+/// Wall-time distribution over the repetitions of one benchmark, from
+/// [`time_stats`]. Each repetition is timed individually, so outliers (a
+/// cold cache, a page-fault storm) show up in `max` instead of silently
+/// inflating the mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeStats {
+    /// Number of repetitions measured.
+    pub reps: usize,
+    /// Fastest single repetition.
+    pub min: Duration,
+    /// Median repetition.
+    pub p50: Duration,
+    /// Slowest single repetition.
+    pub max: Duration,
+    /// Arithmetic mean over all repetitions.
+    pub mean: Duration,
+}
+
+/// Times a closure over `reps` repetitions, each timed individually, and
+/// returns the min/median/max/mean distribution.
+pub fn time_stats(reps: usize, mut f: impl FnMut()) -> TimeStats {
     assert!(reps > 0);
-    let start = Instant::now();
+    let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
+        let start = Instant::now();
         f();
+        samples.push(start.elapsed());
     }
-    start.elapsed() / reps as u32
+    samples.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    TimeStats {
+        reps,
+        min: samples[0],
+        p50: samples[reps / 2],
+        max: samples[reps - 1],
+        mean: total / reps as u32,
+    }
+}
+
+/// Times a closure over `reps` repetitions and returns the mean duration of
+/// one call. Prefer [`time_stats`] where the spread matters — a mean alone
+/// hides outlier repetitions.
+pub fn time_avg(reps: usize, f: impl FnMut()) -> Duration {
+    time_stats(reps, f).mean
 }
 
 /// Formats a duration in the unit that reads best.
@@ -50,6 +88,7 @@ pub fn fmt_bytes(bytes: usize) -> String {
 }
 
 /// A minimal fixed-width text table writer for paper-style output.
+#[derive(Debug)]
 pub struct TextTable {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -171,5 +210,27 @@ mod tests {
         assert!(d.as_secs() < 5);
         let avg = time_avg(3, || {});
         assert!(avg.as_secs() < 1);
+    }
+
+    #[test]
+    fn time_stats_orders_the_distribution() {
+        let mut i = 0u64;
+        let stats = time_stats(5, || {
+            i += 1;
+            if i == 3 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        assert_eq!(stats.reps, 5);
+        assert!(stats.min <= stats.p50);
+        assert!(stats.p50 <= stats.max);
+        assert!(stats.max >= Duration::from_millis(2), "outlier in max");
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "reps > 0")]
+    fn time_stats_rejects_zero_reps() {
+        let _ = time_stats(0, || {});
     }
 }

@@ -1,0 +1,256 @@
+//! The `esd bench` suites: timed runs of every kernel on bundled surrogate
+//! datasets, reported as an [`esd-bench/v1`](crate::report::BENCH_SCHEMA)
+//! JSON document.
+//!
+//! Each benchmark resets the telemetry registry, runs its closure `reps`
+//! times with per-repetition wall timing ([`crate::time_stats`]), then
+//! snapshots the registry — so the `stages`/`counters` arrays cover exactly
+//! that benchmark's repetitions. When the harness was built without the
+//! `telemetry` feature the arrays are simply empty and the report says
+//! `telemetry_enabled: false`; wall times are always measured by the
+//! harness itself and never depend on instrumentation.
+
+use crate::report::{counters_json, stages_json, wall_json, BENCH_SCHEMA};
+use crate::time_stats;
+use esd_core::index::ParallelBuildReport;
+use esd_core::maintain::GraphUpdate;
+use esd_core::online::{online_topk, UpperBound};
+use esd_core::{EsdIndex, MaintainedIndex};
+use esd_datasets::{load, Scale};
+use esd_graph::Graph;
+use esd_telemetry::json::Json;
+
+/// Which benchmark suite to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// One tiny dataset, a handful of repetitions — seconds, CI-friendly.
+    Smoke,
+    /// All five Table I surrogates at tiny scale — a few minutes.
+    Full,
+}
+
+impl Suite {
+    /// The suite's name as stamped into the report (`"smoke"` / `"full"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Smoke => "smoke",
+            Suite::Full => "full",
+        }
+    }
+
+    /// Parses a suite name (case-insensitive). `None` on unknown names.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Suite> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Suite::Smoke),
+            "full" => Some(Suite::Full),
+            _ => None,
+        }
+    }
+
+    fn datasets(self) -> Vec<(&'static str, Scale)> {
+        match self {
+            Suite::Smoke => vec![("Youtube", Scale::Tiny)],
+            Suite::Full => esd_datasets::specs()
+                .iter()
+                .map(|spec| (spec.name, Scale::Tiny))
+                .collect(),
+        }
+    }
+}
+
+/// Knobs for [`run`].
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Which suite to run.
+    pub suite: Suite,
+    /// Repetitions per benchmark (each timed individually).
+    pub reps: usize,
+    /// Worker threads for the parallel-build benchmark.
+    pub threads: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self {
+            suite: Suite::Smoke,
+            reps: 3,
+            threads: 2,
+        }
+    }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Bench => "bench",
+    }
+}
+
+/// Runs one benchmark: reset registry → `reps` timed calls → snapshot.
+/// Returns the benchmark record plus the raw snapshot (for extras like the
+/// work-balance report that the caller appends).
+fn bench(name: &str, dataset: &str, reps: usize, f: impl FnMut()) -> Vec<(&'static str, Json)> {
+    esd_telemetry::reset();
+    let stats = time_stats(reps, f);
+    let snap = esd_telemetry::snapshot();
+    vec![
+        ("name", Json::str(name)),
+        ("dataset", Json::str(dataset)),
+        ("reps", Json::num_u64(reps as u64)),
+        ("wall_ns", wall_json(&stats)),
+        ("stages", stages_json(&snap)),
+        ("counters", counters_json(&snap)),
+    ]
+}
+
+fn work_balance_json(report: &ParallelBuildReport) -> Json {
+    let u64s = |v: &[u64]| Json::Arr(v.iter().map(|&x| Json::num_u64(x)).collect());
+    Json::obj(vec![
+        ("threads", Json::num_u64(report.threads as u64)),
+        ("cliques_per_worker", u64s(&report.cliques_per_worker)),
+        ("ops_per_shard", u64s(&report.ops_per_shard)),
+    ])
+}
+
+/// The benchmarks run for one dataset. Appends records to `out`.
+fn run_dataset(out: &mut Vec<Json>, g: &Graph, dataset: &str, cfg: &SuiteConfig) {
+    let reps = cfg.reps;
+
+    out.push(Json::obj(bench("build_seq", dataset, reps, || {
+        let _ = EsdIndex::build_fast(g);
+    })));
+
+    let mut last_report: Option<ParallelBuildReport> = None;
+    let mut fields = bench("build_parallel", dataset, reps, || {
+        let (_, report) = EsdIndex::build_parallel_with_report(g, cfg.threads);
+        last_report = Some(report);
+    });
+    if let Some(report) = &last_report {
+        fields.push(("work_balance", work_balance_json(report)));
+    }
+    out.push(Json::obj(fields));
+
+    // Maintenance: remove a prefix of edges and re-insert them, so the
+    // index round-trips back to its starting state every repetition.
+    let mut maintained = MaintainedIndex::new(g);
+    let churn: Vec<_> = g.edges().iter().take(16).copied().collect();
+    let removes: Vec<GraphUpdate> = churn
+        .iter()
+        .map(|e| GraphUpdate::Remove(e.u, e.v))
+        .collect();
+    let inserts: Vec<GraphUpdate> = churn
+        .iter()
+        .map(|e| GraphUpdate::Insert(e.u, e.v))
+        .collect();
+    out.push(Json::obj(bench("maintain", dataset, reps, || {
+        let (applied, _) = maintained.apply_batch(&removes);
+        assert_eq!(applied, churn.len(), "removes must all apply");
+        let (applied, _) = maintained.apply_batch(&inserts);
+        assert_eq!(applied, churn.len(), "inserts must all apply");
+    })));
+
+    let index = EsdIndex::build_fast(g);
+    out.push(Json::obj(bench("query_topk", dataset, reps, || {
+        let _ = index.query(100, 2);
+    })));
+
+    out.push(Json::obj(bench("online_topk", dataset, reps, || {
+        let _ = online_topk(g, 10, 2, UpperBound::CommonNeighbor);
+    })));
+}
+
+/// Runs the configured suite and returns the `esd-bench/v1` report. The
+/// output always passes [`crate::report::validate`].
+#[must_use]
+pub fn run(cfg: &SuiteConfig) -> Json {
+    assert!(cfg.reps > 0, "reps must be at least 1");
+    assert!(cfg.threads > 0, "threads must be at least 1");
+    let mut benchmarks = Vec::new();
+    for (name, scale) in cfg.suite.datasets() {
+        let g = load(name, scale);
+        let dataset = format!("{name}/{}", scale_label(scale));
+        run_dataset(&mut benchmarks, &g, &dataset, cfg);
+    }
+    Json::obj(vec![
+        ("schema", Json::str(BENCH_SCHEMA)),
+        ("suite", Json::str(cfg.suite.name())),
+        ("telemetry_enabled", Json::Bool(esd_telemetry::enabled())),
+        (
+            "host",
+            Json::obj(vec![("threads", Json::num_u64(cfg.threads as u64))]),
+        ),
+        ("benchmarks", Json::Arr(benchmarks)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate;
+
+    #[test]
+    fn suite_names_round_trip() {
+        for suite in [Suite::Smoke, Suite::Full] {
+            assert_eq!(Suite::parse(suite.name()), Some(suite));
+        }
+        assert_eq!(Suite::parse("SMOKE"), Some(Suite::Smoke));
+        assert_eq!(Suite::parse("bogus"), None);
+    }
+
+    #[test]
+    fn smoke_suite_produces_a_valid_report() {
+        let cfg = SuiteConfig {
+            suite: Suite::Smoke,
+            reps: 2,
+            threads: 2,
+        };
+        let report = run(&cfg);
+        assert_eq!(validate(&report), Vec::<String>::new());
+        assert_eq!(
+            report.get("telemetry_enabled").and_then(Json::as_bool),
+            Some(esd_telemetry::enabled())
+        );
+        let benches = report.get("benchmarks").and_then(Json::as_arr).unwrap();
+        let names: Vec<_> = benches
+            .iter()
+            .map(|b| b.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "build_seq",
+                "build_parallel",
+                "maintain",
+                "query_topk",
+                "online_topk"
+            ]
+        );
+        // The parallel build always carries its work-balance report.
+        let parallel = &benches[1];
+        let wb = parallel.get("work_balance").expect("work balance");
+        assert_eq!(wb.get("threads").and_then(Json::as_u64), Some(2));
+
+        // With telemetry armed, the counters must reflect real kernel work;
+        // without it, the arrays must be empty rather than fabricated.
+        let seq = &benches[0];
+        let counters = seq.get("counters").and_then(Json::as_arr).unwrap();
+        if esd_telemetry::enabled() {
+            assert!(
+                counters
+                    .iter()
+                    .any(|c| c.get("name").and_then(Json::as_str) == Some("cliques.enumerated")),
+                "sequential build must count cliques"
+            );
+        } else {
+            assert!(counters.is_empty());
+        }
+
+        // Round-trip: render, parse, re-validate.
+        let text = report.render_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(validate(&parsed), Vec::<String>::new());
+    }
+}

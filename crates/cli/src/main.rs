@@ -11,6 +11,8 @@
 //! esd ego    <graph.txt> <u> <v> [-o <out.dot>]  render an edge ego-network
 //! esd explain <graph.txt> <u> <v>                score/context breakdown
 //! esd audit  <index.esdx> [graph.txt]            structural invariant audit
+//! esd bench  [--suite smoke|full] [--json] [-o FILE] [--reps N] [--threads N]
+//! esd bench  --check <BENCH.json>                validate a bench report
 //! ```
 //!
 //! `stream` and `serve` share one engine (`esd-serve`): `stream` runs the
@@ -23,6 +25,12 @@
 //! is supplied — the full semantic comparison against ground truth
 //! recomputed from scratch. It prints one line per violation and exits
 //! nonzero if any invariant is broken, so it can gate deployment pipelines.
+//!
+//! `bench` runs the `esd-bench` suites over bundled surrogate datasets and
+//! emits an `esd-bench/v1` JSON report (stage timings and kernel counters
+//! from `esd-telemetry`, wall-time distributions from the harness). CI
+//! archives one per PR as `BENCH_smoke.json`; `--check` re-validates an
+//! existing report against the schema. See `docs/observability.md`.
 //!
 //! Graphs are SNAP-style edge lists (`u<ws>v` per line, `#` comments).
 //! `topk`/`stream` print the file's original vertex ids; a persisted index
@@ -59,7 +67,9 @@ usage:
   esd serve  <graph.txt> [--port P] [--threads N] TCP query service
   esd ego    <graph.txt> <u> <v> [-o <out.dot>]   render an edge ego-network
   esd explain <graph.txt> <u> <v>                 score/context breakdown
-  esd audit  <index.esdx> [graph.txt]             structural invariant audit";
+  esd audit  <index.esdx> [graph.txt]             structural invariant audit
+  esd bench  [--suite smoke|full] [--json] [-o FILE] [--reps N] [--threads N]
+  esd bench  --check <BENCH.json>                 validate a bench report";
 
 struct Options {
     k: usize,
@@ -68,6 +78,10 @@ struct Options {
     output: Option<String>,
     port: u16,
     threads: usize,
+    suite: String,
+    json: bool,
+    reps: usize,
+    check: Option<String>,
     positional: Vec<String>,
 }
 
@@ -79,6 +93,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
         output: None,
         port: 7687,
         threads: 4,
+        suite: "smoke".into(),
+        json: false,
+        reps: 3,
+        check: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -107,6 +125,14 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
             }
+            "--suite" => opts.suite = value("--suite")?,
+            "--json" => opts.json = true,
+            "--reps" => {
+                opts.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?
+            }
+            "--check" => opts.check = Some(value("--check")?),
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => opts.positional.push(other.to_string()),
         }
@@ -133,6 +159,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "ego" => done(ego(&opts)),
         "explain" => done(explain(&opts)),
         "audit" => audit(&opts),
+        "bench" => bench(&opts),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -175,6 +202,110 @@ fn audit(opts: &Options) -> Result<ExitCode, String> {
         }
         Ok(ExitCode::FAILURE)
     }
+}
+
+/// Runs a benchmark suite and emits the `esd-bench/v1` report, or — with
+/// `--check FILE` — validates an existing report against the schema. The
+/// check mode exits nonzero on violations so CI can gate on it.
+fn bench(opts: &Options) -> Result<ExitCode, String> {
+    use esd_bench::report::{validate, BENCH_SCHEMA};
+    use esd_bench::suite::{run, Suite, SuiteConfig};
+    use esd_telemetry::json::Json;
+
+    if let Some(path) = &opts.check {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let errors = validate(&doc);
+        return if errors.is_empty() {
+            println!("OK: {path} conforms to {BENCH_SCHEMA}");
+            Ok(ExitCode::SUCCESS)
+        } else {
+            println!("FAIL: {path}: {} schema violation(s)", errors.len());
+            for e in &errors {
+                println!("  - {e}");
+            }
+            Ok(ExitCode::FAILURE)
+        };
+    }
+
+    let suite = Suite::parse(&opts.suite)
+        .ok_or_else(|| format!("unknown --suite {:?} (smoke|full)", opts.suite))?;
+    if opts.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    let cfg = SuiteConfig {
+        suite,
+        reps: opts.reps,
+        threads: opts.threads.max(1),
+    };
+    if !esd_telemetry::enabled() {
+        eprintln!(
+            "warning: built without the telemetry feature; the report will \
+             carry wall times but no stage timings or counters"
+        );
+    }
+    let report = run(&cfg);
+    let text = report.render_pretty();
+    if let Some(path) = &opts.output {
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    } else if opts.json {
+        print!("{text}");
+    } else {
+        print_bench_summary(&report);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Human-readable digest of a bench report: one row per benchmark with the
+/// wall-time distribution (the JSON carries the full stage/counter detail).
+fn print_bench_summary(report: &esd_telemetry::json::Json) {
+    use esd_telemetry::json::Json;
+    let ms = |b: &Json, field: &str| {
+        b.get("wall_ns")
+            .and_then(|w| w.get(field))
+            .and_then(Json::as_u64)
+            .map_or_else(|| "?".into(), |ns| format!("{:.2}", ns as f64 / 1e6))
+    };
+    let mut table = esd_bench::TextTable::new(&[
+        "benchmark",
+        "dataset",
+        "reps",
+        "min ms",
+        "p50 ms",
+        "max ms",
+        "mean ms",
+    ]);
+    for b in report
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .into_iter()
+        .flatten()
+    {
+        let s = |f: &str| b.get(f).and_then(Json::as_str).unwrap_or("?").to_string();
+        let reps = b
+            .get("reps")
+            .and_then(Json::as_u64)
+            .map_or_else(|| "?".into(), |r| r.to_string());
+        table.row(vec![
+            s("name"),
+            s("dataset"),
+            reps,
+            ms(b, "min"),
+            ms(b, "p50"),
+            ms(b, "max"),
+            ms(b, "mean"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "telemetry: {} (rerun with --json for stage timings and counters)",
+        if esd_telemetry::enabled() {
+            "enabled"
+        } else {
+            "disabled"
+        }
+    );
 }
 
 fn load_graph(opts: &Options) -> Result<(esd_graph::Graph, Vec<u64>), String> {
@@ -389,7 +520,7 @@ fn stream(opts: &Options) -> Result<(), String> {
     );
     let session = Session::new(service.handle(), Arc::new(IdMap::from_original(original)));
     println!(
-        "ready: {} vertices, {} edges (+ u v | - u v | ? k tau | metrics | quit)",
+        "ready: {} vertices, {} edges (+ u v | - u v | ? k tau | metrics | telemetry | quit)",
         g.num_vertices(),
         g.num_edges()
     );
@@ -424,7 +555,7 @@ fn serve(opts: &Options) -> Result<(), String> {
     let server = Server::start(("127.0.0.1", opts.port), service.handle(), ids)
         .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
     println!(
-        "listening on {} ({} worker thread(s); protocol: + u v | - u v | ? k tau | metrics | quit)",
+        "listening on {} ({} worker thread(s); protocol: + u v | - u v | ? k tau | metrics | telemetry | quit)",
         server.local_addr(),
         opts.threads
     );

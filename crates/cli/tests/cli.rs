@@ -360,3 +360,84 @@ fn error_paths() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("ESDX"));
 }
+
+#[test]
+fn bench_report_round_trips_through_check() {
+    let dir = temp_dir();
+    let path = dir.join("BENCH_smoke.json");
+    // Produce a smoke report (1 rep keeps this test fast).
+    let out = bin()
+        .args([
+            "bench",
+            "--suite",
+            "smoke",
+            "--reps",
+            "1",
+            "--threads",
+            "2",
+            "-o",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"esd-bench/v1\""), "{text}");
+    assert!(text.contains("\"build_parallel\""), "{text}");
+    assert!(text.contains("\"work_balance\""), "{text}");
+    // The default CLI build arms telemetry, so stage rows must be present.
+    assert!(text.contains("\"build.enumerate\""), "{text}");
+    assert!(text.contains("\"cliques.enumerated\""), "{text}");
+
+    // The validator accepts the freshly written report…
+    let out = bin()
+        .args(["bench", "--check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    // …and rejects a corrupted one, with a nonzero exit for CI.
+    let broken = dir.join("broken.json");
+    std::fs::write(
+        &broken,
+        text.replace("\"esd-bench/v1\"", "\"esd-bench/v0\""),
+    )
+    .unwrap();
+    let out = bin()
+        .args(["bench", "--check", broken.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("schema"));
+
+    // Unknown suite names are flagged before any work happens.
+    let out = bin().args(["bench", "--suite", "bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--suite"));
+}
+
+#[test]
+fn bench_human_summary_prints_a_table() {
+    let out = bin()
+        .args(["bench", "--suite", "smoke", "--reps", "1", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("benchmark"), "{text}");
+    assert!(text.contains("online_topk"), "{text}");
+    assert!(text.contains("telemetry: enabled"), "{text}");
+}

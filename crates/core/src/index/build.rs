@@ -36,6 +36,7 @@ pub(crate) struct FourCliqueArtifacts {
 
 /// Algorithm 2, lines 1–3: component sizes of every edge ego-network by BFS.
 pub(crate) fn components_by_bfs(g: &Graph) -> EdgeComponents {
+    let _span = esd_telemetry::span(esd_telemetry::Stage::BuildBfs);
     let m = g.num_edges();
     let mut offsets = Vec::with_capacity(m + 1);
     offsets.push(0);
@@ -66,13 +67,18 @@ pub(crate) fn neighborhoods(g: &Graph) -> (Vec<usize>, Vec<VertexId>) {
 /// Algorithm 3, lines 1–22: builds per-edge disjoint-set forests by
 /// enumerating every 4-clique once and extracts the component sizes.
 pub(crate) fn components_by_four_cliques(g: &Graph) -> FourCliqueArtifacts {
-    let (nbr_offsets, nbrs) = neighborhoods(g);
+    let (nbr_offsets, nbrs) = {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::BuildNeighborhoods);
+        neighborhoods(g)
+    };
+    esd_telemetry::add(esd_telemetry::Metric::BuildNbrTotal, nbrs.len() as u64);
     let mut arena = ArenaDsu::new(nbr_offsets.clone());
     let mut stats = BuildStats {
         total_neighborhood: nbrs.len(),
         ..Default::default()
     };
 
+    let enumerate_span = esd_telemetry::span(esd_telemetry::Stage::BuildEnumerate);
     let dag = OrientedGraph::by_degree(g);
     let mut enumerator = FourCliqueEnumerator::new(g.num_vertices());
     // A local slot of vertex `x` inside edge `e`'s neighbourhood.
@@ -119,7 +125,13 @@ pub(crate) fn components_by_four_cliques(g: &Graph) -> FourCliqueArtifacts {
         }
     }
 
-    let components = components_from_arena(&arena, g.num_edges());
+    drop(enumerate_span);
+    esd_telemetry::add(esd_telemetry::Metric::BuildUnionOps, stats.union_ops);
+
+    let components = {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::BuildExtract);
+        components_from_arena(&arena, g.num_edges())
+    };
     FourCliqueArtifacts {
         components,
         nbr_offsets,

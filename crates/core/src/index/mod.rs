@@ -132,6 +132,7 @@ impl EsdIndex {
     /// Assembles lists from per-edge component sizes (Algorithm 2 lines
     /// 5–15, shared by every builder).
     pub(crate) fn from_components(g: &Graph, comps: &EdgeComponents) -> Self {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::BuildFill);
         let sizes = build::distinct_sizes(comps);
         let mut lists = vec![ScoreTreap::new(); sizes.len()];
         build::fill_lists(g.edges(), comps, &sizes, &mut lists, 0..sizes.len());
@@ -190,6 +191,7 @@ impl EsdIndex {
     /// ```
     pub fn query(&self, k: usize, tau: u32) -> Vec<ScoredEdge> {
         assert!(tau >= 1, "component size threshold must be at least 1");
+        let _span = esd_telemetry::span(esd_telemetry::Stage::QueryTopk);
         // Smallest c* ∈ C with c* >= τ.
         let i = self.sizes.partition_point(|&c| c < tau);
         if i == self.sizes.len() {

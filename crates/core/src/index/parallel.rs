@@ -53,7 +53,11 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
     let m = g.num_edges();
 
     // ---- Phase A: per-edge common neighbourhoods (parallel over edges).
-    let (nbr_offsets, nbrs) = parallel_neighborhoods(g, threads);
+    let (nbr_offsets, nbrs) = {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::ParNeighborhoods);
+        parallel_neighborhoods(g, threads)
+    };
+    esd_telemetry::add(esd_telemetry::Metric::BuildNbrTotal, nbrs.len() as u64);
 
     // ---- Shard boundaries: contiguous edge ranges balanced by Σ|N(uv)|.
     let total = *nbr_offsets.last().unwrap_or(&0);
@@ -100,6 +104,7 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
         cursor += round.len();
 
         // Enumerate in parallel: each worker bins ops by target shard.
+        let _enum_span = esd_telemetry::span(esd_telemetry::Stage::ParEnumerate);
         let chunk = round.len().div_ceil(threads);
         let mut all_bins: Vec<(usize, Vec<Vec<Op>>, u64)> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
@@ -147,8 +152,10 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
         for &(w, _, cliques) in &all_bins {
             cliques_per_worker[w] += cliques;
         }
+        drop(_enum_span);
 
         // Apply in parallel: shard s drains every worker's bin s.
+        let _apply_span = esd_telemetry::span(esd_telemetry::Stage::ParApply);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (s, arena) in arenas.iter_mut().enumerate() {
@@ -173,7 +180,13 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
         });
     }
 
+    esd_telemetry::add(
+        esd_telemetry::Metric::ParOpsApplied,
+        ops_per_shard.iter().sum(),
+    );
+
     // ---- Phase C: extract component sizes per shard (parallel).
+    let extract_span = esd_telemetry::span(esd_telemetry::Stage::ParExtract);
     let mut pieces: Vec<(usize, EdgeComponents)> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -202,8 +215,10 @@ pub(crate) fn build_parallel(g: &Graph, threads: usize) -> (EsdIndex, ParallelBu
             .extend(piece.offsets[1..].iter().map(|&o| o + base));
     }
     debug_assert_eq!(comps.num_edges(), m);
+    drop(extract_span);
 
     // ---- Phase D: fill H(c) lists in parallel over disjoint C ranges.
+    let _fill_span = esd_telemetry::span(esd_telemetry::Stage::ParFill);
     let csizes = build::distinct_sizes(&comps);
     let mut lists: Vec<ScoreTreap> = Vec::with_capacity(csizes.len());
     let per = csizes.len().div_ceil(threads).max(1);

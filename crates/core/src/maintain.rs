@@ -202,6 +202,7 @@ impl MaintainedIndex {
     /// [`crate::index::EsdIndex::query`]).
     pub fn query(&self, k: usize, tau: u32) -> Vec<ScoredEdge> {
         assert!(tau >= 1, "component size threshold must be at least 1");
+        let _span = esd_telemetry::span(esd_telemetry::Stage::QueryTopk);
         match self.lists.range(tau..).next() {
             Some((_, list)) => list.top_k(k),
             None => Vec::new(),
@@ -218,8 +219,13 @@ impl MaintainedIndex {
         if self.g.has_edge(u, v) {
             return false;
         }
+        let _span = esd_telemetry::span(esd_telemetry::Stage::MaintainInsert);
         let nuv = self.g.common_neighbors(u, v);
         let affected = self.affected_edges(u, v, &nuv);
+        esd_telemetry::add(
+            esd_telemetry::Metric::MaintainAffected,
+            affected.len() as u64,
+        );
         self.retract_entries(&affected);
         self.mutate_insert(u, v, &nuv);
         self.restore_entries(&affected);
@@ -251,7 +257,12 @@ impl MaintainedIndex {
 
         // Algorithm 4 lines 10–19: one union per member edge of each new
         // 4-clique {u, v, w1, w2}.
-        for (w1, w2) in ego_edges(&self.g, nuv) {
+        let ego = ego_edges(&self.g, nuv);
+        esd_telemetry::add(
+            esd_telemetry::Metric::MaintainUnionOps,
+            6 * ego.len() as u64,
+        );
+        for (w1, w2) in ego {
             self.union_in(Edge::new(u, v), w1, w2);
             self.union_in(Edge::new(w1, w2), u, v);
             self.union_in(Edge::new(u, w1), v, w2);
@@ -271,8 +282,13 @@ impl MaintainedIndex {
         {
             return false;
         }
+        let _span = esd_telemetry::span(esd_telemetry::Stage::MaintainRemove);
         let nuv = self.g.common_neighbors(u, v);
         let affected = self.affected_edges(u, v, &nuv);
+        esd_telemetry::add(
+            esd_telemetry::Metric::MaintainAffected,
+            affected.len() as u64,
+        );
         self.retract_entries(&affected);
         self.mutate_remove(u, v, &affected);
         self.restore_entries(&affected);
@@ -304,6 +320,7 @@ impl MaintainedIndex {
     /// Returns `(applied, skipped)` — skipped updates are duplicate inserts,
     /// missing removals, or self-loops.
     pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> (usize, usize) {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::MaintainBatch);
         let mut retracted: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut order: Vec<u64> = Vec::new();
         let (mut applied, mut skipped) = (0, 0);
@@ -352,6 +369,7 @@ impl MaintainedIndex {
                 }
             }
         }
+        esd_telemetry::add(esd_telemetry::Metric::MaintainAffected, order.len() as u64);
         self.restore_entries(&order);
         self.strict_audit();
         (applied, skipped)
@@ -402,6 +420,7 @@ impl MaintainedIndex {
     /// their size refcounts.
     fn retract_entries(&mut self, affected: &[u64]) {
         let mut dead = Vec::new();
+        let mut treap_removes = 0u64;
         for &key in affected {
             let Some(forest) = self.forests.get(&key) else {
                 continue;
@@ -412,6 +431,7 @@ impl MaintainedIndex {
             for (&c, list) in self.lists.range_mut(..=cmax) {
                 let score = (sizes.len() - sizes.partition_point(|&s| s < c)) as u32;
                 let removed = list.remove(&RankKey { score, edge });
+                treap_removes += 1;
                 debug_assert!(removed, "stale entry for {edge} in H({c})");
             }
             let mut distinct = sizes;
@@ -426,6 +446,7 @@ impl MaintainedIndex {
         }
         let _ = dead; // Dead sizes are reaped in `restore_entries`, after the
                       // affected edges' new sizes are known (they may revive).
+        esd_telemetry::add(esd_telemetry::Metric::TreapRemoves, treap_removes);
     }
 
     /// Re-inserts the affected edges with their new component sizes,
@@ -479,14 +500,17 @@ impl MaintainedIndex {
         }
 
         // Insert the affected edges into every applicable list.
+        let mut treap_inserts = 0u64;
         for (edge, sizes) in new_sizes {
             let cmax = *sizes.last().expect("non-empty");
             for (&c, list) in self.lists.range_mut(..=cmax) {
                 let score = (sizes.len() - sizes.partition_point(|&s| s < c)) as u32;
                 let inserted = list.insert(RankKey { score, edge });
+                treap_inserts += 1;
                 debug_assert!(inserted, "duplicate entry for {edge} in H({c})");
             }
         }
+        esd_telemetry::add(esd_telemetry::Metric::TreapInserts, treap_inserts);
     }
 
     /// One `Union` in edge `e`'s forest (Algorithm 4's `M_xy.Union`).
@@ -510,7 +534,9 @@ impl MaintainedIndex {
         for &w in &members {
             dsu.insert_singleton(w);
         }
-        for (w1, w2) in ego_edges(&self.g, &members) {
+        let ego = ego_edges(&self.g, &members);
+        esd_telemetry::add(esd_telemetry::Metric::MaintainUnionOps, ego.len() as u64);
+        for (w1, w2) in ego {
             dsu.union(w1, w2);
         }
         self.forests.insert(e.key(), dsu);

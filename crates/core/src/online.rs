@@ -68,6 +68,7 @@ pub fn online_topk_with_stats(
     which: UpperBound,
 ) -> (Vec<ScoredEdge>, OnlineStats) {
     assert!(tau >= 1, "component size threshold must be at least 1");
+    let _span = esd_telemetry::span(esd_telemetry::Stage::OnlineTopk);
     let mut stats = OnlineStats::default();
     let mut queue: BinaryHeap<Entry> = BinaryHeap::with_capacity(g.num_edges());
     for e in g.edges() {
@@ -108,6 +109,12 @@ pub fn online_topk_with_stats(
             });
         }
     }
+    esd_telemetry::add(
+        esd_telemetry::Metric::OnlineExactEvals,
+        stats.exact_evaluations as u64,
+    );
+    esd_telemetry::add(esd_telemetry::Metric::OnlineHeapPops, stats.pops as u64);
+    esd_telemetry::add(esd_telemetry::Metric::OnlineEnqueued, stats.enqueued as u64);
     (results, stats)
 }
 

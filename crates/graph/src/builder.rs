@@ -70,6 +70,7 @@ impl GraphBuilder {
 
     /// Finalises the graph: sorts, deduplicates and freezes into CSR.
     pub fn build(mut self) -> Graph {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::GraphCsr);
         self.edges.sort_unstable();
         self.edges.dedup();
         let g = Graph::from_sorted_canonical_edges(self.n, self.edges);

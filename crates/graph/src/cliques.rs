@@ -62,13 +62,19 @@ impl FourCliqueEnumerator {
         for &w in &self.common {
             self.stamp[w as usize] = gen;
         }
+        // The clique counter is owned by this loop — and only this loop — so
+        // every caller (sequential build, parallel workers, plain counting)
+        // shares one definition. Counted locally, recorded in one add.
+        let mut emitted = 0u64;
         for &w1 in &self.common {
             for &w2 in dag.out_neighbors(w1) {
                 if self.stamp[w2 as usize] == gen {
+                    emitted += 1;
                     f(w1, w2);
                 }
             }
         }
+        esd_telemetry::add(esd_telemetry::Metric::CliquesEnumerated, emitted);
     }
 
     /// Enumerates every 4-clique of the graph exactly once as

@@ -135,6 +135,7 @@ pub struct OrientedGraph {
 impl OrientedGraph {
     /// Orients `g` by the paper's degree ordering `≺` (§II).
     pub fn by_degree(g: &Graph) -> Self {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::GraphOrient);
         let order = DegreeOrder::new(g);
         Self::by_rank(g, |v| order.rank(v))
     }
@@ -142,6 +143,7 @@ impl OrientedGraph {
     /// Orients `g` by a degeneracy ordering; out-degrees are then bounded by
     /// the degeneracy `δ`.
     pub fn by_degeneracy(g: &Graph) -> Self {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::GraphOrient);
         let order = DegeneracyOrder::new(g);
         let rank = order.rank;
         Self::by_rank(g, move |v| rank[v as usize])

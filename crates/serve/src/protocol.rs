@@ -5,6 +5,7 @@
 //! - u v        remove edge
 //! ? k tau      top-k query at threshold tau
 //! metrics      dump the metrics registry
+//! telemetry    dump the telemetry snapshot as one JSON line
 //! quit         end the session
 //! ```
 //!
@@ -34,6 +35,8 @@ pub enum Request {
     },
     /// `metrics` — dump the metrics registry.
     Metrics,
+    /// `telemetry` — dump the process-wide telemetry snapshot as JSON.
+    Telemetry,
     /// `quit` — end the session.
     Quit,
 }
@@ -50,6 +53,7 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, String> {
         [] => Ok(None),
         ["quit" | "q" | "exit"] => Ok(Some(Request::Quit)),
         ["metrics"] => Ok(Some(Request::Metrics)),
+        ["telemetry"] => Ok(Some(Request::Telemetry)),
         ["+", a, b] => Ok(Some(Request::Insert(int(a, "id")?, int(b, "id")?))),
         ["-", a, b] => Ok(Some(Request::Remove(int(a, "id")?, int(b, "id")?))),
         ["?", k, tau] => {
@@ -136,6 +140,7 @@ mod tests {
             Ok(Some(Request::Query { k: 10, tau: 2 }))
         );
         assert_eq!(parse_line("metrics"), Ok(Some(Request::Metrics)));
+        assert_eq!(parse_line("telemetry"), Ok(Some(Request::Telemetry)));
         for q in ["quit", "q", "exit"] {
             assert_eq!(parse_line(q), Ok(Some(Request::Quit)));
         }

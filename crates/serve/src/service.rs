@@ -210,6 +210,7 @@ impl Engine {
     /// Executes one query against the current snapshot, consulting and
     /// filling the cache. `started` anchors the reported latency.
     fn execute_query(&self, k: usize, tau: u32, started: Instant) -> QueryResponse {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::ServeQuery);
         let snapshot = self.snapshot.load();
         let key = CacheKey {
             k: k as u64,
@@ -256,6 +257,7 @@ impl Engine {
     /// stale cache entries. Call with the writer lock held so no competing
     /// publication can interleave.
     fn publish_locked(&self, index: &MutexGuard<'_, MaintainedIndex>) -> u64 {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::ServePublish);
         let epoch = self.snapshot.load().epoch() + 1;
         self.snapshot
             .store(Arc::new(Snapshot::new(epoch, (**index).clone())));

@@ -53,6 +53,11 @@ impl Session {
         match request {
             Request::Quit => LineOutcome::Quit,
             Request::Metrics => LineOutcome::Respond(self.handle.metrics_text()),
+            Request::Telemetry => {
+                let mut json = esd_telemetry::snapshot().to_json().render_compact();
+                json.push('\n');
+                LineOutcome::Respond(json)
+            }
             Request::Query { k, tau } => match self.handle.query(k, tau) {
                 Ok(resp) => LineOutcome::Respond(protocol::format_query(&resp, &self.ids)),
                 Err(e) => LineOutcome::Respond(protocol::format_error(&e.to_string())),
@@ -125,6 +130,11 @@ mod tests {
             panic!()
         };
         assert!(text.contains("queries_served"), "{text}");
+        let LineOutcome::Respond(text) = s.handle_line("telemetry") else {
+            panic!()
+        };
+        assert!(text.starts_with('{') && text.ends_with("}\n"), "{text}");
+        assert!(text.contains("\"esd-telemetry/v1\""), "{text}");
         let LineOutcome::Respond(text) = s.handle_line("bogus line") else {
             panic!()
         };

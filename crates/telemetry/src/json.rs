@@ -1,0 +1,537 @@
+//! A minimal JSON model: build, render, parse. No dependencies.
+//!
+//! The build environment is offline (no serde), and the workspace needs
+//! exactly one thing from JSON: a stable machine-readable container for
+//! bench reports and the `telemetry` protocol command, plus enough of a
+//! parser for `esd bench --check` to re-validate an emitted report. This
+//! module is that and nothing more.
+//!
+//! Deviations from full JSON, all documented:
+//!
+//! * Numbers are `f64`. Integers round-trip exactly up to 2⁵³, which
+//!   comfortably covers every counter and nanosecond total we emit
+//!   (2⁵³ ns ≈ 104 days).
+//! * Non-finite numbers render as `null` (JSON has no NaN/Infinity).
+//! * Objects preserve insertion order and allow duplicate keys on parse
+//!   ([`Json::get`] returns the first match, as most parsers do).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: ordered key → value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (exact for all emitted magnitudes; see module docs).
+    #[must_use]
+    pub fn num_u64(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// An object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer — `None` if it is not a number,
+    /// is negative, or has a fractional part.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        (n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64).then_some(n as u64)
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's fields, if it is one.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&Vec<(String, Json)>> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Renders on one line with no whitespace (protocol responses).
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with two-space indentation and a trailing newline (files).
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_close, colon) = match indent {
+            Some(w) => (
+                "\n",
+                " ".repeat(w * (depth + 1)),
+                " ".repeat(w * depth),
+                ": ",
+            ),
+            None => ("", String::new(), String::new(), ":"),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(colon);
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (rejects trailing garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the byte offset and what went wrong.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", char::from(b))))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character {:?}", char::from(other)))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| self.err(format!("bad number {text:?}: {e}")))
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| self.err("bad \\u escape"))?;
+        let v = u16::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((u32::from(hi) - 0xD800) << 10)
+                                        + (u32::from(lo) - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(u32::from(hi))
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(
+                                self.err(format!("unknown escape \\{:?}", char::from(other)))
+                            )
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (the input is a &str, so
+                    // resynchronising on a char boundary is safe).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).expect("input was a str");
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses_a_report_shape() {
+        let doc = Json::obj(vec![
+            ("schema", Json::str("esd-bench/v1")),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "wall_ns",
+                Json::obj(vec![
+                    ("min", Json::num_u64(1200)),
+                    ("mean", Json::Num(1250.5)),
+                ]),
+            ),
+            (
+                "names",
+                Json::Arr(vec![Json::str("a \"quoted\" name"), Json::str("täb\there")]),
+            ),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        for text in [doc.render_compact(), doc.render_pretty()] {
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back, doc, "round trip failed for {text}");
+        }
+        assert!(!doc.render_compact().contains('\n'));
+        assert!(doc.render_pretty().ends_with("}\n"));
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::parse(r#"{"a": 3, "b": [1, 2.5], "c": "x", "d": false}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("b").and_then(Json::as_arr).map(Vec::len), Some(2));
+        assert_eq!(doc.get("b").unwrap().as_arr().unwrap()[1].as_u64(), None);
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("d").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(doc.as_obj().map(Vec::len), Some(4));
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1e300).as_u64(), None);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let doc = Json::parse(r#""a\n\t\"\\\/Aé😀""#).unwrap();
+        assert_eq!(doc.as_str(), Some("a\n\t\"\\/Aé😀"));
+        // Render → parse keeps control characters intact.
+        let original = Json::str("ctrl:\u{1}\u{1f}");
+        let back = Json::parse(&original.render_compact()).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(Json::parse("-12").unwrap(), Json::Num(-12.0));
+        assert_eq!(Json::parse("1.5e3").unwrap(), Json::Num(1500.0));
+        assert_eq!(
+            Json::num_u64(9_007_199_254_740_992).render_compact(),
+            "9007199254740992"
+        );
+        assert_eq!(Json::Num(f64::NAN).render_compact(), "null");
+        assert_eq!(Json::Num(2.5).render_compact(), "2.5");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, ]",
+            r#"{"a" 1}"#,
+            "tru",
+            "1 2",
+            r#""\q""#,
+            r#""\ud800x""#,
+            "[1,,2]",
+            "{1: 2}",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "{bad:?} should fail");
+        }
+        let err = Json::parse("[null, flase]").unwrap_err();
+        assert_eq!(err.offset, 7);
+        assert!(err.to_string().contains("byte 7"));
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`datasets`] — deterministic surrogate datasets for the evaluation.
 //! * [`serve`] — a concurrent query service over the maintained index:
 //!   snapshot isolation, worker pool, result cache, live metrics, TCP server.
+//! * [`telemetry`] — stage spans and kernel counters threaded through every
+//!   hot path above; a no-op unless built with the `telemetry` feature. See
+//!   `docs/observability.md` for the span taxonomy and counter catalogue.
 //!
 //! ## Quickstart
 //!
@@ -54,3 +57,4 @@ pub use esd_datasets as datasets;
 pub use esd_dsu as dsu;
 pub use esd_graph as graph;
 pub use esd_serve as serve;
+pub use esd_telemetry as telemetry;

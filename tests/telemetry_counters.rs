@@ -1,0 +1,206 @@
+//! Ground-truth tests for the telemetry counters.
+//!
+//! Every counter in the [`esd_telemetry::Metric`] catalogue has exactly one
+//! owning call site; these tests pin each one to an independently
+//! recomputed total — the 4-clique counter to the enumerator's own count,
+//! the build union counter to 6× the clique count, the parallel apply
+//! counter to the sequential op count, the maintenance treap counters to
+//! each other across a remove/insert round trip, and the online counters to
+//! the [`OnlineStats`] the search itself returns.
+//!
+//! The registry is process-global, so every test takes [`REGISTRY_LOCK`]
+//! before touching it — without the lock, `reset()` in one test would
+//! clobber another test's measurement window.
+
+use esd::core::maintain::GraphUpdate;
+use esd::core::online::{online_topk_with_stats, UpperBound};
+use esd::core::{EsdIndex, MaintainedIndex};
+use esd::graph::{cliques, generators};
+use esd::telemetry;
+use std::sync::Mutex;
+
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// This test binary must be compiled with the registry armed (the root
+/// crate's dev-dependencies turn the `telemetry` feature on); everything
+/// below measures real deltas, which requires a live registry.
+#[test]
+fn registry_is_armed_for_integration_tests() {
+    assert!(
+        telemetry::enabled(),
+        "root dev-dependencies must arm the telemetry feature"
+    );
+}
+
+#[test]
+fn clique_counter_matches_enumerator_ground_truth() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let g = generators::clique_overlap(150, 110, 6, 7);
+    let expected = {
+        // count_four_cliques itself goes through the instrumented
+        // enumerator; measure it in its own window so the expected value
+        // does not contaminate the build measurement below.
+        telemetry::reset();
+        cliques::count_four_cliques(&g)
+    };
+    assert_eq!(
+        telemetry::snapshot().counter("cliques.enumerated"),
+        expected,
+        "count_four_cliques is itself span-counted"
+    );
+
+    telemetry::reset();
+    let (_, stats) = EsdIndex::build_fast_with_stats(&g);
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.counter("cliques.enumerated"), expected);
+    assert_eq!(stats.four_cliques, expected);
+    assert_eq!(snap.counter("build.union_ops"), expected * 6);
+    assert_eq!(
+        snap.counter("build.nbr_total"),
+        stats.total_neighborhood as u64
+    );
+    // The sequential build records every constructed stage.
+    for stage in [
+        "graph.orient",
+        "build.neighborhoods",
+        "build.enumerate",
+        "build.extract",
+        "build.fill",
+    ] {
+        let s = snap
+            .stage(stage)
+            .unwrap_or_else(|| panic!("{stage} missing"));
+        assert!(s.count >= 1 && s.total_ns > 0, "{stage} recorded");
+    }
+}
+
+#[test]
+fn parallel_apply_counter_matches_sequential_union_ops() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let g = generators::clique_overlap(140, 100, 5, 11);
+
+    telemetry::reset();
+    let (_, stats) = EsdIndex::build_fast_with_stats(&g);
+    let seq_ops = telemetry::snapshot().counter("build.union_ops");
+    assert_eq!(seq_ops, stats.union_ops);
+
+    telemetry::reset();
+    let (_, report) = EsdIndex::build_parallel_with_report(&g, 3);
+    let snap = telemetry::snapshot();
+    // Same graph, same cliques: the sharded apply performs exactly the
+    // sequential op count, just partitioned.
+    assert_eq!(snap.counter("pbuild.ops_applied"), seq_ops);
+    assert_eq!(report.ops_per_shard.iter().sum::<u64>(), seq_ops);
+    assert_eq!(snap.counter("cliques.enumerated"), stats.four_cliques);
+    for stage in [
+        "pbuild.neighborhoods",
+        "pbuild.enumerate",
+        "pbuild.apply",
+        "pbuild.extract",
+        "pbuild.fill",
+    ] {
+        assert!(snap.stage(stage).is_some(), "{stage} missing");
+    }
+    // The parallel build must not leak into the sequential span buckets.
+    for stage in ["build.neighborhoods", "build.enumerate", "build.fill"] {
+        assert!(snap.stage(stage).is_none(), "{stage} must stay sequential");
+    }
+}
+
+#[test]
+fn maintenance_counters_balance_over_a_round_trip() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let g = generators::clique_overlap(120, 90, 5, 3);
+    let mut index = MaintainedIndex::new(&g);
+    let churn: Vec<_> = g.edges().iter().take(12).copied().collect();
+
+    telemetry::reset();
+    for e in &churn {
+        assert!(index.remove_edge(e.u, e.v));
+    }
+    for e in &churn {
+        assert!(index.insert_edge(e.u, e.v));
+    }
+    let snap = telemetry::snapshot();
+
+    // The index returned to its starting state, so every treap entry that
+    // was retracted was restored: inserts == removes, and both are nonzero
+    // on a graph this dense.
+    let inserts = snap.counter("maintain.treap_inserts");
+    let removes = snap.counter("maintain.treap_removes");
+    assert!(inserts > 0, "round trip must touch the treaps");
+    assert_eq!(inserts, removes, "round trip must balance treap churn");
+    assert!(snap.counter("maintain.affected_edges") > 0);
+    assert!(snap.counter("maintain.union_ops") > 0);
+    assert_eq!(
+        snap.stage("maintain.remove").unwrap().count,
+        churn.len() as u64
+    );
+    assert_eq!(
+        snap.stage("maintain.insert").unwrap().count,
+        churn.len() as u64
+    );
+
+    // The batch path measures the same work under the batch span.
+    telemetry::reset();
+    let removes_batch: Vec<_> = churn
+        .iter()
+        .map(|e| GraphUpdate::Remove(e.u, e.v))
+        .collect();
+    let inserts_batch: Vec<_> = churn
+        .iter()
+        .map(|e| GraphUpdate::Insert(e.u, e.v))
+        .collect();
+    assert_eq!(index.apply_batch(&removes_batch).0, churn.len());
+    assert_eq!(index.apply_batch(&inserts_batch).0, churn.len());
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.stage("maintain.batch").unwrap().count, 2);
+    assert_eq!(
+        snap.counter("maintain.treap_inserts"),
+        snap.counter("maintain.treap_removes")
+    );
+}
+
+#[test]
+fn online_counters_equal_the_search_stats() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let g = generators::erdos_renyi(80, 0.15, 5);
+
+    telemetry::reset();
+    let (_, stats) = online_topk_with_stats(&g, 12, 2, UpperBound::CommonNeighbor);
+    let snap = telemetry::snapshot();
+    assert_eq!(
+        snap.counter("online.exact_evals"),
+        stats.exact_evaluations as u64
+    );
+    assert_eq!(snap.counter("online.heap_pops"), stats.pops as u64);
+    assert_eq!(snap.counter("online.enqueued"), stats.enqueued as u64);
+    let span = snap.stage("online.topk").expect("online span");
+    assert_eq!(span.count, 1);
+}
+
+#[test]
+fn query_spans_count_queries_without_touching_counters() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let g = generators::clique_overlap(100, 80, 5, 9);
+    let index = EsdIndex::build_fast(&g);
+
+    telemetry::reset();
+    for k in [1, 5, 25] {
+        let _ = index.query(k, 2);
+    }
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.stage("query.topk").unwrap().count, 3);
+    // Queries read the index; they must not move any build/maintain counter.
+    assert!(
+        snap.counters.is_empty(),
+        "queries own no counters: {snap:?}"
+    );
+
+    // Windowing: a delta across two more queries counts exactly those two.
+    let before = telemetry::snapshot();
+    let _ = index.query(10, 2);
+    let _ = index.query(10, 3);
+    let delta = telemetry::snapshot().delta_since(&before);
+    assert_eq!(delta.stage("query.topk").unwrap().count, 2);
+}
