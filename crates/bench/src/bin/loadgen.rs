@@ -14,9 +14,9 @@
 //! so the result cache sees a realistic mix of hits and misses instead of
 //! one key served entirely from cache.
 
-use esd_core::maintain::GraphUpdate;
+use esd_core::maintain::{GraphUpdate, MutationBatch};
 use esd_graph::{generators, Graph};
-use esd_serve::{Service, ServiceConfig, ServiceHandle};
+use esd_serve::{QueryRequest, Service, ServiceConfig, ServiceHandle};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -101,11 +101,15 @@ fn client(handle: &ServiceHandle, n: u32, ops: u64, write_ratio: f64, seed: u64)
             } else {
                 GraphUpdate::Remove(a, b)
             };
-            handle.apply(vec![update]).expect("update failed");
+            handle
+                .submit(MutationBatch::from_raw(vec![update]))
+                .expect("update failed");
         } else {
             let k = (16.0 * 128f64.powf(rng.gen::<f64>())) as usize; // 16..2048
             let tau = rng.gen_range(1..=4);
-            handle.query(k, tau).expect("query failed");
+            handle
+                .execute(QueryRequest::new(k, tau))
+                .expect("query failed");
         }
     }
 }
@@ -133,7 +137,10 @@ fn run_phase(g: &Graph, cfg: &Config, workers: usize) -> (Vec<String>, f64) {
     });
     let wall = started.elapsed();
     let m = handle.metrics();
-    let total_ops = m.queries_served.get() + m.updates_applied.get() + m.updates_skipped.get();
+    let total_ops = m.queries_served.get()
+        + m.updates_applied.get()
+        + m.updates_noop.get()
+        + m.updates_rejected.get();
     let throughput = total_ops as f64 / wall.as_secs_f64();
     let row = vec![
         workers.to_string(),
@@ -185,24 +192,31 @@ fn run_update_storm(g: &Graph, cfg: &Config) {
             let during = Arc::clone(&during);
             std::thread::spawn(move || {
                 while !done.load(Ordering::Relaxed) {
-                    handle.query(100, 2).expect("query during batch failed");
+                    handle
+                        .execute(QueryRequest::new(100, 2))
+                        .expect("query during batch failed");
                     during.fetch_add(1, Ordering::Relaxed);
                 }
             })
         })
         .collect();
 
-    let (outcome, wall) = esd_bench::time(|| handle.apply(batch).expect("batch failed"));
+    let (outcome, wall) = esd_bench::time(|| {
+        handle
+            .submit(MutationBatch::from_raw(batch))
+            .expect("batch failed")
+    });
     done.store(true, Ordering::Relaxed);
     for r in readers {
         r.join().unwrap();
     }
     println!(
-        "update storm: 1000-edge batch applied in {} ({} applied, {} no-ops, epoch {}); \
+        "update storm: 1000-edge batch applied in {} ({} applied, {} no-op(s), {} rejected, epoch {}); \
          {} queries completed during the apply window (p99 {} µs)",
         esd_bench::fmt_duration(wall),
         outcome.applied,
-        outcome.skipped,
+        outcome.noop,
+        outcome.rejected,
         outcome.epoch,
         during.load(Ordering::Relaxed),
         handle.metrics().query_latency.percentile_us(0.99),

@@ -37,6 +37,7 @@
 //! stores the dense relabelling (first-appearance order), which `build`
 //! writes next to the index as `<index>.ids` so `query` can translate back.
 
+use esd::Error;
 use esd_core::online::{online_topk, UpperBound};
 use esd_core::{EsdIndex, ScoredEdge};
 use esd_graph::io;
@@ -49,10 +50,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("error: {err}");
+            // Exit-code policy lives in esd::Error: usage mistakes (and only
+            // those) get the help text and exit 2; runtime failures exit 1.
+            if err.is_usage() {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(err.exit_code())
         }
     }
 }
@@ -63,8 +68,8 @@ usage:
   esd topk   <graph.txt> [-k N] [--tau T] [--algo online|online+|index]
   esd build  <graph.txt> -o <index.esdx>
   esd query  <index.esdx> [-k N] [--tau T]
-  esd stream <graph.txt>
-  esd serve  <graph.txt> [--port P] [--threads N] TCP query service
+  esd stream <graph.txt> [--pipeline-threads N]
+  esd serve  <graph.txt> [--port P] [--threads N] [--pipeline-threads N]
   esd ego    <graph.txt> <u> <v> [-o <out.dot>]   render an edge ego-network
   esd explain <graph.txt> <u> <v>                 score/context breakdown
   esd audit  <index.esdx> [graph.txt]             structural invariant audit
@@ -78,6 +83,7 @@ struct Options {
     output: Option<String>,
     port: u16,
     threads: usize,
+    pipeline_threads: usize,
     suite: String,
     json: bool,
     reps: usize,
@@ -93,6 +99,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         output: None,
         port: 7687,
         threads: 4,
+        pipeline_threads: 2,
         suite: "smoke".into(),
         json: false,
         reps: 3,
@@ -125,6 +132,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
             }
+            "--pipeline-threads" => {
+                opts.pipeline_threads = value("--pipeline-threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --pipeline-threads: {e}"))?
+            }
             "--suite" => opts.suite = value("--suite")?,
             "--json" => opts.json = true,
             "--reps" => {
@@ -143,12 +155,12 @@ fn parse(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String]) -> Result<ExitCode, Error> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing subcommand".into());
     };
     let opts = parse(rest)?;
-    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
+    let done = |r: Result<(), Error>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
         "stats" => done(stats(&opts)),
         "topk" => done(topk(&opts)),
@@ -160,24 +172,24 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "explain" => done(explain(&opts)),
         "audit" => audit(&opts),
         "bench" => bench(&opts),
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(format!("unknown subcommand {other:?}").into()),
     }
 }
 
 /// Audits a persisted index: every structural validator always, plus the
 /// full semantic ground-truth comparison when the source graph is supplied.
 /// Exits nonzero (without usage spam) when any invariant is violated.
-fn audit(opts: &Options) -> Result<ExitCode, String> {
+fn audit(opts: &Options) -> Result<ExitCode, Error> {
     let path = opts
         .positional
         .first()
         .ok_or("missing index file argument")?;
     let frozen = esd_core::index::FrozenEsdIndex::load(path)
-        .map_err(|e| format!("cannot load {path}: {e}"))?;
+        .map_err(|e| Error::from(e).context(format!("cannot load {path}")))?;
     let violations = match opts.positional.get(1) {
         Some(gpath) => {
-            let (g, _) =
-                io::load_edge_list(gpath).map_err(|e| format!("cannot load {gpath}: {e}"))?;
+            let (g, _) = io::load_edge_list(gpath)
+                .map_err(|e| Error::from(e).context(format!("cannot load {gpath}")))?;
             frozen.validate_against(&g)
         }
         None => frozen.validate(),
@@ -207,13 +219,14 @@ fn audit(opts: &Options) -> Result<ExitCode, String> {
 /// Runs a benchmark suite and emits the `esd-bench/v1` report, or — with
 /// `--check FILE` — validates an existing report against the schema. The
 /// check mode exits nonzero on violations so CI can gate on it.
-fn bench(opts: &Options) -> Result<ExitCode, String> {
+fn bench(opts: &Options) -> Result<ExitCode, Error> {
     use esd_bench::report::{validate, BENCH_SCHEMA};
     use esd_bench::suite::{run, Suite, SuiteConfig};
     use esd_telemetry::json::Json;
 
     if let Some(path) = &opts.check {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::from(e).context(format!("cannot read {path}")))?;
         let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
         let errors = validate(&doc);
         return if errors.is_empty() {
@@ -247,7 +260,8 @@ fn bench(opts: &Options) -> Result<ExitCode, String> {
     let report = run(&cfg);
     let text = report.render_pretty();
     if let Some(path) = &opts.output {
-        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, &text)
+            .map_err(|e| Error::from(e).context(format!("cannot write {path}")))?;
         println!("wrote {path}");
     } else if opts.json {
         print!("{text}");
@@ -308,12 +322,12 @@ fn print_bench_summary(report: &esd_telemetry::json::Json) {
     );
 }
 
-fn load_graph(opts: &Options) -> Result<(esd_graph::Graph, Vec<u64>), String> {
+fn load_graph(opts: &Options) -> Result<(esd_graph::Graph, Vec<u64>), Error> {
     let path = opts
         .positional
         .first()
         .ok_or("missing graph file argument")?;
-    io::load_edge_list(path).map_err(|e| format!("cannot load {path}: {e}"))
+    io::load_edge_list(path).map_err(|e| Error::from(e).context(format!("cannot load {path}")))
 }
 
 fn print_results(results: &[ScoredEdge], original: &[u64]) {
@@ -331,7 +345,7 @@ fn print_results(results: &[ScoredEdge], original: &[u64]) {
     }
 }
 
-fn stats(opts: &Options) -> Result<(), String> {
+fn stats(opts: &Options) -> Result<(), Error> {
     let (g, _) = load_graph(opts)?;
     let s = esd_graph::metrics::GraphStats::compute(&g);
     println!("n            {}", s.n);
@@ -350,13 +364,13 @@ fn stats(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn topk(opts: &Options) -> Result<(), String> {
+fn topk(opts: &Options) -> Result<(), Error> {
     let (g, original) = load_graph(opts)?;
     let results = match opts.algo.as_str() {
         "online" => online_topk(&g, opts.k, opts.tau, UpperBound::MinDegree),
         "online+" => online_topk(&g, opts.k, opts.tau, UpperBound::CommonNeighbor),
         "index" => EsdIndex::build_fast(&g).query(opts.k, opts.tau),
-        other => return Err(format!("unknown --algo {other:?} (online|online+|index)")),
+        other => return Err(format!("unknown --algo {other:?} (online|online+|index)").into()),
     };
     println!(
         "top-{} edges by structural diversity (τ = {}):",
@@ -366,7 +380,7 @@ fn topk(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn build(opts: &Options) -> Result<(), String> {
+fn build(opts: &Options) -> Result<(), Error> {
     let (g, original) = load_graph(opts)?;
     let out = opts
         .output
@@ -375,16 +389,17 @@ fn build(opts: &Options) -> Result<(), String> {
     let frozen = EsdIndex::build_fast(&g).freeze();
     frozen
         .save(out)
-        .map_err(|e| format!("cannot write {out}: {e}"))?;
+        .map_err(|e| Error::from(e).context(format!("cannot write {out}")))?;
     // Sidecar with the dense -> original id mapping, one id per line.
     let ids_path = format!("{out}.ids");
     let mut w = std::io::BufWriter::new(
-        std::fs::File::create(&ids_path).map_err(|e| format!("cannot write {ids_path}: {e}"))?,
+        std::fs::File::create(&ids_path)
+            .map_err(|e| Error::from(e).context(format!("cannot write {ids_path}")))?,
     );
     for id in &original {
-        writeln!(w, "{id}").map_err(|e| e.to_string())?;
+        writeln!(w, "{id}")?;
     }
-    w.flush().map_err(|e| e.to_string())?;
+    w.flush()?;
     println!(
         "wrote {out} ({} lists, {} entries) and {ids_path}",
         frozen.num_lists(),
@@ -393,13 +408,13 @@ fn build(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn query(opts: &Options) -> Result<(), String> {
+fn query(opts: &Options) -> Result<(), Error> {
     let path = opts
         .positional
         .first()
         .ok_or("missing index file argument")?;
     let frozen = esd_core::index::FrozenEsdIndex::load(path)
-        .map_err(|e| format!("cannot load {path}: {e}"))?;
+        .map_err(|e| Error::from(e).context(format!("cannot load {path}")))?;
     // Optional sidecar mapping; identity if absent.
     let original: Vec<u64> = match std::fs::read_to_string(format!("{path}.ids")) {
         Ok(text) => text
@@ -435,7 +450,7 @@ fn query(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn ego(opts: &Options) -> Result<(), String> {
+fn ego(opts: &Options) -> Result<(), Error> {
     let (g, original) = load_graph(opts)?;
     let [_, ou, ov] = opts.positional.as_slice() else {
         return Err("ego needs <graph.txt> <u> <v>".into());
@@ -451,12 +466,13 @@ fn ego(opts: &Options) -> Result<(), String> {
     };
     let (u, v) = (find(ou)?, find(ov)?);
     if !g.has_edge(u, v) {
-        return Err(format!("({ou}, {ov}) is not an edge"));
+        return Err(format!("({ou}, {ov}) is not an edge").into());
     }
     let dot = esd_graph::dot::ego_network_dot(&g, u, v, |x| Some(original[x as usize].to_string()));
     match &opts.output {
         Some(path) => {
-            std::fs::write(path, &dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, &dot)
+                .map_err(|e| Error::from(e).context(format!("cannot write {path}")))?;
             let sizes = esd_core::score::component_sizes(&g, u, v);
             println!("wrote {path}: {} components {:?}", sizes.len(), sizes);
         }
@@ -465,7 +481,7 @@ fn ego(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn explain(opts: &Options) -> Result<(), String> {
+fn explain(opts: &Options) -> Result<(), Error> {
     let (g, original) = load_graph(opts)?;
     let [_, ou, ov] = opts.positional.as_slice() else {
         return Err("explain needs <graph.txt> <u> <v>".into());
@@ -509,12 +525,13 @@ fn explain(opts: &Options) -> Result<(), String> {
 /// Streaming maintenance on stdin: the same [`Session`] logic as `esd
 /// serve`, run inline on the calling thread (`workers: 0`), so every
 /// update/query response carries its per-op latency and epoch.
-fn stream(opts: &Options) -> Result<(), String> {
+fn stream(opts: &Options) -> Result<(), Error> {
     let (g, original) = load_graph(opts)?;
     let service = Service::start(
         &g,
         &ServiceConfig {
             workers: 0,
+            pipeline_threads: opts.pipeline_threads.max(1),
             ..ServiceConfig::default()
         },
     );
@@ -526,11 +543,11 @@ fn stream(opts: &Options) -> Result<(), String> {
     );
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line?;
         match session.handle_line(&line) {
             LineOutcome::Respond(text) => {
                 print!("{text}");
-                std::io::stdout().flush().map_err(|e| e.to_string())?;
+                std::io::stdout().flush()?;
             }
             LineOutcome::Quit => break,
         }
@@ -542,12 +559,13 @@ fn stream(opts: &Options) -> Result<(), String> {
 /// TCP query service: the engine behind `stream`, behind a worker pool and
 /// an accept loop. Runs until stdin sees `quit` or EOF, then prints the
 /// final metrics registry.
-fn serve(opts: &Options) -> Result<(), String> {
+fn serve(opts: &Options) -> Result<(), Error> {
     let (g, original) = load_graph(opts)?;
     let service = Service::start(
         &g,
         &ServiceConfig {
             workers: opts.threads,
+            pipeline_threads: opts.pipeline_threads.max(1),
             ..ServiceConfig::default()
         },
     );
@@ -561,10 +579,10 @@ fn serve(opts: &Options) -> Result<(), String> {
     );
     // Piped stdout is block-buffered; tests (and scripts) need the banner
     // before the first connection attempt.
-    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    std::io::stdout().flush()?;
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line?;
         if matches!(line.trim(), "quit" | "q" | "exit") {
             break;
         }

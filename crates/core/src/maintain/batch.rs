@@ -1,0 +1,329 @@
+//! The batch-mutation vocabulary shared by every write path: per-update
+//! [`UpdateDisposition`]s, the [`BatchStats`] roll-up returned by
+//! [`MaintainedIndex::apply_batch`](super::MaintainedIndex::apply_batch) and
+//! the pipeline, and the [`MutationBatch`] builder that `esd-serve` and the
+//! CLI hand to
+//! [`ServiceHandle::submit`](../../../esd_serve/struct.ServiceHandle.html).
+//!
+//! `MutationBatch` is where intra-batch redundancy dies: an insert followed
+//! by a remove of the same edge (or vice versa) cancels to nothing, and a
+//! duplicate of a still-pending operation is dropped. Cancellation is sound
+//! because the final graph — and therefore, by the ego-network invariant,
+//! the final index state — is unchanged by eliding a pair whose net effect
+//! on the edge set is zero. Self-loops are deliberately *not* deduplicated:
+//! they are structurally invalid and must flow through so the apply path
+//! can report them as `rejected` rather than silently vanish.
+
+use super::GraphUpdate;
+use esd_graph::{Edge, VertexId};
+use std::collections::HashMap;
+
+/// How the apply path handled one update of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateDisposition {
+    /// The update changed the graph and the index was repaired.
+    Applied,
+    /// The graph already satisfied the request (duplicate insert, missing
+    /// removal, or out-of-range endpoint on a removal).
+    Noop,
+    /// The update is structurally invalid (a self-loop) and can never apply.
+    Rejected,
+}
+
+/// Per-batch roll-up of [`UpdateDisposition`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Updates that changed the graph.
+    pub applied: usize,
+    /// Updates the graph already satisfied.
+    pub noop: usize,
+    /// Structurally invalid updates.
+    pub rejected: usize,
+}
+
+impl BatchStats {
+    /// Total updates that did not change the graph (`noop + rejected`) —
+    /// the quantity the pre-split API reported as "skipped".
+    #[must_use]
+    pub fn skipped(&self) -> usize {
+        self.noop + self.rejected
+    }
+
+    /// Tallies a slice of dispositions.
+    #[must_use]
+    pub fn from_dispositions(dispositions: &[UpdateDisposition]) -> Self {
+        let mut stats = BatchStats::default();
+        for d in dispositions {
+            match d {
+                UpdateDisposition::Applied => stats.applied += 1,
+                UpdateDisposition::Noop => stats.noop += 1,
+                UpdateDisposition::Rejected => stats.rejected += 1,
+            }
+        }
+        stats
+    }
+}
+
+impl std::ops::AddAssign for BatchStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.applied += rhs.applied;
+        self.noop += rhs.noop;
+        self.rejected += rhs.rejected;
+    }
+}
+
+/// An ordered, deduplicated batch of [`GraphUpdate`]s — the single mutation
+/// vocabulary of the `esd` facade.
+///
+/// Built up via [`insert`](MutationBatch::insert) /
+/// [`remove`](MutationBatch::remove) / [`push`](MutationBatch::push):
+/// opposite pending operations on the same edge cancel each other, repeats
+/// of a pending operation are dropped, and order among survivors is
+/// preserved. [`from_raw`](MutationBatch::from_raw) wraps a update list
+/// verbatim (no coalescing) for callers that need exact per-update
+/// accounting — the deprecated `apply`/`apply_before` wrappers use it.
+///
+/// # Examples
+///
+/// ```
+/// use esd_core::maintain::MutationBatch;
+///
+/// let mut batch = MutationBatch::new();
+/// batch.insert(3, 7);
+/// batch.remove(3, 7); // cancels the pending insert
+/// batch.insert(1, 2);
+/// batch.insert(2, 1); // duplicate of pending (1,2) — dropped
+/// assert_eq!(batch.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MutationBatch {
+    /// Pending updates; cancelled slots are `None` and compacted on read.
+    slots: Vec<Option<GraphUpdate>>,
+    /// Canonical edge key → slot index of the pending (un-cancelled)
+    /// operation on that edge, if any.
+    pending: HashMap<u64, usize>,
+    live: usize,
+}
+
+impl MutationBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps `updates` verbatim, without any coalescing — every element
+    /// reaches the apply path and gets its own disposition.
+    #[must_use]
+    pub fn from_raw(updates: Vec<GraphUpdate>) -> Self {
+        let live = updates.len();
+        Self {
+            slots: updates.into_iter().map(Some).collect(),
+            pending: HashMap::new(),
+            live,
+        }
+    }
+
+    /// Queues an edge insertion (coalescing against pending operations).
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.push(GraphUpdate::Insert(u, v))
+    }
+
+    /// Queues an edge removal (coalescing against pending operations).
+    pub fn remove(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.push(GraphUpdate::Remove(u, v))
+    }
+
+    /// Queues `update`, coalescing against the pending operation on the
+    /// same edge: an identical pending op absorbs the new one, an opposite
+    /// pending op cancels both. Self-loops bypass coalescing entirely (they
+    /// have no canonical edge key and must surface as `rejected`).
+    pub fn push(&mut self, update: GraphUpdate) -> &mut Self {
+        let (u, v) = update.endpoints();
+        if u == v {
+            self.slots.push(Some(update));
+            self.live += 1;
+            return self;
+        }
+        let key = Edge::new(u, v).key();
+        match self.pending.get(&key) {
+            Some(&slot) => {
+                let prior = self.slots[slot].expect("pending slot is live");
+                if prior.is_insert() != update.is_insert() {
+                    // Opposite op: net effect on the edge set is zero.
+                    self.slots[slot] = None;
+                    self.pending.remove(&key);
+                    self.live -= 1;
+                }
+                // Identical op: the pending one already covers it.
+            }
+            None => {
+                self.pending.insert(key, self.slots.len());
+                self.slots.push(Some(update));
+                self.live += 1;
+            }
+        }
+        self
+    }
+
+    /// Number of surviving updates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no updates survive.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The surviving updates, in queue order.
+    #[must_use]
+    pub fn into_updates(self) -> Vec<GraphUpdate> {
+        self.slots.into_iter().flatten().collect()
+    }
+
+    /// The surviving updates without consuming the batch.
+    #[must_use]
+    pub fn updates(&self) -> Vec<GraphUpdate> {
+        self.slots.iter().copied().flatten().collect()
+    }
+}
+
+impl From<Vec<GraphUpdate>> for MutationBatch {
+    /// Coalescing construction from a plain update list; use
+    /// [`MutationBatch::from_raw`] to skip coalescing.
+    fn from(updates: Vec<GraphUpdate>) -> Self {
+        let mut batch = MutationBatch::new();
+        for u in updates {
+            batch.push(u);
+        }
+        batch
+    }
+}
+
+impl FromIterator<GraphUpdate> for MutationBatch {
+    fn from_iter<I: IntoIterator<Item = GraphUpdate>>(iter: I) -> Self {
+        let mut batch = MutationBatch::new();
+        for u in iter {
+            batch.push(u);
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::MaintainedIndex;
+    use super::*;
+    use crate::fixtures::fig1;
+
+    #[test]
+    fn insert_then_remove_cancels() {
+        let mut b = MutationBatch::new();
+        b.insert(1, 2).remove(2, 1);
+        assert!(b.is_empty());
+        assert_eq!(b.into_updates(), Vec::new());
+    }
+
+    #[test]
+    fn remove_then_insert_cancels() {
+        let mut b = MutationBatch::new();
+        b.remove(4, 9).insert(4, 9);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_absorbed_and_order_preserved() {
+        let mut b = MutationBatch::new();
+        b.insert(1, 2).insert(3, 4).insert(2, 1).remove(5, 6);
+        assert_eq!(
+            b.updates(),
+            vec![
+                GraphUpdate::Insert(1, 2),
+                GraphUpdate::Insert(3, 4),
+                GraphUpdate::Remove(5, 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn cancellation_reopens_the_edge_for_later_ops() {
+        let mut b = MutationBatch::new();
+        b.insert(1, 2).remove(1, 2).insert(1, 2);
+        assert_eq!(b.updates(), vec![GraphUpdate::Insert(1, 2)]);
+    }
+
+    #[test]
+    fn self_loops_flow_through_uncoalesced() {
+        let mut b = MutationBatch::new();
+        b.insert(5, 5).remove(5, 5).insert(5, 5);
+        assert_eq!(b.len(), 3, "self-loops must reach the apply path");
+        let (g, _) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        let stats = index.apply_batch(&b.into_updates());
+        assert_eq!((stats.applied, stats.noop, stats.rejected), (0, 0, 3));
+    }
+
+    #[test]
+    fn from_raw_preserves_every_update() {
+        let raw = vec![
+            GraphUpdate::Insert(1, 2),
+            GraphUpdate::Remove(1, 2),
+            GraphUpdate::Insert(1, 2),
+        ];
+        let b = MutationBatch::from_raw(raw.clone());
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.into_updates(), raw);
+    }
+
+    #[test]
+    fn coalesced_batch_matches_raw_batch_final_state() {
+        let (g, n) = fig1();
+        let raw = vec![
+            GraphUpdate::Insert(n["c"], n["d"]),
+            GraphUpdate::Remove(n["c"], n["d"]),
+            GraphUpdate::Remove(n["u"], n["k"]),
+            GraphUpdate::Remove(n["u"], n["k"]),
+        ];
+        let mut via_raw = MaintainedIndex::new(&g);
+        via_raw.apply_batch(&raw);
+        let mut via_batch = MaintainedIndex::new(&g);
+        let coalesced: MutationBatch = raw.into_iter().collect();
+        assert_eq!(coalesced.len(), 1, "insert+remove cancel, dup absorbed");
+        via_batch.apply_batch(&coalesced.into_updates());
+        assert_eq!(via_raw.component_sizes(), via_batch.component_sizes());
+        assert_eq!(via_raw.query(40, 1), via_batch.query(40, 1));
+    }
+
+    #[test]
+    fn stats_roll_up_and_skipped_compat() {
+        let d = [
+            UpdateDisposition::Applied,
+            UpdateDisposition::Noop,
+            UpdateDisposition::Rejected,
+            UpdateDisposition::Noop,
+        ];
+        let stats = BatchStats::from_dispositions(&d);
+        assert_eq!((stats.applied, stats.noop, stats.rejected), (1, 2, 1));
+        assert_eq!(stats.skipped(), 3);
+        let mut sum = BatchStats::default();
+        sum += stats;
+        sum += stats;
+        assert_eq!(sum.applied, 2);
+    }
+
+    #[test]
+    fn noop_vs_rejected_classification() {
+        let (g, n) = fig1();
+        let mut index = MaintainedIndex::new(&g);
+        let stats = index.apply_batch(&[
+            GraphUpdate::Insert(n["f"], n["g"]), // already present → noop
+            GraphUpdate::Remove(900, 901),       // out of range → noop
+            GraphUpdate::Insert(3, 3),           // self-loop → rejected
+            GraphUpdate::Remove(7, 7),           // self-loop → rejected
+        ]);
+        assert_eq!((stats.applied, stats.noop, stats.rejected), (0, 2, 2));
+    }
+}

@@ -28,6 +28,12 @@ use crate::ScoredEdge;
 use esd_graph::{DynamicGraph, Edge, Graph, VertexId};
 use std::collections::{BTreeMap, HashMap};
 
+pub mod batch;
+pub mod parallel;
+
+pub use batch::{BatchStats, MutationBatch, UpdateDisposition};
+pub use parallel::{PipelineOutcome, PipelineReport};
+
 /// A per-edge disjoint-set forest over the common neighbourhood, keyed by
 /// vertex id — the paper's `M_uv` with its `root` and `count` fields.
 #[derive(Debug, Clone, Default)]
@@ -98,6 +104,22 @@ pub enum GraphUpdate {
     Insert(VertexId, VertexId),
     /// Remove the edge `(u, v)`.
     Remove(VertexId, VertexId),
+}
+
+impl GraphUpdate {
+    /// The update's endpoint pair, in the order given at construction.
+    #[must_use]
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        match self {
+            GraphUpdate::Insert(u, v) | GraphUpdate::Remove(u, v) => (u, v),
+        }
+    }
+
+    /// Whether this is an insertion.
+    #[must_use]
+    pub fn is_insert(self) -> bool {
+        matches!(self, GraphUpdate::Insert(..))
+    }
 }
 
 /// An ESDIndex that stays consistent under edge insertions and deletions.
@@ -317,25 +339,20 @@ impl MaintainedIndex {
     /// (`Ĝ_{N(uv)}` regions) share the list bookkeeping, which dominates the
     /// per-update cost. Equivalent to applying the updates one by one.
     ///
-    /// Returns `(applied, skipped)` — skipped updates are duplicate inserts,
-    /// missing removals, or self-loops.
-    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> (usize, usize) {
+    /// Returns a [`BatchStats`] classifying every update: `applied`, `noop`
+    /// (duplicate insert / missing removal — the graph already satisfies the
+    /// request), or `rejected` (structurally invalid: a self-loop).
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> BatchStats {
         let _span = esd_telemetry::span(esd_telemetry::Stage::MaintainBatch);
         let mut retracted: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut order: Vec<u64> = Vec::new();
-        let (mut applied, mut skipped) = (0, 0);
+        let mut stats = BatchStats::default();
         for &update in updates {
-            match update {
-                GraphUpdate::Insert(u, v) => {
-                    if u == v {
-                        skipped += 1;
-                        continue;
-                    }
-                    self.g.ensure_vertex(u.max(v));
-                    if self.g.has_edge(u, v) {
-                        skipped += 1;
-                        continue;
-                    }
+            match self.classify(update) {
+                UpdateDisposition::Rejected => stats.rejected += 1,
+                UpdateDisposition::Noop => stats.noop += 1,
+                UpdateDisposition::Applied => {
+                    let (u, v) = update.endpoints();
                     let nuv = self.g.common_neighbors(u, v);
                     let affected = self.affected_edges(u, v, &nuv);
                     for &key in &affected {
@@ -344,35 +361,51 @@ impl MaintainedIndex {
                             order.push(key);
                         }
                     }
-                    self.mutate_insert(u, v, &nuv);
-                    applied += 1;
-                }
-                GraphUpdate::Remove(u, v) => {
-                    if u == v
-                        || u as usize >= self.g.num_vertices()
-                        || v as usize >= self.g.num_vertices()
-                        || !self.g.has_edge(u, v)
-                    {
-                        skipped += 1;
-                        continue;
+                    match update {
+                        GraphUpdate::Insert(..) => self.mutate_insert(u, v, &nuv),
+                        GraphUpdate::Remove(..) => self.mutate_remove(u, v, &affected),
                     }
-                    let nuv = self.g.common_neighbors(u, v);
-                    let affected = self.affected_edges(u, v, &nuv);
-                    for &key in &affected {
-                        if retracted.insert(key) {
-                            self.retract_entries(&[key]);
-                            order.push(key);
-                        }
-                    }
-                    self.mutate_remove(u, v, &affected);
-                    applied += 1;
+                    stats.applied += 1;
                 }
             }
         }
         esd_telemetry::add(esd_telemetry::Metric::MaintainAffected, order.len() as u64);
         self.restore_entries(&order);
         self.strict_audit();
-        (applied, skipped)
+        stats
+    }
+
+    /// Classifies `update` against the current graph, growing the vertex set
+    /// for in-range inserts exactly as the apply path would. Shared by the
+    /// sequential batch loop and the pipeline planner so both paths agree on
+    /// applied/noop/rejected — and on the side effect that even a no-op
+    /// insert of `(u, v)` leaves vertices `u` and `v` allocated.
+    pub(crate) fn classify(&mut self, update: GraphUpdate) -> UpdateDisposition {
+        match update {
+            GraphUpdate::Insert(u, v) => {
+                if u == v {
+                    return UpdateDisposition::Rejected;
+                }
+                self.g.ensure_vertex(u.max(v));
+                if self.g.has_edge(u, v) {
+                    UpdateDisposition::Noop
+                } else {
+                    UpdateDisposition::Applied
+                }
+            }
+            GraphUpdate::Remove(u, v) => {
+                if u == v {
+                    UpdateDisposition::Rejected
+                } else if u as usize >= self.g.num_vertices()
+                    || v as usize >= self.g.num_vertices()
+                    || !self.g.has_edge(u, v)
+                {
+                    UpdateDisposition::Noop
+                } else {
+                    UpdateDisposition::Applied
+                }
+            }
+        }
     }
 
     /// Removes a vertex by deleting all its incident edges (the paper notes
@@ -388,7 +421,7 @@ impl MaintainedIndex {
             .iter()
             .map(|&w| GraphUpdate::Remove(v, w))
             .collect();
-        self.apply_batch(&updates).0
+        self.apply_batch(&updates).applied
     }
 
     /// Adds a vertex with the given neighbour set as a batch of insertions.
@@ -398,7 +431,7 @@ impl MaintainedIndex {
             .iter()
             .map(|&w| GraphUpdate::Insert(v, w))
             .collect();
-        self.apply_batch(&updates).0
+        self.apply_batch(&updates).applied
     }
 
     /// The edge set of `Ĝ_{N(uv)}` (Observations 2–3): the update's blast
@@ -525,21 +558,16 @@ impl MaintainedIndex {
 
     /// Recomputes edge `e`'s forest from its current ego-network.
     fn rebuild_forest(&mut self, e: Edge) {
-        let members = self.g.common_neighbors(e.u, e.v);
-        if members.is_empty() {
-            self.forests.remove(&e.key());
-            return;
+        let (forest, union_ops) = compute_forest(&self.g, e);
+        esd_telemetry::add(esd_telemetry::Metric::MaintainUnionOps, union_ops);
+        match forest {
+            Some(dsu) => {
+                self.forests.insert(e.key(), dsu);
+            }
+            None => {
+                self.forests.remove(&e.key());
+            }
         }
-        let mut dsu = EdgeDsu::default();
-        for &w in &members {
-            dsu.insert_singleton(w);
-        }
-        let ego = ego_edges(&self.g, &members);
-        esd_telemetry::add(esd_telemetry::Metric::MaintainUnionOps, ego.len() as u64);
-        for (w1, w2) in ego {
-            dsu.union(w1, w2);
-        }
-        self.forests.insert(e.key(), dsu);
     }
 
     /// Exhaustive consistency check; used by the differential tests and
@@ -567,6 +595,33 @@ impl MaintainedIndex {
     #[cfg(not(any(test, feature = "strict-invariants")))]
     #[inline(always)]
     fn strict_audit(&self) {}
+}
+
+/// Computes edge `e`'s forest from scratch against `g` — the pure-function
+/// core of [`MaintainedIndex::rebuild_forest`], shared with the pipeline's
+/// parallel recompute workers (which call it against the post-batch graph).
+/// Returns `(None, 0)` when the edge is absent or its common neighbourhood
+/// is empty (no forest is stored for such edges), otherwise the forest plus
+/// the number of union operations performed.
+pub(crate) fn compute_forest(g: &DynamicGraph, e: Edge) -> (Option<EdgeDsu>, u64) {
+    if e.u as usize >= g.num_vertices() || e.v as usize >= g.num_vertices() || !g.has_edge(e.u, e.v)
+    {
+        return (None, 0);
+    }
+    let members = g.common_neighbors(e.u, e.v);
+    if members.is_empty() {
+        return (None, 0);
+    }
+    let mut dsu = EdgeDsu::default();
+    for &w in &members {
+        dsu.insert_singleton(w);
+    }
+    let ego = ego_edges(g, &members);
+    let union_ops = ego.len() as u64;
+    for (w1, w2) in ego {
+        dsu.union(w1, w2);
+    }
+    (Some(dsu), union_ops)
 }
 
 /// Edges of the subgraph induced by `members` (each unordered pair once),
@@ -790,8 +845,10 @@ mod tests {
             });
         }
         let mut batched = MaintainedIndex::new(&g);
-        let (applied, skipped) = batched.apply_batch(&ops);
-        assert_eq!(applied + skipped, ops.len());
+        let stats = batched.apply_batch(&ops);
+        assert_eq!(stats.applied + stats.skipped(), ops.len());
+        assert_eq!(stats.rejected, 0, "no self-loops were generated");
+        let applied = stats.applied;
 
         let mut sequential = MaintainedIndex::new(&g);
         let mut seq_applied = 0;
@@ -815,12 +872,12 @@ mod tests {
         let (g, n) = fig1();
         let mut index = MaintainedIndex::new(&g);
         let before = index.query(40, 1);
-        let (applied, skipped) = index.apply_batch(&[
+        let stats = index.apply_batch(&[
             GraphUpdate::Insert(n["c"], n["d"]),
             GraphUpdate::Remove(n["c"], n["d"]),
-            GraphUpdate::Remove(n["c"], n["d"]), // now missing → skipped
+            GraphUpdate::Remove(n["c"], n["d"]), // now missing → noop
         ]);
-        assert_eq!((applied, skipped), (2, 1));
+        assert_eq!((stats.applied, stats.noop, stats.rejected), (2, 1, 0));
         index.check_consistency();
         assert_eq!(index.query(40, 1), before);
     }
@@ -847,7 +904,7 @@ mod tests {
     fn empty_batch_is_noop() {
         let (g, _) = fig1();
         let mut index = MaintainedIndex::new(&g);
-        assert_eq!(index.apply_batch(&[]), (0, 0));
+        assert_eq!(index.apply_batch(&[]), BatchStats::default());
         index.check_consistency();
     }
 

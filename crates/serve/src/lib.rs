@@ -21,17 +21,19 @@
 //!   ? k tau | metrics | quit`) via the shared [`Session`] logic.
 //!
 //! ```
-//! use esd_serve::{Service, ServiceConfig};
-//! use esd_core::maintain::GraphUpdate;
+//! use esd_serve::{QueryRequest, Service, ServiceConfig};
+//! use esd_core::maintain::MutationBatch;
 //! use esd_graph::generators;
 //!
 //! let g = generators::clique_overlap(200, 150, 5, 7);
 //! let service = Service::start(&g, &ServiceConfig::default());
 //! let handle = service.handle();
 //!
-//! let before = handle.query(5, 2).unwrap();
-//! handle.apply(vec![GraphUpdate::Insert(0, 199)]).unwrap();
-//! let after = handle.query(5, 2).unwrap();
+//! let before = handle.execute(QueryRequest::new(5, 2)).unwrap();
+//! let mut batch = MutationBatch::new();
+//! batch.insert(0, 199);
+//! handle.submit(batch).unwrap();
+//! let after = handle.execute(QueryRequest::new(5, 2)).unwrap();
 //! assert!(after.epoch >= before.epoch);
 //! service.shutdown();
 //! ```
@@ -51,6 +53,8 @@ mod snapshot;
 pub use ids::IdMap;
 pub use metrics::MetricsRegistry;
 pub use server::Server;
-pub use service::{BatchOutcome, QueryResponse, ServeError, Service, ServiceConfig, ServiceHandle};
+pub use service::{
+    BatchOutcome, QueryRequest, QueryResponse, ServeError, Service, ServiceConfig, ServiceHandle,
+};
 pub use session::{LineOutcome, Session};
 pub use snapshot::Snapshot;

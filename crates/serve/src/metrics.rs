@@ -122,8 +122,10 @@ pub struct MetricsRegistry {
     pub cache_misses: Counter,
     /// Individual `GraphUpdate`s applied (batch elements, not batches).
     pub updates_applied: Counter,
-    /// Updates skipped as no-ops (duplicate insert, missing removal, loop).
-    pub updates_skipped: Counter,
+    /// Updates that were no-ops (duplicate insert, missing removal).
+    pub updates_noop: Counter,
+    /// Updates rejected as structurally invalid (self-loops).
+    pub updates_rejected: Counter,
     /// Snapshots published (epoch advances).
     pub snapshots_published: Counter,
     /// Requests that missed their deadline (either in-queue or waiting).
@@ -146,7 +148,8 @@ impl Default for MetricsRegistry {
             cache_hits: Counter::default(),
             cache_misses: Counter::default(),
             updates_applied: Counter::default(),
-            updates_skipped: Counter::default(),
+            updates_noop: Counter::default(),
+            updates_rejected: Counter::default(),
             snapshots_published: Counter::default(),
             deadline_exceeded: Counter::default(),
             rejected_queue_full: Counter::default(),
@@ -187,7 +190,8 @@ impl MetricsRegistry {
         line("cache_misses", self.cache_misses.get().to_string());
         line("cache_hit_rate", format!("{:.3}", self.hit_rate()));
         line("updates_applied", self.updates_applied.get().to_string());
-        line("updates_skipped", self.updates_skipped.get().to_string());
+        line("updates_noop", self.updates_noop.get().to_string());
+        line("updates_rejected", self.updates_rejected.get().to_string());
         line(
             "snapshots_published",
             self.snapshots_published.get().to_string(),

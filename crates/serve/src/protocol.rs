@@ -73,11 +73,20 @@ fn fmt_us(d: std::time::Duration) -> String {
 }
 
 /// Formats an update response line, e.g. `+ (7, 9): ok (14.2 µs, epoch 3)`.
+/// Status is `ok` when anything applied, `rejected` when the update was
+/// structurally invalid (a self-loop), and `no-op` when the graph already
+/// satisfied it.
 pub fn format_update(insert: bool, a: u64, b: u64, outcome: &BatchOutcome) -> String {
+    let status = if outcome.applied > 0 {
+        "ok"
+    } else if outcome.rejected > 0 {
+        "rejected"
+    } else {
+        "no-op"
+    };
     format!(
-        "{} ({a}, {b}): {} ({}, epoch {})\n",
+        "{} ({a}, {b}): {status} ({}, epoch {})\n",
         if insert { "+" } else { "-" },
-        if outcome.applied > 0 { "ok" } else { "no-op" },
         fmt_us(outcome.latency),
         outcome.epoch,
     )
@@ -193,7 +202,8 @@ mod tests {
     fn update_formatting() {
         let outcome = BatchOutcome {
             applied: 1,
-            skipped: 0,
+            noop: 0,
+            rejected: 0,
             epoch: 4,
             latency: Duration::from_micros(20),
         };
@@ -201,10 +211,19 @@ mod tests {
         assert!(line.starts_with("+ (7, 9): ok"));
         let noop = BatchOutcome {
             applied: 0,
-            skipped: 1,
+            noop: 1,
+            rejected: 0,
             epoch: 4,
             latency: Duration::from_micros(5),
         };
         assert!(format_update(false, 7, 9, &noop).starts_with("- (7, 9): no-op"));
+        let rejected = BatchOutcome {
+            applied: 0,
+            noop: 0,
+            rejected: 1,
+            epoch: 4,
+            latency: Duration::from_micros(5),
+        };
+        assert!(format_update(true, 7, 7, &rejected).starts_with("+ (7, 7): rejected"));
     }
 }

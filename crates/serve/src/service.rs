@@ -7,11 +7,14 @@
 //! * **Readers** never block on writes. A query loads the current
 //!   [`Snapshot`] `Arc` and runs entirely against that frozen state;
 //!   concurrent publications are invisible to it (stale-but-consistent).
-//! * **The writer** is the only mutator. It drains queued update requests,
-//!   coalesces them into one critical section, applies each request with
-//!   [`MaintainedIndex::apply_batch`], and publishes a fresh epoch-stamped
-//!   snapshot once per chunk — so a storm of single-edge updates costs one
-//!   index clone, not one per edge.
+//! * **The writer** is the only mutator. It drains queued update requests
+//!   in bounded admission windows, merges every still-live request's
+//!   updates into one batch, applies it with the parallel maintenance
+//!   pipeline ([`MaintainedIndex::apply_batch_parallel`]), and publishes a
+//!   fresh epoch-stamped snapshot once per window — so a storm of
+//!   single-edge updates costs one pipeline run and one index clone, not
+//!   one per edge. Per-request outcomes are recovered by slicing the
+//!   pipeline's per-update dispositions.
 //! * **Backpressure**: both queues are bounded; a full queue rejects the
 //!   request with [`ServeError::QueueFull`] instead of growing without
 //!   bound. Every request carries a deadline; requests that are already
@@ -27,7 +30,7 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::metrics::MetricsRegistry;
 use crate::queue::{BoundedQueue, PushRefused};
 use crate::snapshot::{Snapshot, SnapshotCell};
-use esd_core::maintain::GraphUpdate;
+use esd_core::maintain::{BatchStats, GraphUpdate, MutationBatch, UpdateDisposition};
 use esd_core::{MaintainedIndex, ScoredEdge};
 use esd_graph::Graph;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -45,6 +48,10 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Recompute threads for the batch-maintenance pipeline the writer
+    /// runs (`apply_batch_parallel`); `1` keeps the recompute phase
+    /// sequential.
+    pub pipeline_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -54,7 +61,39 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             cache_capacity: 4096,
             default_deadline: Some(Duration::from_secs(10)),
+            pipeline_threads: 2,
         }
+    }
+}
+
+/// One top-`k` query, as accepted by [`ServiceHandle::execute`] — the
+/// query half of the `esd::api` vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Maximum number of results.
+    pub k: usize,
+    /// Component-size threshold `τ` (must be ≥ 1).
+    pub tau: u32,
+    /// Answer-by deadline; `None` falls back to the service default.
+    pub before: Option<Instant>,
+}
+
+impl QueryRequest {
+    /// A request with the service's default deadline.
+    #[must_use]
+    pub fn new(k: usize, tau: u32) -> Self {
+        Self {
+            k,
+            tau,
+            before: None,
+        }
+    }
+
+    /// Sets an explicit answer-by deadline.
+    #[must_use]
+    pub fn before(mut self, deadline: Instant) -> Self {
+        self.before = Some(deadline);
+        self
     }
 }
 
@@ -102,12 +141,23 @@ pub struct QueryResponse {
 pub struct BatchOutcome {
     /// Updates actually applied.
     pub applied: usize,
-    /// Updates skipped as no-ops.
-    pub skipped: usize,
+    /// Updates the graph already satisfied (duplicate insert, missing
+    /// removal).
+    pub noop: usize,
+    /// Updates rejected as structurally invalid (self-loops).
+    pub rejected: usize,
     /// Epoch current once this batch was visible to readers.
     pub epoch: u64,
     /// End-to-end latency (submission to publication).
     pub latency: Duration,
+}
+
+impl BatchOutcome {
+    /// `noop + rejected` — what the pre-split API called "skipped".
+    #[must_use]
+    pub fn skipped(&self) -> usize {
+        self.noop + self.rejected
+    }
 }
 
 /// A one-shot response slot: the requester parks on it, the worker fills it.
@@ -186,6 +236,7 @@ pub(crate) struct Engine {
     update_queue: BoundedQueue<UpdateJob>,
     inline: bool,
     default_deadline: Option<Duration>,
+    pipeline_threads: usize,
 }
 
 impl Engine {
@@ -200,6 +251,7 @@ impl Engine {
             update_queue: BoundedQueue::new(cfg.queue_capacity),
             inline: cfg.workers == 0,
             default_deadline: cfg.default_deadline,
+            pipeline_threads: cfg.pipeline_threads.max(1),
         }
     }
 
@@ -240,17 +292,23 @@ impl Engine {
         }
     }
 
-    /// Applies one request's updates under an already-held writer lock.
-    /// Returns `(applied, skipped)`; publication happens separately.
+    /// Applies a batch of updates under an already-held writer lock via the
+    /// parallel maintenance pipeline. Returns the per-update dispositions
+    /// (input-order aligned); publication happens separately.
     fn apply_locked(
         &self,
         index: &mut MutexGuard<'_, MaintainedIndex>,
         updates: &[GraphUpdate],
-    ) -> (usize, usize) {
-        let (applied, skipped) = index.apply_batch(updates);
-        self.metrics.updates_applied.add(applied as u64);
-        self.metrics.updates_skipped.add(skipped as u64);
-        (applied, skipped)
+    ) -> Vec<UpdateDisposition> {
+        let outcome = index.apply_batch_parallel(updates, self.pipeline_threads);
+        self.metrics
+            .updates_applied
+            .add(outcome.stats.applied as u64);
+        self.metrics.updates_noop.add(outcome.stats.noop as u64);
+        self.metrics
+            .updates_rejected
+            .add(outcome.stats.rejected as u64);
+        outcome.dispositions
     }
 
     /// Publishes the writer's current state as a new epoch and purges
@@ -269,8 +327,8 @@ impl Engine {
     /// Inline (single-threaded) update path: apply + publish on the caller.
     fn apply_inline(&self, updates: &[GraphUpdate], started: Instant) -> BatchOutcome {
         let mut index = self.writer_index.lock().expect("writer poisoned");
-        let (applied, skipped) = self.apply_locked(&mut index, updates);
-        let epoch = if applied > 0 {
+        let stats = BatchStats::from_dispositions(&self.apply_locked(&mut index, updates));
+        let epoch = if stats.applied > 0 {
             self.publish_locked(&index)
         } else {
             self.snapshot.load().epoch()
@@ -279,8 +337,9 @@ impl Engine {
         let latency = started.elapsed();
         self.metrics.update_latency.record(latency);
         BatchOutcome {
-            applied,
-            skipped,
+            applied: stats.applied,
+            noop: stats.noop,
+            rejected: stats.rejected,
             epoch,
             latency,
         }
@@ -318,32 +377,41 @@ fn writer_loop(engine: &Engine) {
                 None => break,
             }
         }
-        let mut index = engine.writer_index.lock().expect("writer poisoned");
-        let mut outcomes: Vec<Option<(usize, usize)>> = Vec::with_capacity(chunk.len());
-        let mut applied_total = 0;
+        // Coalesce every still-live job's updates into ONE pipeline run —
+        // the admission window the pipeline was built for. Jobs already
+        // past their deadline are excluded up front; `ranges[i]` remembers
+        // which slice of the merged batch belongs to live job `i` so its
+        // dispositions can be handed back individually.
+        let mut merged: Vec<GraphUpdate> = Vec::new();
+        let mut ranges: Vec<Option<std::ops::Range<usize>>> = Vec::with_capacity(chunk.len());
         for job in &chunk {
             if job.deadline.is_some_and(|d| Instant::now() >= d) {
-                outcomes.push(None);
+                ranges.push(None);
                 continue;
             }
-            let (applied, skipped) = engine.apply_locked(&mut index, &job.updates);
-            applied_total += applied;
-            outcomes.push(Some((applied, skipped)));
+            let start = merged.len();
+            merged.extend_from_slice(&job.updates);
+            ranges.push(Some(start..merged.len()));
         }
-        let epoch = if applied_total > 0 {
+        let mut index = engine.writer_index.lock().expect("writer poisoned");
+        let dispositions = engine.apply_locked(&mut index, &merged);
+        let total = BatchStats::from_dispositions(&dispositions);
+        let epoch = if total.applied > 0 {
             engine.publish_locked(&index)
         } else {
             engine.snapshot.load().epoch()
         };
         drop(index);
-        for (job, outcome) in chunk.into_iter().zip(outcomes) {
-            match outcome {
-                Some((applied, skipped)) => {
+        for (job, range) in chunk.into_iter().zip(ranges) {
+            match range {
+                Some(range) => {
+                    let stats = BatchStats::from_dispositions(&dispositions[range]);
                     let latency = job.enqueued.elapsed();
                     engine.metrics.update_latency.record(latency);
                     job.slot.put(Ok(BatchOutcome {
-                        applied,
-                        skipped,
+                        applied: stats.applied,
+                        noop: stats.noop,
+                        rejected: stats.rejected,
                         epoch,
                         latency,
                     }));
@@ -425,24 +493,16 @@ pub struct ServiceHandle {
 }
 
 impl ServiceHandle {
-    /// Top-`k` query at threshold `tau` with the service's default deadline.
-    pub fn query(&self, k: usize, tau: u32) -> Result<QueryResponse, ServeError> {
-        self.query_before(k, tau, None)
-    }
-
-    /// Top-`k` query with an explicit deadline (`None` falls back to the
-    /// configured default; a default of `None` waits indefinitely).
-    pub fn query_before(
-        &self,
-        k: usize,
-        tau: u32,
-        deadline: Option<Instant>,
-    ) -> Result<QueryResponse, ServeError> {
+    /// Executes one [`QueryRequest`] (the query half of the `esd::api`
+    /// vocabulary). A request without a deadline falls back to the
+    /// configured default; a default of `None` waits indefinitely.
+    pub fn execute(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
+        let QueryRequest { k, tau, before } = request;
         if tau == 0 {
             return Err(ServeError::BadRequest("tau must be at least 1".into()));
         }
         let started = Instant::now();
-        let deadline = self.engine.effective_deadline(deadline);
+        let deadline = self.engine.effective_deadline(before);
         if self.engine.inline {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 self.engine.metrics.deadline_exceeded.incr();
@@ -479,18 +539,19 @@ impl ServiceHandle {
         }
     }
 
-    /// Applies a batch of updates with the default deadline. The returned
-    /// outcome's epoch is already visible to subsequent queries.
-    pub fn apply(&self, updates: Vec<GraphUpdate>) -> Result<BatchOutcome, ServeError> {
-        self.apply_before(updates, None)
+    /// Submits a [`MutationBatch`] with the service's default deadline. The
+    /// returned outcome's epoch is already visible to subsequent queries.
+    pub fn submit(&self, batch: MutationBatch) -> Result<BatchOutcome, ServeError> {
+        self.submit_before(batch, None)
     }
 
-    /// Applies a batch of updates with an explicit deadline.
-    pub fn apply_before(
+    /// Submits a [`MutationBatch`] with an explicit deadline.
+    pub fn submit_before(
         &self,
-        updates: Vec<GraphUpdate>,
+        batch: MutationBatch,
         deadline: Option<Instant>,
     ) -> Result<BatchOutcome, ServeError> {
+        let updates = batch.into_updates();
         let started = Instant::now();
         let deadline = self.engine.effective_deadline(deadline);
         if self.engine.inline {
@@ -522,6 +583,48 @@ impl ServiceHandle {
                 Err(ServeError::DeadlineExceeded)
             }
         }
+    }
+
+    /// Top-`k` query at threshold `tau` with the service's default deadline.
+    #[deprecated(since = "0.1.0", note = "use `execute(QueryRequest::new(k, tau))`")]
+    pub fn query(&self, k: usize, tau: u32) -> Result<QueryResponse, ServeError> {
+        self.execute(QueryRequest::new(k, tau))
+    }
+
+    /// Top-`k` query with an explicit deadline.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `execute(QueryRequest::new(k, tau).before(deadline))`"
+    )]
+    pub fn query_before(
+        &self,
+        k: usize,
+        tau: u32,
+        deadline: Option<Instant>,
+    ) -> Result<QueryResponse, ServeError> {
+        self.execute(QueryRequest {
+            k,
+            tau,
+            before: deadline,
+        })
+    }
+
+    /// Applies a batch of updates with the default deadline.
+    #[deprecated(since = "0.1.0", note = "use `submit(MutationBatch)`")]
+    pub fn apply(&self, updates: Vec<GraphUpdate>) -> Result<BatchOutcome, ServeError> {
+        // `from_raw`: the legacy contract gives every element its own
+        // disposition, so no coalescing.
+        self.submit_before(MutationBatch::from_raw(updates), None)
+    }
+
+    /// Applies a batch of updates with an explicit deadline.
+    #[deprecated(since = "0.1.0", note = "use `submit_before(MutationBatch, deadline)`")]
+    pub fn apply_before(
+        &self,
+        updates: Vec<GraphUpdate>,
+        deadline: Option<Instant>,
+    ) -> Result<BatchOutcome, ServeError> {
+        self.submit_before(MutationBatch::from_raw(updates), deadline)
     }
 
     /// The current published snapshot (stable for as long as you hold it).
@@ -566,11 +669,11 @@ mod tests {
                 ..ServiceConfig::default()
             },
         );
-        let resp = service.handle().query(10, 2).unwrap();
+        let resp = service.handle().execute(QueryRequest::new(10, 2)).unwrap();
         assert_eq!(*resp.results, expected);
         assert_eq!(resp.epoch, 0);
         assert!(!resp.cache_hit);
-        let again = service.handle().query(10, 2).unwrap();
+        let again = service.handle().execute(QueryRequest::new(10, 2)).unwrap();
         assert!(again.cache_hit, "second identical query hits the cache");
         service.shutdown();
     }
@@ -588,7 +691,10 @@ mod tests {
         );
         let handle = service.handle();
         for _ in 0..20 {
-            assert_eq!(*handle.query(10, 2).unwrap().results, expected);
+            assert_eq!(
+                *handle.execute(QueryRequest::new(10, 2)).unwrap().results,
+                expected
+            );
         }
         assert_eq!(handle.metrics().queries_served.get(), 20);
         service.shutdown();
@@ -598,7 +704,7 @@ mod tests {
     fn tau_zero_is_a_bad_request() {
         let service = Service::start(&test_graph(), &ServiceConfig::default());
         assert!(matches!(
-            service.handle().query(5, 0),
+            service.handle().execute(QueryRequest::new(5, 0)),
             Err(ServeError::BadRequest(_))
         ));
     }
@@ -612,6 +718,7 @@ mod tests {
             queue_capacity: 1,
             cache_capacity: 0,
             default_deadline: Some(Duration::from_millis(200)),
+            pipeline_threads: 1,
         };
         let engine = Arc::new(Engine::new(&test_graph(), &cfg));
         let handle = ServiceHandle {
@@ -619,13 +726,16 @@ mod tests {
         };
         let parked = {
             let handle = handle.clone();
-            std::thread::spawn(move || handle.query(5, 1))
+            std::thread::spawn(move || handle.execute(QueryRequest::new(5, 1)))
         };
         // Wait until the first job is actually queued.
         while engine.query_queue.len() < 1 {
             std::thread::yield_now();
         }
-        assert!(matches!(handle.query(5, 1), Err(ServeError::QueueFull)));
+        assert!(matches!(
+            handle.execute(QueryRequest::new(5, 1)),
+            Err(ServeError::QueueFull)
+        ));
         assert_eq!(engine.metrics.rejected_queue_full.get(), 1);
         // The parked job times out at its deadline instead of hanging.
         assert!(matches!(
@@ -633,7 +743,10 @@ mod tests {
             Err(ServeError::DeadlineExceeded)
         ));
         engine.shutdown();
-        assert!(matches!(handle.query(5, 1), Err(ServeError::ShuttingDown)));
+        assert!(matches!(
+            handle.execute(QueryRequest::new(5, 1)),
+            Err(ServeError::ShuttingDown)
+        ));
     }
 
     #[test]
@@ -641,6 +754,81 @@ mod tests {
         let service = Service::start(&test_graph(), &ServiceConfig::default());
         let handle = service.handle();
         drop(service); // Drop-based shutdown.
-        assert!(matches!(handle.query(5, 1), Err(ServeError::ShuttingDown)));
+        assert!(matches!(
+            handle.execute(QueryRequest::new(5, 1)),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn submit_reports_noop_and_rejected_separately() {
+        let g = test_graph();
+        let service = Service::start(
+            &g,
+            &ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        let existing = g.edges()[0];
+        // from_raw so the duplicate insert and the self-loop both reach the
+        // apply path instead of being coalesced away.
+        let outcome = handle
+            .submit(MutationBatch::from_raw(vec![
+                GraphUpdate::Insert(existing.u, existing.v), // present → noop
+                GraphUpdate::Insert(3, 3),                   // self-loop → rejected
+            ]))
+            .unwrap();
+        assert_eq!((outcome.applied, outcome.noop, outcome.rejected), (0, 1, 1));
+        assert_eq!(outcome.skipped(), 2);
+        assert_eq!(handle.metrics().updates_noop.get(), 1);
+        assert_eq!(handle.metrics().updates_rejected.get(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_coalesces_cancelling_updates() {
+        let g = test_graph();
+        let service = Service::start(&g, &ServiceConfig::default());
+        let handle = service.handle();
+        let epoch_before = handle.snapshot().epoch();
+        let mut batch = MutationBatch::new();
+        batch.insert(200, 201).remove(200, 201);
+        let outcome = handle.submit(batch).unwrap();
+        assert_eq!((outcome.applied, outcome.noop, outcome.rejected), (0, 0, 0));
+        assert_eq!(
+            handle.snapshot().epoch(),
+            epoch_before,
+            "a fully-cancelled batch publishes nothing"
+        );
+        service.shutdown();
+    }
+
+    // The deprecated entry points must keep working verbatim — this is the
+    // one place they are exercised, so deprecation warnings stay contained.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_still_work() {
+        let g = test_graph();
+        let expected = MaintainedIndex::new(&g).query(10, 2);
+        let service = Service::start(&g, &ServiceConfig::default());
+        let handle = service.handle();
+        assert_eq!(*handle.query(10, 2).unwrap().results, expected);
+        assert_eq!(*handle.query_before(10, 2, None).unwrap().results, expected);
+        let existing = g.edges()[0];
+        let outcome = handle
+            .apply(vec![
+                GraphUpdate::Insert(existing.u, existing.v),
+                GraphUpdate::Remove(existing.u, existing.v),
+                GraphUpdate::Insert(existing.u, existing.v),
+            ])
+            .unwrap();
+        // from_raw semantics: all three reach the index (noop, applied,
+        // applied) — nothing is coalesced away.
+        assert_eq!((outcome.applied, outcome.noop, outcome.rejected), (2, 1, 0));
+        let outcome = handle.apply_before(vec![], None).unwrap();
+        assert_eq!(outcome.applied, 0);
+        service.shutdown();
     }
 }

@@ -4,9 +4,9 @@
 //! drift apart.
 
 use crate::protocol::{self, Request};
-use crate::service::ServiceHandle;
+use crate::service::{QueryRequest, ServiceHandle};
 use crate::IdMap;
-use esd_core::maintain::GraphUpdate;
+use esd_core::maintain::MutationBatch;
 use std::sync::Arc;
 
 /// What a handled line produced.
@@ -58,19 +58,20 @@ impl Session {
                 json.push('\n');
                 LineOutcome::Respond(json)
             }
-            Request::Query { k, tau } => match self.handle.query(k, tau) {
+            Request::Query { k, tau } => match self.handle.execute(QueryRequest::new(k, tau)) {
                 Ok(resp) => LineOutcome::Respond(protocol::format_query(&resp, &self.ids)),
                 Err(e) => LineOutcome::Respond(protocol::format_error(&e.to_string())),
             },
             Request::Insert(a, b) | Request::Remove(a, b) => {
                 let insert = matches!(request, Request::Insert(..));
                 let (da, db) = self.ids.dense_pair(a, b);
-                let update = if insert {
-                    GraphUpdate::Insert(da, db)
+                let mut batch = MutationBatch::new();
+                if insert {
+                    batch.insert(da, db);
                 } else {
-                    GraphUpdate::Remove(da, db)
-                };
-                match self.handle.apply(vec![update]) {
+                    batch.remove(da, db);
+                }
+                match self.handle.submit(batch) {
                     Ok(outcome) => {
                         LineOutcome::Respond(protocol::format_update(insert, a, b, &outcome))
                     }
@@ -141,5 +142,18 @@ mod tests {
         assert!(text.contains("unrecognised"), "{text}");
         assert_eq!(s.handle_line("quit"), LineOutcome::Quit);
         assert_eq!(s.handle_line(""), LineOutcome::Respond(String::new()));
+    }
+
+    #[test]
+    fn self_loop_updates_are_rejected_not_noop() {
+        let (_service, s) = session();
+        let LineOutcome::Respond(text) = s.handle_line("+ 100 100") else {
+            panic!()
+        };
+        assert!(text.starts_with("+ (100, 100): rejected"), "{text}");
+        let LineOutcome::Respond(text) = s.handle_line("- 104 104") else {
+            panic!()
+        };
+        assert!(text.starts_with("- (104, 104): rejected"), "{text}");
     }
 }

@@ -5,10 +5,10 @@
 //! published — the isolation tests below double as audit-under-concurrency
 //! tests.
 
-use esd_core::maintain::GraphUpdate;
+use esd_core::maintain::{GraphUpdate, MutationBatch};
 use esd_core::{MaintainedIndex, ScoredEdge};
 use esd_graph::{generators, Graph};
-use esd_serve::{IdMap, ServeError, Server, Service, ServiceConfig};
+use esd_serve::{IdMap, QueryRequest, ServeError, Server, Service, ServiceConfig};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::io::{BufRead, BufReader, Write};
@@ -78,21 +78,33 @@ fn readers_see_only_published_snapshots() {
             let done = Arc::clone(&writer_done);
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
-                let mut responses = vec![handle.query(K, TAU).expect("query failed")];
+                let mut responses = vec![handle
+                    .execute(QueryRequest::new(K, TAU))
+                    .expect("query failed")];
                 barrier.wait();
                 while !done.load(Ordering::Relaxed) {
-                    responses.push(handle.query(K, TAU).expect("query failed"));
+                    responses.push(
+                        handle
+                            .execute(QueryRequest::new(K, TAU))
+                            .expect("query failed"),
+                    );
                     std::thread::sleep(Duration::from_micros(100));
                 }
                 // One more after the writer finished: must be post-batch.
-                responses.push(handle.query(K, TAU).expect("query failed"));
+                responses.push(
+                    handle
+                        .execute(QueryRequest::new(K, TAU))
+                        .expect("query failed"),
+                );
                 responses
             })
         })
         .collect();
 
     barrier.wait();
-    let outcome = handle.apply(batch).expect("batch apply failed");
+    let outcome = handle
+        .submit(MutationBatch::from_raw(batch))
+        .expect("batch apply failed");
     assert!(outcome.applied > 0);
     writer_done.store(true, Ordering::Relaxed);
 
@@ -136,9 +148,9 @@ fn cache_is_invalidated_by_publication() {
     );
     let handle = service.handle();
 
-    let first = handle.query(K, TAU).unwrap();
+    let first = handle.execute(QueryRequest::new(K, TAU)).unwrap();
     assert!(!first.cache_hit);
-    let second = handle.query(K, TAU).unwrap();
+    let second = handle.execute(QueryRequest::new(K, TAU)).unwrap();
     assert!(second.cache_hit, "identical query against same epoch hits");
     assert_eq!(*first.results, *second.results);
     assert!(handle.metrics().cache_hits.get() >= 1);
@@ -149,10 +161,10 @@ fn cache_is_invalidated_by_publication() {
         scratch.apply_batch(&batch);
         scratch.query(K, TAU)
     };
-    let outcome = handle.apply(batch).unwrap();
+    let outcome = handle.submit(MutationBatch::from_raw(batch)).unwrap();
     assert!(outcome.applied > 0);
 
-    let third = handle.query(K, TAU).unwrap();
+    let third = handle.execute(QueryRequest::new(K, TAU)).unwrap();
     assert!(!third.cache_hit, "new epoch ⇒ cache miss");
     assert_eq!(third.epoch, outcome.epoch);
     assert_eq!(*third.results, expected, "post-update answer is fresh");
@@ -175,9 +187,12 @@ fn expired_deadlines_error_instead_of_hanging() {
     let past = Instant::now() - Duration::from_millis(1);
 
     let started = Instant::now();
-    let q = handle.query_before(K, TAU, Some(past));
+    let q = handle.execute(QueryRequest::new(K, TAU).before(past));
     assert!(matches!(q, Err(ServeError::DeadlineExceeded)), "{q:?}");
-    let u = handle.apply_before(vec![GraphUpdate::Insert(0, 249)], Some(past));
+    let u = handle.submit_before(
+        MutationBatch::from_raw(vec![GraphUpdate::Insert(0, 249)]),
+        Some(past),
+    );
     assert!(matches!(u, Err(ServeError::DeadlineExceeded)), "{u:?}");
     assert!(
         started.elapsed() < Duration::from_secs(5),
@@ -186,7 +201,7 @@ fn expired_deadlines_error_instead_of_hanging() {
     assert!(handle.metrics().deadline_exceeded.get() >= 2);
 
     // The service still works afterwards.
-    assert!(handle.query(K, TAU).is_ok());
+    assert!(handle.execute(QueryRequest::new(K, TAU)).is_ok());
     service.shutdown();
 }
 
@@ -297,8 +312,8 @@ fn interleaved_updates_and_queries_agree_with_rebuild() {
     for round in 0..10 {
         let batch = random_batch(80, 20, 1000 + round);
         mirror.apply_batch(&batch);
-        handle.apply(batch).unwrap();
-        let resp = handle.query(15, 1).unwrap();
+        handle.submit(MutationBatch::from_raw(batch)).unwrap();
+        let resp = handle.execute(QueryRequest::new(15, 1)).unwrap();
         assert_eq!(*resp.results, mirror.query(15, 1), "round {round}");
     }
     service.shutdown();

@@ -118,6 +118,13 @@ catalogue! {
         MaintainRemove => "maintain.remove",
         /// One `MaintainedIndex::apply_batch` call, end to end.
         MaintainBatch => "maintain.batch",
+        /// Pipeline phase 1: sequential planning (blast radii + conflict
+        /// groups) inside `apply_batch_parallel`.
+        PbatchPlan => "pbatch.plan",
+        /// Pipeline phase 2: parallel per-edge forest recomputation.
+        PbatchRecompute => "pbatch.recompute",
+        /// Pipeline phase 3: sequential retract/install/restore commit.
+        PbatchCommit => "pbatch.commit",
         /// One dequeue-twice online top-k search.
         OnlineTopk => "online.topk",
         /// One index top-k query (`EsdIndex` or `MaintainedIndex`).
@@ -156,6 +163,12 @@ catalogue! {
         TreapRemoves => "maintain.treap_removes",
         /// Edges whose scores were recomputed by maintenance updates.
         MaintainAffected => "maintain.affected_edges",
+        /// Conflict-free groups formed by the pipeline planner.
+        PbatchGroups => "pbatch.groups",
+        /// Distinct edges whose forests the pipeline recomputed (phase 2).
+        PbatchRecomputedEdges => "pbatch.recomputed_edges",
+        /// Union ops performed by pipeline recompute workers (phase 2).
+        PbatchUnionOps => "pbatch.union_ops",
         /// Exact ego-net evaluations by the online search (paper Fig 5's
         /// cost driver).
         OnlineExactEvals => "online.exact_evals",

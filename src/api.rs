@@ -1,0 +1,55 @@
+//! The unified mutation & query API — the stable surface applications
+//! should program against.
+//!
+//! Historically each layer exposed its own entry points: `esd-core` took
+//! raw [`GraphUpdate`] slices, `esd-serve` had positional
+//! `query(k, tau)` / `apply(Vec<GraphUpdate>)` methods, and callers were
+//! left to deduplicate contradictory updates themselves. This module
+//! collects the replacement vocabulary in one place:
+//!
+//! * [`QueryRequest`] — a query as a value: `k`, `τ`, and an optional
+//!   deadline, executed via
+//!   [`ServiceHandle::execute`](esd_serve::ServiceHandle::execute).
+//! * [`MutationBatch`] — a builder over graph updates that coalesces an
+//!   insert and a remove of the same edge within one batch, submitted via
+//!   [`ServiceHandle::submit`](esd_serve::ServiceHandle::submit). Use
+//!   [`MutationBatch::from_raw`] when per-update dispositions must be
+//!   reported 1:1 (no coalescing).
+//! * [`BatchStats`] / [`UpdateDisposition`] — what happened to each
+//!   update: applied, no-op (already satisfied), or rejected
+//!   (structurally invalid, e.g. a self-loop).
+//! * [`BatchOutcome`] / [`QueryResponse`] — the service-side results,
+//!   epoch-stamped and latency-annotated.
+//! * [`PipelineOutcome`] / [`PipelineReport`] — per-phase work breakdown
+//!   from the parallel batch-maintenance pipeline
+//!   ([`MaintainedIndex::apply_batch_parallel`](esd_core::MaintainedIndex::apply_batch_parallel)).
+//!
+//! The legacy positional methods still exist as thin `#[deprecated]`
+//! wrappers; see the README migration note.
+//!
+//! ```
+//! use esd::api::{MutationBatch, QueryRequest};
+//! use esd::serve::{Service, ServiceConfig};
+//! use esd::graph::generators;
+//!
+//! let g = generators::clique_overlap(120, 90, 5, 3);
+//! let service = Service::start(&g, &ServiceConfig::default());
+//! let handle = service.handle();
+//!
+//! let mut batch = MutationBatch::new();
+//! batch.insert(0, 119);
+//! batch.remove(0, 119); // cancels the insert: the batch is a no-op
+//! let outcome = handle.submit(batch).unwrap();
+//! assert_eq!(outcome.applied + outcome.noop + outcome.rejected, 0);
+//!
+//! let top = handle.execute(QueryRequest::new(5, 2)).unwrap();
+//! assert!(top.results.len() <= 5);
+//! service.shutdown();
+//! ```
+
+pub use esd_core::maintain::{
+    BatchStats, GraphUpdate, MutationBatch, PipelineOutcome, PipelineReport, UpdateDisposition,
+};
+pub use esd_serve::{BatchOutcome, QueryRequest, QueryResponse};
+
+pub use crate::Error;

@@ -1,0 +1,173 @@
+//! One error type for the whole stack.
+//!
+//! Every layer of the workspace defines its own narrow error enum —
+//! [`ServeError`](esd_serve::ServeError) for the service,
+//! [`PersistError`](esd_core::index::PersistError) for the on-disk index
+//! format, [`IoError`](esd_graph::io::IoError) for edge-list parsing —
+//! because each layer can only fail in its own ways. Callers that span
+//! layers (the `esd` binary, integration harnesses) previously stitched
+//! these together with ad-hoc `format!` strings, which meant exit-code
+//! policy and error prefixes were duplicated at every call site.
+//!
+//! [`Error`] is the union: `From` impls lift every layer error, `?` just
+//! works across the stack, and [`Error::exit_code`] centralises the
+//! process-exit mapping so the CLI decides it in exactly one place.
+
+use esd_core::index::PersistError;
+use esd_graph::io::IoError;
+use esd_serve::ServeError;
+
+/// Any failure the `esd` stack can produce, unified for callers that span
+/// layers.
+#[derive(Debug)]
+pub enum Error {
+    /// The user asked for something malformed (bad flag, bad value,
+    /// unknown subcommand). The CLI prints usage help for these.
+    Usage(String),
+    /// The query service refused or dropped a request.
+    Serve(ServeError),
+    /// A persisted `.esdx` index could not be read or failed validation.
+    Persist(PersistError),
+    /// An edge-list file could not be read or parsed.
+    GraphIo(IoError),
+    /// A plain filesystem failure outside the structured formats above.
+    Io(std::io::Error),
+    /// A lower-level error annotated with what the caller was doing,
+    /// e.g. `cannot load graph.txt: …`.
+    Context {
+        /// What was being attempted, without trailing punctuation.
+        what: String,
+        /// The underlying failure.
+        source: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Wraps `self` with a description of what the caller was attempting.
+    #[must_use]
+    pub fn context(self, what: impl Into<String>) -> Self {
+        Error::Context {
+            what: what.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// `true` when the failure is the caller's request itself (the CLI
+    /// shows usage help exactly for these).
+    pub fn is_usage(&self) -> bool {
+        match self {
+            Error::Usage(_) => true,
+            Error::Context { source, .. } => source.is_usage(),
+            _ => false,
+        }
+    }
+
+    /// The process exit code this failure maps to: `2` for usage errors
+    /// (mirroring conventional CLI tools), `1` for everything else. The
+    /// single place that policy lives.
+    pub fn exit_code(&self) -> u8 {
+        if self.is_usage() {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Usage(msg) => write!(f, "{msg}"),
+            Error::Serve(e) => write!(f, "{e}"),
+            Error::Persist(e) => write!(f, "{e}"),
+            Error::GraphIo(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "{e}"),
+            Error::Context { what, source } => write!(f, "{what}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Usage(_) => None,
+            Error::Serve(e) => Some(e),
+            Error::Persist(e) => Some(e),
+            Error::GraphIo(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::Context { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        Error::Serve(e)
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(e: PersistError) -> Self {
+        Error::Persist(e)
+    }
+}
+
+impl From<IoError> for Error {
+    fn from(e: IoError) -> Self {
+        Error::GraphIo(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<String> for Error {
+    fn from(msg: String) -> Self {
+        Error::Usage(msg)
+    }
+}
+
+impl From<&str> for Error {
+    fn from(msg: &str) -> Self {
+        Error::Usage(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_lift_every_layer() {
+        let e: Error = ServeError::QueueFull.into();
+        assert!(matches!(e, Error::Serve(ServeError::QueueFull)));
+        let e: Error = PersistError::BadMagic.into();
+        assert!(matches!(e, Error::Persist(PersistError::BadMagic)));
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, Error::Io(_)));
+        let e: Error = "bad flag".into();
+        assert!(matches!(e, Error::Usage(_)));
+    }
+
+    #[test]
+    fn exit_codes_distinguish_usage_from_runtime() {
+        assert_eq!(Error::from("bad").exit_code(), 2);
+        assert_eq!(Error::from(ServeError::QueueFull).exit_code(), 1);
+        assert_eq!(Error::from(PersistError::ChecksumMismatch).exit_code(), 1);
+        // Context wrapping preserves the classification.
+        let wrapped = Error::from("bad -k").context("parsing arguments");
+        assert_eq!(wrapped.exit_code(), 2);
+        assert!(wrapped.is_usage());
+    }
+
+    #[test]
+    fn display_chains_context() {
+        let e = Error::from(PersistError::BadMagic).context("cannot load x.esdx");
+        assert_eq!(e.to_string(), "cannot load x.esdx: not an ESDX index file");
+        let src = std::error::Error::source(&e).unwrap();
+        assert!(src.to_string().contains("ESDX"));
+    }
+}

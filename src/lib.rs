@@ -28,6 +28,13 @@
 //!   hot path above; a no-op unless built with the `telemetry` feature. See
 //!   `docs/observability.md` for the span taxonomy and counter catalogue.
 //!
+//! and adds two first-party modules:
+//!
+//! * [`api`] — the unified mutation & query vocabulary ([`api::QueryRequest`],
+//!   [`api::MutationBatch`], batch dispositions, pipeline reports).
+//! * [`Error`] — one error type unifying every layer's failures, with the
+//!   CLI exit-code policy in a single place.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -51,6 +58,11 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod api;
+mod error;
+
+pub use error::Error;
 
 pub use esd_core as core;
 pub use esd_datasets as datasets;

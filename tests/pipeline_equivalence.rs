@@ -1,0 +1,186 @@
+//! Equivalence suite for the parallel batch-maintenance pipeline.
+//!
+//! The pipeline (`MaintainedIndex::apply_batch_parallel`) promises to be
+//! *result-identical* to the sequential `apply_batch` path: same per-update
+//! dispositions, same component-size catalogue, same answers to every
+//! `(k, τ)` query — regardless of the worker count. These tests drive both
+//! paths with the same randomized churn batches over the surrogate
+//! datasets and fail on any observable divergence.
+//!
+//! This binary is compiled with `strict-invariants` armed (root
+//! dev-dependencies), so every mutation below also runs the incremental
+//! structural audits, and each round ends with the full ego-network
+//! partition recomputation via `check_consistency`.
+
+use esd::api::{GraphUpdate, MutationBatch};
+use esd::core::MaintainedIndex;
+use esd::datasets::churn::{churn_trace, ChurnEvent, ChurnMix};
+use esd::datasets::{load, Scale};
+use esd::graph::generators;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const K_GRID: [usize; 3] = [1, 10, 100];
+const TAU_GRID: [u32; 4] = [1, 2, 3, 4];
+
+/// Asserts the two indexes are observably identical: same edge set, same
+/// component-size catalogue with same per-size list lengths, and same
+/// ranked answers across the whole query grid.
+fn assert_state_identical(seq: &MaintainedIndex, par: &MaintainedIndex, what: &str) {
+    assert_eq!(
+        seq.graph().edges(),
+        par.graph().edges(),
+        "{what}: edge sets diverged"
+    );
+    let sizes = seq.component_sizes();
+    assert_eq!(sizes, par.component_sizes(), "{what}: component catalogue");
+    for &c in &sizes {
+        assert_eq!(seq.list_len(c), par.list_len(c), "{what}: list H({c})");
+    }
+    for k in K_GRID {
+        for tau in TAU_GRID {
+            assert_eq!(
+                seq.query(k, tau),
+                par.query(k, tau),
+                "{what}: query(k={k}, tau={tau})"
+            );
+        }
+    }
+}
+
+fn as_update(e: &ChurnEvent) -> GraphUpdate {
+    match *e {
+        ChurnEvent::Insert(u, v) => GraphUpdate::Insert(u, v),
+        ChurnEvent::Remove(u, v) => GraphUpdate::Remove(u, v),
+    }
+}
+
+/// Random raw updates over a bounded id range: dense enough to produce
+/// duplicate inserts, missing removals, and intra-batch contradictions.
+fn random_batch(rng: &mut StdRng, n: u32, len: usize) -> Vec<GraphUpdate> {
+    (0..len)
+        .map(|_| {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            // Self-loops are kept: both paths must classify them Rejected.
+            if rng.gen_bool(0.6) {
+                GraphUpdate::Insert(u, v)
+            } else {
+                GraphUpdate::Remove(u, v)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn churn_batches_match_sequential_on_surrogate_datasets() {
+    for name in ["Youtube", "DBLP"] {
+        let g = load(name, Scale::Tiny);
+        let mut seq = MaintainedIndex::new(&g);
+        let mut par = MaintainedIndex::new(&g);
+        // Three rounds of realistic churn, each applied at a different
+        // worker count, each compared in full before the next begins.
+        let events = churn_trace(&g, 90, ChurnMix::default(), 0xE5D0);
+        for (round, (chunk, threads)) in events.chunks(30).zip([1, 2, 4]).enumerate() {
+            let batch: Vec<GraphUpdate> = chunk.iter().map(as_update).collect();
+            let stats = seq.apply_batch(&batch);
+            let outcome = par.apply_batch_parallel(&batch, threads);
+            assert_eq!(
+                stats, outcome.stats,
+                "{name} round {round}: batch stats diverged"
+            );
+            assert_eq!(
+                outcome.stats,
+                esd::api::BatchStats::from_dispositions(&outcome.dispositions),
+                "{name} round {round}: dispositions inconsistent with stats"
+            );
+            assert_state_identical(&seq, &par, &format!("{name} round {round}"));
+            seq.check_consistency();
+            par.check_consistency();
+        }
+    }
+}
+
+#[test]
+fn adversarial_random_batches_match_sequential() {
+    let g = generators::clique_overlap(160, 120, 5, 21);
+    let mut seq = MaintainedIndex::new(&g);
+    let mut par = MaintainedIndex::new(&g);
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for round in 0..6 {
+        // Ids beyond the current vertex count exercise plan-phase vertex
+        // growth; a tight id range maximises intra-batch conflicts.
+        let batch = random_batch(&mut rng, 170, 40);
+        let stats = seq.apply_batch(&batch);
+        let outcome = par.apply_batch_parallel(&batch, 1 + round % 4);
+        assert_eq!(stats, outcome.stats, "round {round}");
+        assert_state_identical(&seq, &par, &format!("random round {round}"));
+    }
+    seq.check_consistency();
+    par.check_consistency();
+}
+
+#[test]
+fn intra_batch_insert_then_remove_leaves_state_unchanged() {
+    let g = generators::clique_overlap(100, 80, 5, 9);
+    let mut seq = MaintainedIndex::new(&g);
+    let mut par = MaintainedIndex::new(&g);
+    let before_sizes = seq.component_sizes();
+    let before_top = seq.query(10, 2);
+    // (0, 99) is absent: the insert applies, then the remove undoes it
+    // within the same batch. Both updates count as applied on both paths.
+    let batch = [GraphUpdate::Insert(0, 99), GraphUpdate::Remove(0, 99)];
+    let stats = seq.apply_batch(&batch);
+    let outcome = par.apply_batch_parallel(&batch, 2);
+    assert_eq!(stats, outcome.stats);
+    assert_eq!((stats.applied, stats.noop, stats.rejected), (2, 0, 0));
+    assert_state_identical(&seq, &par, "insert-then-remove");
+    assert_eq!(seq.component_sizes(), before_sizes);
+    assert_eq!(seq.query(10, 2), before_top);
+    seq.check_consistency();
+    par.check_consistency();
+}
+
+#[test]
+fn intra_batch_remove_then_insert_round_trips() {
+    let g = generators::clique_overlap(100, 80, 5, 9);
+    let mut seq = MaintainedIndex::new(&g);
+    let mut par = MaintainedIndex::new(&g);
+    let e = g.edges()[0];
+    let before_sizes = seq.component_sizes();
+    let before_top = seq.query(10, 2);
+    let batch = [
+        GraphUpdate::Remove(e.u, e.v),
+        GraphUpdate::Insert(e.u, e.v),
+        // A repeat insert of the now-present edge must be a no-op.
+        GraphUpdate::Insert(e.u, e.v),
+    ];
+    let stats = seq.apply_batch(&batch);
+    let outcome = par.apply_batch_parallel(&batch, 3);
+    assert_eq!(stats, outcome.stats);
+    assert_eq!((stats.applied, stats.noop, stats.rejected), (2, 1, 0));
+    assert_state_identical(&seq, &par, "remove-then-insert");
+    assert_eq!(seq.component_sizes(), before_sizes);
+    assert_eq!(seq.query(10, 2), before_top);
+    seq.check_consistency();
+    par.check_consistency();
+}
+
+#[test]
+fn coalesced_batches_reach_the_same_final_state() {
+    let g = generators::clique_overlap(120, 90, 5, 33);
+    let mut raw = MaintainedIndex::new(&g);
+    let mut coalesced = MaintainedIndex::new(&g);
+    let mut rng = StdRng::seed_from_u64(0xC0A1);
+    for round in 0..4 {
+        let updates = random_batch(&mut rng, 120, 30);
+        raw.apply_batch_parallel(&updates, 2);
+        // MutationBatch cancels insert+remove pairs of the same edge; the
+        // surviving updates must still produce the identical final index.
+        let batch: MutationBatch = updates.clone().into();
+        coalesced.apply_batch_parallel(&batch.into_updates(), 2);
+        assert_state_identical(&raw, &coalesced, &format!("coalesce round {round}"));
+    }
+    raw.check_consistency();
+    coalesced.check_consistency();
+}

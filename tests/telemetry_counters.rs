@@ -151,14 +151,48 @@ fn maintenance_counters_balance_over_a_round_trip() {
         .iter()
         .map(|e| GraphUpdate::Insert(e.u, e.v))
         .collect();
-    assert_eq!(index.apply_batch(&removes_batch).0, churn.len());
-    assert_eq!(index.apply_batch(&inserts_batch).0, churn.len());
+    assert_eq!(index.apply_batch(&removes_batch).applied, churn.len());
+    assert_eq!(index.apply_batch(&inserts_batch).applied, churn.len());
     let snap = telemetry::snapshot();
     assert_eq!(snap.stage("maintain.batch").unwrap().count, 2);
     assert_eq!(
         snap.counter("maintain.treap_inserts"),
         snap.counter("maintain.treap_removes")
     );
+}
+
+#[test]
+fn pipeline_counters_match_its_own_report() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let g = generators::clique_overlap(120, 90, 5, 3);
+    let mut index = MaintainedIndex::new(&g);
+    let batch: Vec<_> = g
+        .edges()
+        .iter()
+        .take(12)
+        .map(|e| GraphUpdate::Remove(e.u, e.v))
+        .collect();
+
+    telemetry::reset();
+    let outcome = index.apply_batch_parallel(&batch, 2);
+    let snap = telemetry::snapshot();
+
+    assert_eq!(outcome.stats.applied, batch.len());
+    // Each pipeline counter is pinned to the report the same run returned.
+    assert_eq!(snap.counter("pbatch.groups"), outcome.report.groups as u64);
+    assert_eq!(
+        snap.counter("pbatch.recomputed_edges"),
+        outcome.report.recomputed_edges as u64
+    );
+    assert_eq!(
+        snap.counter("pbatch.union_ops"),
+        outcome.report.union_ops_per_worker.iter().sum::<u64>()
+    );
+    // Exactly one pass through each phase, under the shared batch span.
+    for stage in ["pbatch.plan", "pbatch.recompute", "pbatch.commit"] {
+        assert_eq!(snap.stage(stage).unwrap().count, 1, "{stage}");
+    }
+    assert_eq!(snap.stage("maintain.batch").unwrap().count, 1);
 }
 
 #[test]
