@@ -227,7 +227,15 @@ fn bench(opts: &Options) -> Result<ExitCode, Error> {
     if let Some(path) = &opts.check {
         let text = std::fs::read_to_string(path)
             .map_err(|e| Error::from(e).context(format!("cannot read {path}")))?;
-        let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        // A malformed report is a data failure (exit 1), not a usage
+        // mistake — route it through Io rather than the String → Usage lift.
+        let doc = Json::parse(&text).map_err(|e| {
+            Error::from(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                e.to_string(),
+            ))
+            .context(format!("invalid bench report {path}"))
+        })?;
         let errors = validate(&doc);
         return if errors.is_empty() {
             println!("OK: {path} conforms to {BENCH_SCHEMA}");

@@ -419,6 +419,19 @@ fn bench_report_round_trips_through_check() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("schema"));
 
+    // A file that is not JSON at all is a DATA failure: exit 1, no usage
+    // help — the request was well-formed, the report wasn't.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "not json {").unwrap();
+    let out = bin()
+        .args(["bench", "--check", garbage.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid bench report"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+
     // Unknown suite names are flagged before any work happens.
     let out = bin().args(["bench", "--suite", "bogus"]).output().unwrap();
     assert!(!out.status.success());

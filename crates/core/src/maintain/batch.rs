@@ -5,14 +5,19 @@
 //! CLI hand to
 //! [`ServiceHandle::submit`](../../../esd_serve/struct.ServiceHandle.html).
 //!
-//! `MutationBatch` is where intra-batch redundancy dies: an insert followed
-//! by a remove of the same edge (or vice versa) cancels to nothing, and a
-//! duplicate of a still-pending operation is dropped. Cancellation is sound
-//! because the final graph — and therefore, by the ego-network invariant,
-//! the final index state — is unchanged by eliding a pair whose net effect
-//! on the edge set is zero. Self-loops are deliberately *not* deduplicated:
-//! they are structurally invalid and must flow through so the apply path
-//! can report them as `rejected` rather than silently vanish.
+//! `MutationBatch` is where intra-batch redundancy dies: at most one
+//! operation per edge survives — the **last** one queued (last-writer-wins).
+//! That elision is sound in every initial graph state because insert and
+//! remove are idempotent *ensure* operations: the edge's final presence —
+//! and therefore, by the ego-network invariant, the final index state — is
+//! fully determined by the last operation targeting it, regardless of what
+//! came before. Note that an opposite pair must **not** cancel to nothing:
+//! for an edge that already exists, insert-then-remove nets to a removal
+//! (the insert is a no-op), so the remove has to survive; symmetrically,
+//! remove-then-insert of an absent edge nets to an insertion. Self-loops
+//! are deliberately *not* deduplicated: they are structurally invalid and
+//! must flow through so the apply path can report them as `rejected`
+//! rather than silently vanish.
 
 use super::GraphUpdate;
 use esd_graph::{Edge, VertexId};
@@ -76,12 +81,13 @@ impl std::ops::AddAssign for BatchStats {
 /// vocabulary of the `esd` facade.
 ///
 /// Built up via [`insert`](MutationBatch::insert) /
-/// [`remove`](MutationBatch::remove) / [`push`](MutationBatch::push):
-/// opposite pending operations on the same edge cancel each other, repeats
-/// of a pending operation are dropped, and order among survivors is
-/// preserved. [`from_raw`](MutationBatch::from_raw) wraps a update list
-/// verbatim (no coalescing) for callers that need exact per-update
-/// accounting — the deprecated `apply`/`apply_before` wrappers use it.
+/// [`remove`](MutationBatch::remove) / [`push`](MutationBatch::push): only
+/// the last-queued operation per edge survives (a newer opposite operation
+/// supersedes the pending one in place, a repeat is absorbed), and order
+/// among survivors is preserved. [`from_raw`](MutationBatch::from_raw)
+/// wraps a update list verbatim (no coalescing) for callers that need
+/// exact per-update accounting — the deprecated `apply`/`apply_before`
+/// wrappers use it.
 ///
 /// # Examples
 ///
@@ -90,19 +96,19 @@ impl std::ops::AddAssign for BatchStats {
 ///
 /// let mut batch = MutationBatch::new();
 /// batch.insert(3, 7);
-/// batch.remove(3, 7); // cancels the pending insert
+/// batch.remove(3, 7); // supersedes the insert: only the remove survives
 /// batch.insert(1, 2);
-/// batch.insert(2, 1); // duplicate of pending (1,2) — dropped
-/// assert_eq!(batch.len(), 1);
+/// batch.insert(2, 1); // duplicate of pending (1,2) — absorbed
+/// assert_eq!(batch.len(), 2);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MutationBatch {
-    /// Pending updates; cancelled slots are `None` and compacted on read.
-    slots: Vec<Option<GraphUpdate>>,
-    /// Canonical edge key → slot index of the pending (un-cancelled)
-    /// operation on that edge, if any.
+    /// Surviving updates in first-queued order; at most one per edge
+    /// (plus any self-loops, which bypass coalescing).
+    updates: Vec<GraphUpdate>,
+    /// Canonical edge key → index in `updates` of the pending operation
+    /// on that edge, if any.
     pending: HashMap<u64, usize>,
-    live: usize,
 }
 
 impl MutationBatch {
@@ -116,11 +122,9 @@ impl MutationBatch {
     /// reaches the apply path and gets its own disposition.
     #[must_use]
     pub fn from_raw(updates: Vec<GraphUpdate>) -> Self {
-        let live = updates.len();
         Self {
-            slots: updates.into_iter().map(Some).collect(),
+            updates,
             pending: HashMap::new(),
-            live,
         }
     }
 
@@ -134,33 +138,30 @@ impl MutationBatch {
         self.push(GraphUpdate::Remove(u, v))
     }
 
-    /// Queues `update`, coalescing against the pending operation on the
-    /// same edge: an identical pending op absorbs the new one, an opposite
-    /// pending op cancels both. Self-loops bypass coalescing entirely (they
-    /// have no canonical edge key and must surface as `rejected`).
+    /// Queues `update`, coalescing last-writer-wins against the pending
+    /// operation on the same edge: the newer operation replaces the pending
+    /// one in place (an identical repeat is thereby absorbed). The pending
+    /// pair must *not* cancel to nothing — insert and remove are idempotent
+    /// ensure-ops, so e.g. insert-then-remove of an edge that already
+    /// exists nets to a removal, not a no-op. Self-loops bypass coalescing
+    /// entirely (they have no canonical edge key and must surface as
+    /// `rejected`).
     pub fn push(&mut self, update: GraphUpdate) -> &mut Self {
         let (u, v) = update.endpoints();
         if u == v {
-            self.slots.push(Some(update));
-            self.live += 1;
+            self.updates.push(update);
             return self;
         }
         let key = Edge::new(u, v).key();
         match self.pending.get(&key) {
             Some(&slot) => {
-                let prior = self.slots[slot].expect("pending slot is live");
-                if prior.is_insert() != update.is_insert() {
-                    // Opposite op: net effect on the edge set is zero.
-                    self.slots[slot] = None;
-                    self.pending.remove(&key);
-                    self.live -= 1;
-                }
-                // Identical op: the pending one already covers it.
+                // Last-writer-wins: the edge's final presence is decided
+                // entirely by the most recent ensure-op.
+                self.updates[slot] = update;
             }
             None => {
-                self.pending.insert(key, self.slots.len());
-                self.slots.push(Some(update));
-                self.live += 1;
+                self.pending.insert(key, self.updates.len());
+                self.updates.push(update);
             }
         }
         self
@@ -169,25 +170,25 @@ impl MutationBatch {
     /// Number of surviving updates.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.live
+        self.updates.len()
     }
 
     /// Whether no updates survive.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.updates.is_empty()
     }
 
     /// The surviving updates, in queue order.
     #[must_use]
     pub fn into_updates(self) -> Vec<GraphUpdate> {
-        self.slots.into_iter().flatten().collect()
+        self.updates
     }
 
     /// The surviving updates without consuming the batch.
     #[must_use]
     pub fn updates(&self) -> Vec<GraphUpdate> {
-        self.slots.iter().copied().flatten().collect()
+        self.updates.clone()
     }
 }
 
@@ -220,18 +221,17 @@ mod tests {
     use crate::fixtures::fig1;
 
     #[test]
-    fn insert_then_remove_cancels() {
+    fn insert_then_remove_keeps_the_remove() {
         let mut b = MutationBatch::new();
         b.insert(1, 2).remove(2, 1);
-        assert!(b.is_empty());
-        assert_eq!(b.into_updates(), Vec::new());
+        assert_eq!(b.into_updates(), vec![GraphUpdate::Remove(2, 1)]);
     }
 
     #[test]
-    fn remove_then_insert_cancels() {
+    fn remove_then_insert_keeps_the_insert() {
         let mut b = MutationBatch::new();
         b.remove(4, 9).insert(4, 9);
-        assert!(b.is_empty());
+        assert_eq!(b.into_updates(), vec![GraphUpdate::Insert(4, 9)]);
     }
 
     #[test]
@@ -249,10 +249,17 @@ mod tests {
     }
 
     #[test]
-    fn cancellation_reopens_the_edge_for_later_ops() {
+    fn each_new_op_supersedes_the_pending_one_in_place() {
         let mut b = MutationBatch::new();
         b.insert(1, 2).remove(1, 2).insert(1, 2);
         assert_eq!(b.updates(), vec![GraphUpdate::Insert(1, 2)]);
+        let mut b = MutationBatch::new();
+        b.insert(1, 2).insert(3, 4).remove(1, 2);
+        // The survivor keeps the edge's original queue position.
+        assert_eq!(
+            b.updates(),
+            vec![GraphUpdate::Remove(1, 2), GraphUpdate::Insert(3, 4)]
+        );
     }
 
     #[test]
@@ -291,8 +298,59 @@ mod tests {
         via_raw.apply_batch(&raw);
         let mut via_batch = MaintainedIndex::new(&g);
         let coalesced: MutationBatch = raw.into_iter().collect();
-        assert_eq!(coalesced.len(), 1, "insert+remove cancel, dup absorbed");
+        assert_eq!(coalesced.len(), 2, "last op per edge survives");
         via_batch.apply_batch(&coalesced.into_updates());
+        assert_eq!(via_raw.component_sizes(), via_batch.component_sizes());
+        assert_eq!(via_raw.query(40, 1), via_batch.query(40, 1));
+    }
+
+    #[test]
+    fn coalescing_is_sound_when_the_edge_pre_exists() {
+        // (f, g) already exists in fig1: sequentially, the insert is a
+        // no-op and the remove applies — the net effect is a REMOVAL, so
+        // cancelling the pair to nothing would silently drop it.
+        let (g, n) = fig1();
+        let raw = vec![
+            GraphUpdate::Insert(n["f"], n["g"]),
+            GraphUpdate::Remove(n["f"], n["g"]),
+        ];
+        let mut via_raw = MaintainedIndex::new(&g);
+        let stats = via_raw.apply_batch(&raw);
+        assert_eq!((stats.applied, stats.noop), (1, 1));
+        let coalesced: MutationBatch = raw.into_iter().collect();
+        assert_eq!(
+            coalesced.updates(),
+            vec![GraphUpdate::Remove(n["f"], n["g"])],
+            "the remove must survive"
+        );
+        let mut via_batch = MaintainedIndex::new(&g);
+        via_batch.apply_batch(&coalesced.into_updates());
+        assert_eq!(via_raw.graph().edges(), via_batch.graph().edges());
+        assert_eq!(via_raw.component_sizes(), via_batch.component_sizes());
+        assert_eq!(via_raw.query(40, 1), via_batch.query(40, 1));
+    }
+
+    #[test]
+    fn coalescing_is_sound_when_the_edge_is_absent() {
+        // Symmetric case: (c, d) is absent, so remove-then-insert nets to
+        // an INSERTION (the remove is a no-op) — the insert must survive.
+        let (g, n) = fig1();
+        let raw = vec![
+            GraphUpdate::Remove(n["c"], n["d"]),
+            GraphUpdate::Insert(n["c"], n["d"]),
+        ];
+        let mut via_raw = MaintainedIndex::new(&g);
+        let stats = via_raw.apply_batch(&raw);
+        assert_eq!((stats.applied, stats.noop), (1, 1));
+        let coalesced: MutationBatch = raw.into_iter().collect();
+        assert_eq!(
+            coalesced.updates(),
+            vec![GraphUpdate::Insert(n["c"], n["d"])],
+            "the insert must survive"
+        );
+        let mut via_batch = MaintainedIndex::new(&g);
+        via_batch.apply_batch(&coalesced.into_updates());
+        assert_eq!(via_raw.graph().edges(), via_batch.graph().edges());
         assert_eq!(via_raw.component_sizes(), via_batch.component_sizes());
         assert_eq!(via_raw.query(40, 1), via_batch.query(40, 1));
     }

@@ -48,7 +48,8 @@ use std::collections::HashSet;
 /// `esd bench` as the churn benchmark's `work_balance` block.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineReport {
-    /// Worker threads used by the recompute phase.
+    /// Worker threads used by the recompute phase (`0` when the batch
+    /// applied nothing and no recompute ran).
     pub threads: usize,
     /// Conflict-free groups formed by the planner.
     pub groups: usize,
@@ -227,7 +228,12 @@ impl MaintainedIndex {
         threads: usize,
     ) -> (Vec<(u64, Option<EdgeDsu>)>, Vec<u64>, Vec<u64>) {
         let total: usize = owned.iter().map(Vec::len).sum();
-        let threads = threads.min(total.max(1));
+        if total == 0 {
+            // No owned keys → no workers: the report must show zero
+            // threads for zero work, and there is nothing to spawn for.
+            return (Vec::new(), Vec::new(), Vec::new());
+        }
+        let threads = threads.min(total);
 
         // Greedy LPT assignment of groups to workers.
         let mut group_order: Vec<usize> = (0..owned.len()).collect();
@@ -371,6 +377,8 @@ mod tests {
         let outcome = index.apply_batch_parallel(&[], 4);
         assert_eq!(outcome.stats, BatchStats::default());
         assert_eq!(outcome.report.groups, 0);
+        assert_eq!(outcome.report.threads, 0, "zero workers for zero work");
+        assert!(outcome.report.recomputed_per_worker.is_empty());
         let outcome = index.apply_batch_parallel(
             &[
                 GraphUpdate::Insert(n["f"], n["g"]), // present → noop
@@ -387,6 +395,7 @@ mod tests {
             (0, 1, 1)
         );
         assert_eq!(outcome.report.recomputed_edges, 0);
+        assert_eq!(outcome.report.threads, 0, "all-noop batch spawns nothing");
         index.check_consistency();
     }
 

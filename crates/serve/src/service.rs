@@ -393,15 +393,22 @@ fn writer_loop(engine: &Engine) {
             merged.extend_from_slice(&job.updates);
             ranges.push(Some(start..merged.len()));
         }
-        let mut index = engine.writer_index.lock().expect("writer poisoned");
-        let dispositions = engine.apply_locked(&mut index, &merged);
-        let total = BatchStats::from_dispositions(&dispositions);
-        let epoch = if total.applied > 0 {
-            engine.publish_locked(&index)
+        // An empty merge (every job expired, or only empty batches) has
+        // nothing to apply — skip the writer lock and the pipeline run and
+        // hand out the current epoch.
+        let (dispositions, epoch) = if merged.is_empty() {
+            (Vec::new(), engine.snapshot.load().epoch())
         } else {
-            engine.snapshot.load().epoch()
+            let mut index = engine.writer_index.lock().expect("writer poisoned");
+            let dispositions = engine.apply_locked(&mut index, &merged);
+            let total = BatchStats::from_dispositions(&dispositions);
+            let epoch = if total.applied > 0 {
+                engine.publish_locked(&index)
+            } else {
+                engine.snapshot.load().epoch()
+            };
+            (dispositions, epoch)
         };
-        drop(index);
         for (job, range) in chunk.into_iter().zip(ranges) {
             match range {
                 Some(range) => {
@@ -788,19 +795,37 @@ mod tests {
     }
 
     #[test]
-    fn submit_coalesces_cancelling_updates() {
+    fn submit_coalesces_to_the_last_op_per_edge() {
         let g = test_graph();
         let service = Service::start(&g, &ServiceConfig::default());
         let handle = service.handle();
         let epoch_before = handle.snapshot().epoch();
+        // Insert-then-remove of an EXISTING edge coalesces to the remove
+        // (the insert would have been a no-op anyway) — cancelling the
+        // pair to nothing would silently drop a real removal.
+        let existing = g.edges()[0];
+        let mut batch = MutationBatch::new();
+        batch
+            .insert(existing.u, existing.v)
+            .remove(existing.u, existing.v);
+        assert_eq!(batch.len(), 1);
+        let outcome = handle.submit(batch).unwrap();
+        assert_eq!((outcome.applied, outcome.noop, outcome.rejected), (1, 0, 0));
+        assert!(
+            handle.snapshot().epoch() > epoch_before,
+            "the surviving removal publishes a new epoch"
+        );
+        // On an ABSENT edge the surviving remove is a no-op at apply time,
+        // so nothing publishes.
+        let epoch = handle.snapshot().epoch();
         let mut batch = MutationBatch::new();
         batch.insert(200, 201).remove(200, 201);
         let outcome = handle.submit(batch).unwrap();
-        assert_eq!((outcome.applied, outcome.noop, outcome.rejected), (0, 0, 0));
+        assert_eq!((outcome.applied, outcome.noop, outcome.rejected), (0, 1, 0));
         assert_eq!(
             handle.snapshot().epoch(),
-            epoch_before,
-            "a fully-cancelled batch publishes nothing"
+            epoch,
+            "a no-op batch publishes nothing"
         );
         service.shutdown();
     }

@@ -10,8 +10,9 @@
 //! * [`QueryRequest`] — a query as a value: `k`, `τ`, and an optional
 //!   deadline, executed via
 //!   [`ServiceHandle::execute`](esd_serve::ServiceHandle::execute).
-//! * [`MutationBatch`] — a builder over graph updates that coalesces an
-//!   insert and a remove of the same edge within one batch, submitted via
+//! * [`MutationBatch`] — a builder over graph updates that coalesces
+//!   operations on the same edge last-writer-wins (only the most recent
+//!   insert/remove per edge survives), submitted via
 //!   [`ServiceHandle::submit`](esd_serve::ServiceHandle::submit). Use
 //!   [`MutationBatch::from_raw`] when per-update dispositions must be
 //!   reported 1:1 (no coalescing).
@@ -38,9 +39,10 @@
 //!
 //! let mut batch = MutationBatch::new();
 //! batch.insert(0, 119);
-//! batch.remove(0, 119); // cancels the insert: the batch is a no-op
+//! batch.remove(0, 119); // supersedes the insert: only the remove survives
+//! assert_eq!(batch.len(), 1);
 //! let outcome = handle.submit(batch).unwrap();
-//! assert_eq!(outcome.applied + outcome.noop + outcome.rejected, 0);
+//! assert_eq!(outcome.applied + outcome.noop, 1);
 //!
 //! let top = handle.execute(QueryRequest::new(5, 2)).unwrap();
 //! assert!(top.results.len() <= 5);

@@ -175,7 +175,7 @@ fn coalesced_batches_reach_the_same_final_state() {
     for round in 0..4 {
         let updates = random_batch(&mut rng, 120, 30);
         raw.apply_batch_parallel(&updates, 2);
-        // MutationBatch cancels insert+remove pairs of the same edge; the
+        // MutationBatch keeps only the last-queued op per edge; the
         // surviving updates must still produce the identical final index.
         let batch: MutationBatch = updates.clone().into();
         coalesced.apply_batch_parallel(&batch.into_updates(), 2);
