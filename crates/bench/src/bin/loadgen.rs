@@ -16,7 +16,7 @@
 
 use esd_core::maintain::{GraphUpdate, MutationBatch};
 use esd_graph::{generators, Graph};
-use esd_serve::{QueryRequest, Service, ServiceConfig, ServiceHandle};
+use esd_serve::{QueryRequest, RetryPolicy, Service, ServiceConfig, ServiceHandle};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,23 +52,23 @@ fn parse_args() -> Result<Config, String> {
             "--ops" => {
                 cfg.ops = value("--ops")?
                     .parse()
-                    .map_err(|e| format!("bad --ops: {e}"))?
+                    .map_err(|e| format!("bad --ops: {e}"))?;
             }
             "--write-ratio" => {
                 cfg.write_ratio = value("--write-ratio")?
                     .parse()
-                    .map_err(|e| format!("bad --write-ratio: {e}"))?
+                    .map_err(|e| format!("bad --write-ratio: {e}"))?;
             }
             "--workers" => {
                 cfg.workers = value("--workers")?
                     .split(',')
                     .map(|t| t.trim().parse().map_err(|e| format!("bad --workers: {e}")))
-                    .collect::<Result<_, _>>()?
+                    .collect::<Result<_, _>>()?;
             }
             "--seed" => {
                 cfg.seed = value("--seed")?
                     .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?
+                    .map_err(|e| format!("bad --seed: {e}"))?;
             }
             other => {
                 return Err(format!(
@@ -84,11 +84,36 @@ fn parse_args() -> Result<Config, String> {
     Ok(cfg)
 }
 
+/// Per-client outcome accounting. Nothing is silently dropped: every
+/// attempted operation lands in exactly one of `succeeded` / `failed`,
+/// with `shed` counting the succeeded queries that were answered from a
+/// slightly-stale snapshot under overload.
+#[derive(Debug, Default, Clone, Copy)]
+struct ClientStats {
+    attempted: u64,
+    succeeded: u64,
+    shed: u64,
+    failed: u64,
+}
+
+impl ClientStats {
+    fn merge(&mut self, other: ClientStats) {
+        self.attempted += other.attempted;
+        self.succeeded += other.succeeded;
+        self.shed += other.shed;
+        self.failed += other.failed;
+    }
+}
+
 /// One closed-loop client: issues `ops` operations back to back, each a
-/// query (log-uniform `k`, random `τ`) or a single-edge update.
-fn client(handle: &ServiceHandle, n: u32, ops: u64, write_ratio: f64, seed: u64) {
+/// query (log-uniform `k`, random `τ`) or a single-edge update, retrying
+/// transient failures with jittered backoff and tallying every outcome.
+fn client(handle: &ServiceHandle, n: u32, ops: u64, write_ratio: f64, seed: u64) -> ClientStats {
     let mut rng = StdRng::seed_from_u64(seed);
+    let retry = RetryPolicy::new(seed);
+    let mut stats = ClientStats::default();
     for _ in 0..ops {
+        stats.attempted += 1;
         if rng.gen_bool(write_ratio) {
             let (a, b) = loop {
                 let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
@@ -96,22 +121,31 @@ fn client(handle: &ServiceHandle, n: u32, ops: u64, write_ratio: f64, seed: u64)
                     break (a, b);
                 }
             };
-            let update = if rng.gen_bool(0.7) {
-                GraphUpdate::Insert(a, b)
+            let mut batch = MutationBatch::new();
+            if rng.gen_bool(0.7) {
+                batch.insert(a, b);
             } else {
-                GraphUpdate::Remove(a, b)
-            };
-            handle
-                .submit(MutationBatch::from_raw(vec![update]))
-                .expect("update failed");
+                batch.remove(a, b);
+            }
+            match handle.submit_with_retry(batch, &retry) {
+                Ok(_) => stats.succeeded += 1,
+                Err(_) => stats.failed += 1,
+            }
         } else {
             let k = (16.0 * 128f64.powf(rng.gen::<f64>())) as usize; // 16..2048
             let tau = rng.gen_range(1..=4);
-            handle
-                .execute(QueryRequest::new(k, tau))
-                .expect("query failed");
+            match handle.execute_with_retry(QueryRequest::new(k, tau), &retry) {
+                Ok(resp) => {
+                    stats.succeeded += 1;
+                    if resp.degraded {
+                        stats.shed += 1;
+                    }
+                }
+                Err(_) => stats.failed += 1,
+            }
         }
     }
+    stats
 }
 
 /// Runs one workload phase against a fresh service and returns the row for
@@ -128,24 +162,29 @@ fn run_phase(g: &Graph, cfg: &Config, workers: usize) -> (Vec<String>, f64) {
     let clients = workers.max(1);
     let per_client = cfg.ops / clients as u64;
     let started = Instant::now();
+    let mut stats = ClientStats::default();
     std::thread::scope(|scope| {
-        for c in 0..clients {
-            let handle = handle.clone();
-            let seed = cfg.seed + 1000 * c as u64;
-            scope.spawn(move || client(&handle, cfg.n, per_client, cfg.write_ratio, seed));
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = handle.clone();
+                let seed = cfg.seed + 1000 * c as u64;
+                scope.spawn(move || client(&handle, cfg.n, per_client, cfg.write_ratio, seed))
+            })
+            .collect();
+        for h in handles {
+            stats.merge(h.join().expect("client thread"));
         }
     });
     let wall = started.elapsed();
     let m = handle.metrics();
-    let total_ops = m.queries_served.get()
-        + m.updates_applied.get()
-        + m.updates_noop.get()
-        + m.updates_rejected.get();
-    let throughput = total_ops as f64 / wall.as_secs_f64();
+    let throughput = stats.succeeded as f64 / wall.as_secs_f64();
     let row = vec![
         workers.to_string(),
-        clients.to_string(),
-        total_ops.to_string(),
+        stats.attempted.to_string(),
+        stats.succeeded.to_string(),
+        m.retries.get().to_string(),
+        stats.shed.to_string(),
+        stats.failed.to_string(),
         esd_bench::fmt_duration(wall),
         format!("{throughput:.0}"),
         format!("{}", m.query_latency.percentile_us(0.50)),
@@ -185,17 +224,21 @@ fn run_update_storm(g: &Graph, cfg: &Config) {
 
     let done = Arc::new(AtomicBool::new(false));
     let during = Arc::new(AtomicU64::new(0));
-    let readers: Vec<_> = (0..2)
-        .map(|_| {
+    let refused = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..2u64)
+        .map(|r| {
             let handle = handle.clone();
             let done = Arc::clone(&done);
             let during = Arc::clone(&during);
+            let refused = Arc::clone(&refused);
+            let seed = cfg.seed ^ (0xAA00 + r);
             std::thread::spawn(move || {
+                let retry = RetryPolicy::new(seed);
                 while !done.load(Ordering::Relaxed) {
-                    handle
-                        .execute(QueryRequest::new(100, 2))
-                        .expect("query during batch failed");
-                    during.fetch_add(1, Ordering::Relaxed);
+                    match handle.execute_with_retry(QueryRequest::new(100, 2), &retry) {
+                        Ok(_) => during.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => refused.fetch_add(1, Ordering::Relaxed),
+                    };
                 }
             })
         })
@@ -212,13 +255,14 @@ fn run_update_storm(g: &Graph, cfg: &Config) {
     }
     println!(
         "update storm: 1000-edge batch applied in {} ({} applied, {} no-op(s), {} rejected, epoch {}); \
-         {} queries completed during the apply window (p99 {} µs)",
+         {} queries completed during the apply window, {} failed past retries (p99 {} µs)",
         esd_bench::fmt_duration(wall),
         outcome.applied,
         outcome.noop,
         outcome.rejected,
         outcome.epoch,
         during.load(Ordering::Relaxed),
+        refused.load(Ordering::Relaxed),
         handle.metrics().query_latency.percentile_us(0.99),
     );
     service.shutdown();
@@ -244,7 +288,17 @@ fn main() {
     );
 
     let mut table = esd_bench::TextTable::new(&[
-        "workers", "clients", "ops", "wall", "ops/s", "q_p50_us", "q_p99_us", "u_p99_us",
+        "workers",
+        "attempted",
+        "ok",
+        "retries",
+        "shed",
+        "failed",
+        "wall",
+        "ops/s",
+        "q_p50_us",
+        "q_p99_us",
+        "u_p99_us",
         "hit_rate",
     ]);
     let mut baseline = None;

@@ -98,7 +98,10 @@ impl TextTable {
     /// A table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
         Self {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -135,7 +138,7 @@ impl TextTable {
     /// Renders with padded columns.
     pub fn render(&self) -> String {
         let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());

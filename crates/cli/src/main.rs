@@ -118,31 +118,31 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--tau" => {
                 opts.tau = value("--tau")?
                     .parse()
-                    .map_err(|e| format!("bad --tau: {e}"))?
+                    .map_err(|e| format!("bad --tau: {e}"))?;
             }
             "--algo" => opts.algo = value("--algo")?,
             "-o" | "--output" => opts.output = Some(value("-o")?),
             "--port" => {
                 opts.port = value("--port")?
                     .parse()
-                    .map_err(|e| format!("bad --port: {e}"))?
+                    .map_err(|e| format!("bad --port: {e}"))?;
             }
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?
+                    .map_err(|e| format!("bad --threads: {e}"))?;
             }
             "--pipeline-threads" => {
                 opts.pipeline_threads = value("--pipeline-threads")?
                     .parse()
-                    .map_err(|e| format!("bad --pipeline-threads: {e}"))?
+                    .map_err(|e| format!("bad --pipeline-threads: {e}"))?;
             }
             "--suite" => opts.suite = value("--suite")?,
             "--json" => opts.json = true,
             "--reps" => {
                 opts.reps = value("--reps")?
                     .parse()
-                    .map_err(|e| format!("bad --reps: {e}"))?
+                    .map_err(|e| format!("bad --reps: {e}"))?;
             }
             "--check" => opts.check = Some(value("--check")?),
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -443,7 +443,7 @@ fn query(opts: &Options) -> Result<(), Error> {
                 .iter()
                 .filter_map(|&c| frozen.list(c))
                 .flatten()
-                .map(|s| s.edge.v as u64)
+                .map(|s| u64::from(s.edge.v))
                 .max()
                 .unwrap_or(0);
             (0..=max_vertex).collect()

@@ -361,6 +361,84 @@ fn error_paths() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("ESDX"));
 }
 
+/// The exit-code policy (`esd::Error::exit_code`), table-driven over the
+/// real binary: usage mistakes exit 2 and print the help text after the
+/// error line; runtime failures exit 1 and do NOT spam the usage block.
+#[test]
+fn exit_code_policy_table() {
+    let dir = temp_dir();
+    let graph_path = write_fig1(&dir);
+    let graph = graph_path.to_str().unwrap();
+    let corrupt = dir.join("corrupt.esdx");
+    std::fs::write(&corrupt, b"definitely not an index").unwrap();
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "not json {").unwrap();
+
+    struct Case {
+        name: &'static str,
+        args: Vec<String>,
+        code: i32,
+        usage: bool,
+    }
+    let case = |name, args: &[&str], code, usage| Case {
+        name,
+        args: args.iter().map(|s| (*s).to_string()).collect(),
+        code,
+        usage,
+    };
+    let cases = [
+        // Usage mistakes: exit 2, the help text follows the error line.
+        case("no subcommand", &[], 2, true),
+        case("unknown subcommand", &["frobnicate"], 2, true),
+        case("missing positional", &["stats"], 2, true),
+        case("unknown flag", &["topk", graph, "--frobnicate"], 2, true),
+        case("flag needs value", &["topk", graph, "-k"], 2, true),
+        case("tau zero", &["topk", graph, "--tau", "0"], 2, true),
+        case("bad suite", &["bench", "--suite", "bogus"], 2, true),
+        case("zero reps", &["bench", "--reps", "0"], 2, true),
+        // Runtime failures: exit 1, no usage spam.
+        case(
+            "missing graph file",
+            &["stats", "/nonexistent/esd/g.txt"],
+            1,
+            false,
+        ),
+        case(
+            "corrupt index",
+            &["query", corrupt.to_str().unwrap()],
+            1,
+            false,
+        ),
+        case(
+            "garbage bench report",
+            &["bench", "--check", garbage.to_str().unwrap()],
+            1,
+            false,
+        ),
+    ];
+    for c in &cases {
+        let out = bin().args(&c.args).output().unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(c.code),
+            "{}: wrong exit code\nstderr: {stderr}",
+            c.name
+        );
+        assert!(
+            stderr.contains("error:"),
+            "{}: every failure names itself\nstderr: {stderr}",
+            c.name
+        );
+        assert_eq!(
+            stderr.contains("usage:"),
+            c.usage,
+            "{}: usage help iff usage error\nstderr: {stderr}",
+            c.name
+        );
+    }
+}
+
 #[test]
 fn bench_report_round_trips_through_check() {
     let dir = temp_dir();

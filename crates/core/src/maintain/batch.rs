@@ -156,8 +156,12 @@ impl MutationBatch {
         match self.pending.get(&key) {
             Some(&slot) => {
                 // Last-writer-wins: the edge's final presence is decided
-                // entirely by the most recent ensure-op.
-                self.updates[slot] = update;
+                // entirely by the most recent ensure-op. An identical
+                // repeat (same kind, either orientation) is absorbed
+                // without disturbing the stored representation.
+                if self.updates[slot].is_insert() != update.is_insert() {
+                    self.updates[slot] = update;
+                }
             }
             None => {
                 self.pending.insert(key, self.updates.len());

@@ -16,6 +16,14 @@
 //!   snapshot structurally invalidates every cached answer.
 //! * **Live metrics** ([`MetricsRegistry`]): queries served, cache hit
 //!   rate, updates applied, queue depth, p50/p99 latency per operation.
+//! * **Graceful degradation**: panics in workers and the writer are
+//!   contained (caught, counted, the thread restarted in place — the
+//!   engine is never poisoned), a saturated queue sheds queries to
+//!   slightly-stale cached answers instead of rejecting outright, and
+//!   [`RetryPolicy`] gives clients budget-capped backoff for transient
+//!   errors. The [`faults`] module injects deterministic failures into
+//!   all of this for the chaos suite — compiled out unless the
+//!   `fault-injection` feature is armed.
 //! * **Two surfaces**: the [`ServiceHandle`] library API, and a TCP
 //!   [`Server`] speaking the `esd stream` line protocol (`+ u v | - u v |
 //!   ? k tau | metrics | quit`) via the shared [`Session`] logic.
@@ -41,17 +49,21 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod faults;
 pub mod ids;
 pub mod metrics;
 pub mod protocol;
 mod queue;
+pub mod retry;
 pub mod server;
 pub mod service;
 pub mod session;
 mod snapshot;
 
+pub use faults::{FaultKind, FaultPlan, FaultPoint, FaultRule, Trigger};
 pub use ids::IdMap;
 pub use metrics::MetricsRegistry;
+pub use retry::RetryPolicy;
 pub use server::Server;
 pub use service::{
     BatchOutcome, QueryRequest, QueryResponse, ServeError, Service, ServiceConfig, ServiceHandle,

@@ -134,6 +134,18 @@ pub struct MetricsRegistry {
     pub rejected_queue_full: Counter,
     /// High-water mark of the query queue depth.
     pub queue_depth_peak: Counter,
+    /// Faults injected by the fault layer (always 0 unless the
+    /// `fault-injection` feature is armed and a plan is loaded).
+    pub faults_injected: Counter,
+    /// Panics caught and contained in the worker pool or writer; the
+    /// thread is restarted in place instead of poisoning the engine.
+    pub worker_restarts: Counter,
+    /// Client-side retries performed by `execute_with_retry` /
+    /// `submit_with_retry`.
+    pub retries: Counter,
+    /// Queries answered from a retained cached result under overload
+    /// shedding instead of being rejected with `QueueFull`.
+    pub shed: Counter,
     /// End-to-end query latency (enqueue to response).
     pub query_latency: LatencyHistogram,
     /// End-to-end update-batch latency (enqueue to publish).
@@ -154,6 +166,10 @@ impl Default for MetricsRegistry {
             deadline_exceeded: Counter::default(),
             rejected_queue_full: Counter::default(),
             queue_depth_peak: Counter::default(),
+            faults_injected: Counter::default(),
+            worker_restarts: Counter::default(),
+            retries: Counter::default(),
+            shed: Counter::default(),
             query_latency: LatencyHistogram::default(),
             update_latency: LatencyHistogram::default(),
         }
@@ -205,6 +221,10 @@ impl MetricsRegistry {
             self.rejected_queue_full.get().to_string(),
         );
         line("queue_depth_peak", self.queue_depth_peak.get().to_string());
+        line("faults_injected", self.faults_injected.get().to_string());
+        line("worker_restarts", self.worker_restarts.get().to_string());
+        line("retries", self.retries.get().to_string());
+        line("shed", self.shed.get().to_string());
         line(
             "query_p50_us",
             self.query_latency.percentile_us(0.50).to_string(),

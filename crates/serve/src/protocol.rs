@@ -115,7 +115,7 @@ fn format_results(results: &[ScoredEdge], ids: &IdMap) -> String {
 pub fn format_query(resp: &QueryResponse, ids: &IdMap) -> String {
     let mut out = format_results(&resp.results, ids);
     out.push_str(&format!(
-        "# {} result(s) in {} ({}, epoch {})\n",
+        "# {} result(s) in {} ({}, epoch {}{})\n",
         resp.results.len(),
         fmt_us(resp.latency),
         if resp.cache_hit {
@@ -124,6 +124,7 @@ pub fn format_query(resp: &QueryResponse, ids: &IdMap) -> String {
             "cache miss"
         },
         resp.epoch,
+        if resp.degraded { ", stale" } else { "" },
     ));
     out
 }
@@ -175,13 +176,14 @@ mod tests {
             }]),
             epoch: 2,
             cache_hit: true,
+            degraded: true,
             latency: Duration::from_micros(12),
         };
         let text = format_query(&resp, &ids);
         assert!(text.contains("(100, 101)  score 3"));
         assert!(text.lines().last().unwrap().starts_with("# 1 result(s)"));
         assert!(text.contains("cache hit"));
-        assert!(text.contains("epoch 2"));
+        assert!(text.contains("epoch 2, stale"), "{text}");
     }
 
     #[test]
@@ -191,6 +193,7 @@ mod tests {
             results: Arc::new(Vec::new()),
             epoch: 0,
             cache_hit: false,
+            degraded: false,
             latency: Duration::from_micros(1),
         };
         let text = format_query(&resp, &ids);

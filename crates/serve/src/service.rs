@@ -27,13 +27,16 @@
 //! the interactive tool and the TCP server share one code path.
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::faults::{FaultInjector, FaultKind, FaultPlan, FaultPoint};
 use crate::metrics::MetricsRegistry;
 use crate::queue::{BoundedQueue, PushRefused};
+use crate::retry::RetryPolicy;
 use crate::snapshot::{Snapshot, SnapshotCell};
 use esd_core::maintain::{BatchStats, GraphUpdate, MutationBatch, UpdateDisposition};
 use esd_core::{MaintainedIndex, ScoredEdge};
 use esd_graph::Graph;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Service::start`].
@@ -52,6 +55,12 @@ pub struct ServiceConfig {
     /// runs (`apply_batch_parallel`); `1` keeps the recompute phase
     /// sequential.
     pub pipeline_threads: usize,
+    /// How many epochs of stale cached results publication retains for
+    /// overload shedding: when the query queue refuses a request, the
+    /// service may answer from a cached result up to this many epochs old
+    /// instead of rejecting outright. `0` disables stale serving (only
+    /// current-epoch cache hits can shed).
+    pub shed_stale_epochs: u64,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +71,7 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             default_deadline: Some(Duration::from_secs(10)),
             pipeline_threads: 2,
+            shed_stale_epochs: 1,
         }
     }
 }
@@ -108,6 +118,12 @@ pub enum ServeError {
     ShuttingDown,
     /// The request itself is invalid (e.g. `τ = 0`).
     BadRequest(String),
+    /// The service hit an internal failure (a contained panic or an
+    /// injected/real I/O fault) while handling the request. For updates
+    /// this always means **not applied**: the writer rolls its working
+    /// copy back to the last published snapshot before answering, so a
+    /// retry is safe.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -117,6 +133,7 @@ impl std::fmt::Display for ServeError {
             Self::DeadlineExceeded => write!(f, "deadline exceeded"),
             Self::ShuttingDown => write!(f, "service shutting down"),
             Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            Self::Internal(msg) => write!(f, "internal failure: {msg}"),
         }
     }
 }
@@ -132,6 +149,10 @@ pub struct QueryResponse {
     pub epoch: u64,
     /// Whether the answer came from the result cache.
     pub cache_hit: bool,
+    /// `true` when overload shedding answered from a *stale* epoch's
+    /// cached result (always at most `shed_stale_epochs` behind). Normal
+    /// answers — including current-epoch shed hits — are not degraded.
+    pub degraded: bool,
     /// End-to-end latency (submission to completion).
     pub latency: Duration,
 }
@@ -237,10 +258,12 @@ pub(crate) struct Engine {
     inline: bool,
     default_deadline: Option<Duration>,
     pipeline_threads: usize,
+    shed_stale_epochs: u64,
+    faults: FaultInjector,
 }
 
 impl Engine {
-    fn new(g: &Graph, cfg: &ServiceConfig) -> Self {
+    fn new(g: &Graph, cfg: &ServiceConfig, plan: FaultPlan) -> Self {
         let index = MaintainedIndex::new(g);
         Self {
             snapshot: SnapshotCell::new(Snapshot::new(0, index.clone())),
@@ -252,7 +275,38 @@ impl Engine {
             inline: cfg.workers == 0,
             default_deadline: cfg.default_deadline,
             pipeline_threads: cfg.pipeline_threads.max(1),
+            shed_stale_epochs: cfg.shed_stale_epochs,
+            faults: FaultInjector::from_plan(plan),
         }
+    }
+
+    /// Consults the fault plan at `point`. Latency faults sleep here and
+    /// return `Ok`; I/O faults return a synthetic error for the call site
+    /// to surface; panic faults unwind so the surrounding containment can
+    /// prove it holds. Sole owner of the `faults_injected` counters.
+    fn fault(&self, point: FaultPoint) -> std::io::Result<()> {
+        let Some(kind) = self.faults.fire(point) else {
+            return Ok(());
+        };
+        self.metrics.faults_injected.incr();
+        esd_telemetry::add(esd_telemetry::Metric::ServeFaultsInjected, 1);
+        match kind {
+            FaultKind::Latency(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            FaultKind::IoError => Err(std::io::Error::other(format!(
+                "injected i/o fault at {}",
+                point.name()
+            ))),
+            FaultKind::Panic => panic!("injected panic at {}", point.name()),
+        }
+    }
+
+    /// Records one contained panic (worker or writer) in both registries.
+    fn note_contained_panic(&self) {
+        self.metrics.worker_restarts.incr();
+        esd_telemetry::add(esd_telemetry::Metric::ServeWorkerRestarts, 1);
     }
 
     fn effective_deadline(&self, deadline: Option<Instant>) -> Option<Instant> {
@@ -260,7 +314,9 @@ impl Engine {
     }
 
     /// Executes one query against the current snapshot, consulting and
-    /// filling the cache. `started` anchors the reported latency.
+    /// filling the cache. `started` anchors the reported latency. An
+    /// injected I/O fault at the cache lookup degrades gracefully: the
+    /// query bypasses the cache and recomputes from the snapshot.
     fn execute_query(&self, k: usize, tau: u32, started: Instant) -> QueryResponse {
         let _span = esd_telemetry::span(esd_telemetry::Stage::ServeQuery);
         let snapshot = self.snapshot.load();
@@ -269,7 +325,13 @@ impl Engine {
             tau,
             epoch: snapshot.epoch(),
         };
-        let (results, cache_hit) = match self.cache.get(&key) {
+        let cache_usable = self.fault(FaultPoint::CacheLookup).is_ok();
+        let cached = if cache_usable {
+            self.cache.get(&key)
+        } else {
+            None
+        };
+        let (results, cache_hit) = match cached {
             Some(hit) => {
                 self.metrics.cache_hits.incr();
                 (hit, true)
@@ -277,7 +339,9 @@ impl Engine {
             None => {
                 self.metrics.cache_misses.incr();
                 let fresh = Arc::new(snapshot.query(k, tau));
-                self.cache.insert(key, Arc::clone(&fresh));
+                if cache_usable {
+                    self.cache.insert(key, Arc::clone(&fresh));
+                }
                 (fresh, false)
             }
         };
@@ -288,61 +352,151 @@ impl Engine {
             results,
             epoch: snapshot.epoch(),
             cache_hit,
+            degraded: false,
             latency,
         }
     }
 
-    /// Applies a batch of updates under an already-held writer lock via the
-    /// parallel maintenance pipeline. Returns the per-update dispositions
-    /// (input-order aligned); publication happens separately.
-    fn apply_locked(
+    /// [`execute_query`](Self::execute_query) with panic containment: an
+    /// injected (or real) panic is caught, counted, and turned into
+    /// [`ServeError::Internal`] — the serving thread survives. Shared by
+    /// the worker pool and the inline path.
+    fn run_query_contained(
         &self,
-        index: &mut MutexGuard<'_, MaintainedIndex>,
-        updates: &[GraphUpdate],
-    ) -> Vec<UpdateDisposition> {
-        let outcome = index.apply_batch_parallel(updates, self.pipeline_threads);
-        self.metrics
-            .updates_applied
-            .add(outcome.stats.applied as u64);
-        self.metrics.updates_noop.add(outcome.stats.noop as u64);
-        self.metrics
-            .updates_rejected
-            .add(outcome.stats.rejected as u64);
-        outcome.dispositions
+        k: usize,
+        tau: u32,
+        started: Instant,
+    ) -> Result<QueryResponse, ServeError> {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.fault(FaultPoint::WorkerDequeue)
+                .map_err(|e| ServeError::Internal(e.to_string()))?;
+            Ok(self.execute_query(k, tau, started))
+        }));
+        match result {
+            Ok(response) => response,
+            Err(_) => {
+                self.note_contained_panic();
+                Err(ServeError::Internal(
+                    "query worker panicked; worker restarted".into(),
+                ))
+            }
+        }
     }
 
-    /// Publishes the writer's current state as a new epoch and purges
-    /// stale cache entries. Call with the writer lock held so no competing
-    /// publication can interleave.
-    fn publish_locked(&self, index: &MutexGuard<'_, MaintainedIndex>) -> u64 {
+    /// Overload shedding: when the queue refuses a query, try to answer
+    /// from the cache instead — first at the current epoch, then from up
+    /// to `shed_stale_epochs` older epochs that publication retains for
+    /// exactly this purpose. A slightly-stale answer beats an outright
+    /// rejection. Sole owner of the `shed` counters; shed answers are
+    /// *not* counted as `queries_served`/`cache_hits` so throughput
+    /// numbers stay honest.
+    fn shed_query(&self, k: usize, tau: u32, started: Instant) -> Option<QueryResponse> {
+        let current = self.snapshot.load().epoch();
+        for back in 0..=self.shed_stale_epochs {
+            let Some(epoch) = current.checked_sub(back) else {
+                break;
+            };
+            let key = CacheKey {
+                k: k as u64,
+                tau,
+                epoch,
+            };
+            if let Some(results) = self.cache.get(&key) {
+                self.metrics.shed.incr();
+                esd_telemetry::add(esd_telemetry::Metric::ServeShed, 1);
+                return Some(QueryResponse {
+                    results,
+                    epoch,
+                    cache_hit: true,
+                    degraded: back > 0,
+                    latency: started.elapsed(),
+                });
+            }
+        }
+        None
+    }
+
+    /// Publishes `index` as a new epoch and purges cache entries that are
+    /// too old even for shedding (everything before `epoch −
+    /// shed_stale_epochs`). Call with the writer lock held so no competing
+    /// publication can interleave. An injected fault here fails the whole
+    /// window — the caller rolls back, so a failed publication is never
+    /// half-visible.
+    fn publish_locked(&self, index: &MaintainedIndex) -> Result<u64, ServeError> {
         let _span = esd_telemetry::span(esd_telemetry::Stage::ServePublish);
+        self.fault(FaultPoint::SnapshotPublish)
+            .map_err(|e| ServeError::Internal(e.to_string()))?;
         let epoch = self.snapshot.load().epoch() + 1;
         self.snapshot
-            .store(Arc::new(Snapshot::new(epoch, (**index).clone())));
-        self.cache.purge_older_than(epoch);
+            .store(Arc::new(Snapshot::new(epoch, index.clone())));
+        self.cache
+            .purge_older_than(epoch.saturating_sub(self.shed_stale_epochs));
         self.metrics.snapshots_published.incr();
-        epoch
+        Ok(epoch)
+    }
+
+    /// One apply window: lock the writer's working copy, apply `updates`
+    /// via the parallel pipeline, publish if anything changed — with
+    /// injected faults and panics contained *inside* the lock scope. On
+    /// any failure the working copy is rolled back to the last published
+    /// snapshot before the error is returned, so an `Err` always means
+    /// **nothing from this window was applied** (and the mutex is never
+    /// poisoned: no panic crosses the lock boundary).
+    fn apply_window(
+        &self,
+        updates: &[GraphUpdate],
+    ) -> Result<(Vec<UpdateDisposition>, u64), ServeError> {
+        type WindowResult = Result<(Vec<UpdateDisposition>, BatchStats, u64), ServeError>;
+        let mut index = self.writer_index.lock().expect("writer poisoned");
+        let window = catch_unwind(AssertUnwindSafe(|| -> WindowResult {
+            self.fault(FaultPoint::WriterApply)
+                .map_err(|e| ServeError::Internal(e.to_string()))?;
+            let outcome = index.apply_batch_parallel(updates, self.pipeline_threads);
+            let epoch = if outcome.stats.applied > 0 {
+                self.publish_locked(&index)?
+            } else {
+                self.snapshot.load().epoch()
+            };
+            Ok((outcome.dispositions, outcome.stats, epoch))
+        }));
+        match window {
+            Ok(Ok((dispositions, stats, epoch))) => {
+                self.metrics.updates_applied.add(stats.applied as u64);
+                self.metrics.updates_noop.add(stats.noop as u64);
+                self.metrics.updates_rejected.add(stats.rejected as u64);
+                Ok((dispositions, epoch))
+            }
+            Ok(Err(e)) => {
+                *index = self.snapshot.load().index().clone();
+                Err(e)
+            }
+            Err(_) => {
+                self.note_contained_panic();
+                *index = self.snapshot.load().index().clone();
+                Err(ServeError::Internal(
+                    "writer panicked mid-window; state rolled back, nothing applied".into(),
+                ))
+            }
+        }
     }
 
     /// Inline (single-threaded) update path: apply + publish on the caller.
-    fn apply_inline(&self, updates: &[GraphUpdate], started: Instant) -> BatchOutcome {
-        let mut index = self.writer_index.lock().expect("writer poisoned");
-        let stats = BatchStats::from_dispositions(&self.apply_locked(&mut index, updates));
-        let epoch = if stats.applied > 0 {
-            self.publish_locked(&index)
-        } else {
-            self.snapshot.load().epoch()
-        };
-        drop(index);
+    fn apply_inline(
+        &self,
+        updates: &[GraphUpdate],
+        started: Instant,
+    ) -> Result<BatchOutcome, ServeError> {
+        let (dispositions, epoch) = self.apply_window(updates)?;
+        let stats = BatchStats::from_dispositions(&dispositions);
         let latency = started.elapsed();
         self.metrics.update_latency.record(latency);
-        BatchOutcome {
+        Ok(BatchOutcome {
             applied: stats.applied,
             noop: stats.noop,
             rejected: stats.rejected,
             epoch,
             latency,
-        }
+        })
     }
 
     fn shutdown(&self) {
@@ -363,8 +517,10 @@ fn worker_loop(engine: &Engine) {
             job.slot.put(Err(ServeError::DeadlineExceeded));
             continue;
         }
+        // Containment happens per job: a panicking query answers its own
+        // slot with `Internal` and the worker thread keeps draining.
         job.slot
-            .put(Ok(engine.execute_query(job.k, job.tau, job.enqueued)));
+            .put(engine.run_query_contained(job.k, job.tau, job.enqueued));
     }
 }
 
@@ -396,22 +552,17 @@ fn writer_loop(engine: &Engine) {
         // An empty merge (every job expired, or only empty batches) has
         // nothing to apply — skip the writer lock and the pipeline run and
         // hand out the current epoch.
-        let (dispositions, epoch) = if merged.is_empty() {
-            (Vec::new(), engine.snapshot.load().epoch())
+        let window = if merged.is_empty() {
+            Ok((Vec::new(), engine.snapshot.load().epoch()))
         } else {
-            let mut index = engine.writer_index.lock().expect("writer poisoned");
-            let dispositions = engine.apply_locked(&mut index, &merged);
-            let total = BatchStats::from_dispositions(&dispositions);
-            let epoch = if total.applied > 0 {
-                engine.publish_locked(&index)
-            } else {
-                engine.snapshot.load().epoch()
-            };
-            (dispositions, epoch)
+            // Faults and panics are contained inside the window; on Err
+            // the writer's working copy was rolled back, so every live
+            // job is answered "not applied" and the writer keeps running.
+            engine.apply_window(&merged)
         };
         for (job, range) in chunk.into_iter().zip(ranges) {
-            match range {
-                Some(range) => {
+            match (range, &window) {
+                (Some(range), Ok((dispositions, epoch))) => {
                     let stats = BatchStats::from_dispositions(&dispositions[range]);
                     let latency = job.enqueued.elapsed();
                     engine.metrics.update_latency.record(latency);
@@ -419,11 +570,12 @@ fn writer_loop(engine: &Engine) {
                         applied: stats.applied,
                         noop: stats.noop,
                         rejected: stats.rejected,
-                        epoch,
+                        epoch: *epoch,
                         latency,
                     }));
                 }
-                None => {
+                (Some(_), Err(e)) => job.slot.put(Err(e.clone())),
+                (None, _) => {
                     engine.metrics.deadline_exceeded.incr();
                     job.slot.put(Err(ServeError::DeadlineExceeded));
                 }
@@ -441,17 +593,46 @@ pub struct Service {
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
+/// Outer containment budget: how many times a worker/writer thread whose
+/// loop itself unwinds (i.e. a panic escaping the per-job containment) is
+/// restarted in place before the thread gives up. Per-job containment
+/// makes reaching this path unlikely; the cap guarantees a pathological
+/// panic source can never spin a thread forever.
+const MAX_THREAD_RESTARTS: u32 = 16;
+
+/// Runs `body` in a restart-in-place loop: a panic that escapes it is
+/// counted and the loop re-entered, up to [`MAX_THREAD_RESTARTS`] times.
+fn contained_thread_loop(engine: &Engine, body: fn(&Engine)) {
+    for _ in 0..MAX_THREAD_RESTARTS {
+        if catch_unwind(AssertUnwindSafe(|| body(engine))).is_ok() {
+            return; // clean shutdown
+        }
+        engine.note_contained_panic();
+    }
+}
+
 impl Service {
-    /// Builds the index for `g` and starts the configured threads.
+    /// Builds the index for `g` and starts the configured threads, with no
+    /// faults armed.
     pub fn start(g: &Graph, cfg: &ServiceConfig) -> Self {
-        let engine = Arc::new(Engine::new(g, cfg));
+        Self::start_with_faults(g, cfg, FaultPlan::default())
+    }
+
+    /// [`start`](Self::start) with a deterministic [`FaultPlan`] armed.
+    ///
+    /// Without the `fault-injection` cargo feature the plan is inert: the
+    /// injector compiles to a zero-sized no-op and the service behaves
+    /// exactly like [`start`](Self::start). The chaos suite guards on
+    /// [`crate::faults::enabled`] for this reason.
+    pub fn start_with_faults(g: &Graph, cfg: &ServiceConfig, plan: FaultPlan) -> Self {
+        let engine = Arc::new(Engine::new(g, cfg, plan));
         let mut threads = Vec::new();
         for i in 0..cfg.workers {
             let engine = Arc::clone(&engine);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("esd-worker-{i}"))
-                    .spawn(move || worker_loop(&engine))
+                    .spawn(move || contained_thread_loop(&engine, worker_loop))
                     .expect("spawn worker"),
             );
         }
@@ -460,7 +641,7 @@ impl Service {
             threads.push(
                 std::thread::Builder::new()
                     .name("esd-writer".into())
-                    .spawn(move || writer_loop(&engine))
+                    .spawn(move || contained_thread_loop(&engine, writer_loop))
                     .expect("spawn writer"),
             );
         }
@@ -515,7 +696,7 @@ impl ServiceHandle {
                 self.engine.metrics.deadline_exceeded.incr();
                 return Err(ServeError::DeadlineExceeded);
             }
-            return Ok(self.engine.execute_query(k, tau, started));
+            return self.engine.run_query_contained(k, tau, started);
         }
         let slot = Arc::new(Slot::new());
         let job = QueryJob {
@@ -532,7 +713,12 @@ impl ServiceHandle {
                 .queue_depth_peak
                 .record_max(depth as u64),
             Err(PushRefused::Full) => {
+                // Overload: before rejecting, try to shed to a cached
+                // (possibly one-epoch-stale) answer.
                 self.engine.metrics.rejected_queue_full.incr();
+                if let Some(response) = self.engine.shed_query(k, tau, started) {
+                    return Ok(response);
+                }
                 return Err(ServeError::QueueFull);
             }
             Err(PushRefused::Closed) => return Err(ServeError::ShuttingDown),
@@ -566,7 +752,7 @@ impl ServiceHandle {
                 self.engine.metrics.deadline_exceeded.incr();
                 return Err(ServeError::DeadlineExceeded);
             }
-            return Ok(self.engine.apply_inline(&updates, started));
+            return self.engine.apply_inline(&updates, started);
         }
         let slot = Arc::new(Slot::new());
         let job = UpdateJob {
@@ -588,6 +774,105 @@ impl ServiceHandle {
             None => {
                 self.engine.metrics.deadline_exceeded.incr();
                 Err(ServeError::DeadlineExceeded)
+            }
+        }
+    }
+
+    /// Whether `e` is worth retrying. Transient conditions (`QueueFull`
+    /// backpressure, an `Internal` fault — which for updates guarantees
+    /// "not applied") always are; `DeadlineExceeded` only when each
+    /// attempt gets a *fresh* deadline (no explicit `before` was given —
+    /// note a timed-out update may still land, which is safe here because
+    /// inserts/removes are idempotent ensure-ops).
+    fn retryable(e: &ServeError, fresh_deadline: bool) -> bool {
+        match e {
+            ServeError::QueueFull | ServeError::Internal(_) => true,
+            ServeError::DeadlineExceeded => fresh_deadline,
+            ServeError::ShuttingDown | ServeError::BadRequest(_) => false,
+        }
+    }
+
+    /// Sleeps one backoff delay if the budget allows, counting the retry.
+    /// Returns `false` when the policy is exhausted.
+    fn backoff_once(&self, delays: &mut crate::retry::Backoff) -> bool {
+        match delays.next() {
+            Some(d) => {
+                self.engine.metrics.retries.incr();
+                esd_telemetry::add(esd_telemetry::Metric::ServeRetries, 1);
+                std::thread::sleep(d);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// [`execute`](Self::execute) with transient failures retried per
+    /// `policy` (exponential backoff, decorrelated jitter, budget-capped).
+    /// Sole owner of the `serve.retries` accounting together with
+    /// [`submit_with_retry`](Self::submit_with_retry).
+    pub fn execute_with_retry(
+        &self,
+        request: QueryRequest,
+        policy: &RetryPolicy,
+    ) -> Result<QueryResponse, ServeError> {
+        let mut delays = policy.delays();
+        loop {
+            match self.execute(request) {
+                Err(e) if Self::retryable(&e, request.before.is_none()) => {
+                    if !self.backoff_once(&mut delays) {
+                        return Err(e);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// [`submit`](Self::submit) with transient failures retried per
+    /// `policy`. Safe to retry: an `Internal` ack means the window was
+    /// rolled back (nothing applied), and re-applying an already-landed
+    /// batch is a no-op because mutations are idempotent ensure-ops.
+    pub fn submit_with_retry(
+        &self,
+        batch: MutationBatch,
+        policy: &RetryPolicy,
+    ) -> Result<BatchOutcome, ServeError> {
+        let mut delays = policy.delays();
+        loop {
+            match self.submit(batch.clone()) {
+                Err(e) if Self::retryable(&e, true) => {
+                    if !self.backoff_once(&mut delays) {
+                        return Err(e);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Persists the currently published snapshot as an ESDX file at
+    /// `path`, atomically: the index is frozen and written to a temporary
+    /// sibling first, then renamed into place — a failed persist (real or
+    /// injected at the `persist_io` fault point) leaves no partial file
+    /// behind. Panics are contained. Returns the persisted epoch.
+    pub fn persist_snapshot(&self, path: &std::path::Path) -> std::io::Result<u64> {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let snapshot = self.engine.snapshot.load();
+            self.engine.fault(FaultPoint::PersistIo)?;
+            let frozen =
+                esd_core::index::FrozenEsdIndex::build(&snapshot.index().graph().to_graph());
+            let tmp = path.with_extension("esdx.tmp");
+            frozen.save(&tmp)?;
+            std::fs::rename(&tmp, path)?;
+            Ok(snapshot.epoch())
+        }));
+        match result {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                self.engine.note_contained_panic();
+                Err(std::io::Error::other(
+                    "snapshot persist panicked; no file written",
+                ))
             }
         }
     }
@@ -726,8 +1011,9 @@ mod tests {
             cache_capacity: 0,
             default_deadline: Some(Duration::from_millis(200)),
             pipeline_threads: 1,
+            shed_stale_epochs: 1,
         };
-        let engine = Arc::new(Engine::new(&test_graph(), &cfg));
+        let engine = Arc::new(Engine::new(&test_graph(), &cfg, FaultPlan::default()));
         let handle = ServiceHandle {
             engine: Arc::clone(&engine),
         };
@@ -754,6 +1040,109 @@ mod tests {
             handle.execute(QueryRequest::new(5, 1)),
             Err(ServeError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn queue_full_sheds_to_cached_results_when_available() {
+        // Engine with a tiny queue, NO worker threads draining it, and a
+        // live cache: once an answer is cached, an overloaded queue sheds
+        // to it instead of rejecting.
+        let cfg = ServiceConfig {
+            workers: 4, // ignored: we build the Engine directly
+            queue_capacity: 1,
+            cache_capacity: 64,
+            default_deadline: Some(Duration::from_millis(200)),
+            pipeline_threads: 1,
+            shed_stale_epochs: 1,
+        };
+        let g = test_graph();
+        let engine = Arc::new(Engine::new(&g, &cfg, FaultPlan::default()));
+        let handle = ServiceHandle {
+            engine: Arc::clone(&engine),
+        };
+        // Seed the cache at the current epoch, bypassing the queue.
+        let seeded = engine.execute_query(5, 1, Instant::now());
+        assert!(!seeded.cache_hit);
+        // Fill the queue with a parked job.
+        let parked = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.execute(QueryRequest::new(5, 1)))
+        };
+        while engine.query_queue.len() < 1 {
+            std::thread::yield_now();
+        }
+        // Same query sheds to the cached answer (fresh epoch → not
+        // degraded); an uncached query still gets QueueFull.
+        let shed = handle.execute(QueryRequest::new(5, 1)).unwrap();
+        assert!(shed.cache_hit && !shed.degraded);
+        assert_eq!(*shed.results, *seeded.results);
+        assert_eq!(engine.metrics.shed.get(), 1);
+        assert!(matches!(
+            handle.execute(QueryRequest::new(7, 1)),
+            Err(ServeError::QueueFull)
+        ));
+        // A publication makes the entry one epoch stale — still servable,
+        // but marked degraded.
+        let existing = g.edges()[0];
+        let (_, epoch) = engine
+            .apply_window(&[GraphUpdate::Remove(existing.u, existing.v)])
+            .unwrap();
+        assert_eq!(epoch, 1);
+        let stale = handle.execute(QueryRequest::new(5, 1)).unwrap();
+        assert!(stale.degraded, "served from the retained stale epoch");
+        assert_eq!(stale.epoch, 0);
+        assert_eq!(engine.metrics.shed.get(), 2);
+        assert!(matches!(
+            parked.join().unwrap(),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn retry_wrappers_eventually_give_up_and_count() {
+        // No workers drain the queue, so every attempt is QueueFull after
+        // the parked job fills it; the retry wrapper must retry
+        // max_retries times, count them, and surface the final error.
+        let cfg = ServiceConfig {
+            workers: 4, // ignored: we build the Engine directly
+            queue_capacity: 1,
+            cache_capacity: 0,
+            default_deadline: Some(Duration::from_millis(500)),
+            pipeline_threads: 1,
+            shed_stale_epochs: 1,
+        };
+        let engine = Arc::new(Engine::new(&test_graph(), &cfg, FaultPlan::default()));
+        let handle = ServiceHandle {
+            engine: Arc::clone(&engine),
+        };
+        let parked = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.execute(QueryRequest::new(5, 1)))
+        };
+        while engine.query_queue.len() < 1 {
+            std::thread::yield_now();
+        }
+        let policy = RetryPolicy {
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(1),
+            max_retries: 3,
+            budget: Duration::from_millis(50),
+            seed: 1,
+        };
+        assert!(matches!(
+            handle.execute_with_retry(QueryRequest::new(9, 1), &policy),
+            Err(ServeError::QueueFull)
+        ));
+        assert_eq!(engine.metrics.retries.get(), 3);
+        // BadRequest is never retried.
+        assert!(matches!(
+            handle.execute_with_retry(QueryRequest::new(9, 0), &policy),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert_eq!(engine.metrics.retries.get(), 3);
+        let _ = parked.join().unwrap();
+        engine.shutdown();
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! drift apart.
 
 use crate::protocol::{self, Request};
+use crate::retry::RetryPolicy;
 use crate::service::{QueryRequest, ServiceHandle};
 use crate::IdMap;
 use esd_core::maintain::MutationBatch;
@@ -23,12 +24,28 @@ pub enum LineOutcome {
 pub struct Session {
     handle: ServiceHandle,
     ids: Arc<IdMap>,
+    retry: RetryPolicy,
 }
 
 impl Session {
-    /// Creates a session over `handle` using the shared id mapping `ids`.
+    /// Creates a session over `handle` using the shared id mapping `ids`,
+    /// with a modest default [`RetryPolicy`]: transient errors (a full
+    /// queue, a contained fault) are retried with jittered backoff before
+    /// the client ever sees an `error:` line.
     pub fn new(handle: ServiceHandle, ids: Arc<IdMap>) -> Self {
-        Self { handle, ids }
+        Self {
+            handle,
+            ids,
+            retry: RetryPolicy::new(0x5E55_u64),
+        }
+    }
+
+    /// Replaces the session's retry policy (builder style). Use
+    /// [`RetryPolicy::none`] to surface every transient error immediately.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The session's id map (shared across sessions of one server).
@@ -58,10 +75,15 @@ impl Session {
                 json.push('\n');
                 LineOutcome::Respond(json)
             }
-            Request::Query { k, tau } => match self.handle.execute(QueryRequest::new(k, tau)) {
-                Ok(resp) => LineOutcome::Respond(protocol::format_query(&resp, &self.ids)),
-                Err(e) => LineOutcome::Respond(protocol::format_error(&e.to_string())),
-            },
+            Request::Query { k, tau } => {
+                match self
+                    .handle
+                    .execute_with_retry(QueryRequest::new(k, tau), &self.retry)
+                {
+                    Ok(resp) => LineOutcome::Respond(protocol::format_query(&resp, &self.ids)),
+                    Err(e) => LineOutcome::Respond(protocol::format_error(&e.to_string())),
+                }
+            }
             Request::Insert(a, b) | Request::Remove(a, b) => {
                 let insert = matches!(request, Request::Insert(..));
                 let (da, db) = self.ids.dense_pair(a, b);
@@ -71,7 +93,7 @@ impl Session {
                 } else {
                     batch.remove(da, db);
                 }
-                match self.handle.submit(batch) {
+                match self.handle.submit_with_retry(batch, &self.retry) {
                     Ok(outcome) => {
                         LineOutcome::Respond(protocol::format_update(insert, a, b, &outcome))
                     }

@@ -318,3 +318,74 @@ fn interleaved_updates_and_queries_agree_with_rebuild() {
     }
     service.shutdown();
 }
+
+/// A query racing an epoch bump must never return a result stamped with
+/// an epoch older than one its caller had already observed — monotonic
+/// reads through the epoch-keyed result cache. The only sanctioned
+/// exception is an explicitly `degraded` shed response, which advertises
+/// its staleness.
+#[test]
+fn cache_never_serves_pre_publication_epochs() {
+    let g = test_graph();
+    let service = Service::start(
+        &g,
+        &ServiceConfig {
+            workers: 2,
+            queue_capacity: 256,
+            cache_capacity: 512,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..4u64)
+        .map(|r| {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xCACE ^ r);
+                let mut cache_hits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = [5usize, 10, K][rng.gen_range(0..3)];
+                    let tau = [1u32, TAU][rng.gen_range(0..2)];
+                    // Observing the epoch FIRST is the point: any answer
+                    // the service now gives must be at least this fresh.
+                    let observed = handle.snapshot().epoch();
+                    match handle.execute(QueryRequest::new(k, tau)) {
+                        Ok(resp) => {
+                            assert!(
+                                resp.degraded || resp.epoch >= observed,
+                                "non-degraded answer stamped epoch {} after \
+                                 the reader already observed epoch {observed}",
+                                resp.epoch,
+                            );
+                            if resp.cache_hit && !resp.degraded {
+                                cache_hits += 1;
+                            }
+                        }
+                        // Backpressure is fine; staleness is not.
+                        Err(ServeError::QueueFull | ServeError::DeadlineExceeded) => {}
+                        Err(e) => panic!("reader {r}: unexpected error {e}"),
+                    }
+                }
+                cache_hits
+            })
+        })
+        .collect();
+
+    // The writer bumps the epoch as fast as strict-invariants validation
+    // allows, maximising the publish/lookup races above.
+    let mut last_epoch = 0;
+    for round in 0..40 {
+        let outcome = handle
+            .submit(MutationBatch::from_raw(random_batch(250, 20, 2000 + round)))
+            .unwrap();
+        last_epoch = outcome.epoch;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let cache_hits: u64 = readers.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(last_epoch >= 30, "most rounds must publish a new epoch");
+    assert!(cache_hits > 0, "the cache path must actually be exercised");
+    service.shutdown();
+}

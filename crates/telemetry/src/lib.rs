@@ -176,6 +176,18 @@ catalogue! {
         OnlineHeapPops => "online.heap_pops",
         /// Edges enqueued by the online search (bound-order seeding).
         OnlineEnqueued => "online.enqueued",
+        /// Faults injected by the `esd-serve` fault layer (non-zero only
+        /// in `fault-injection` builds running an armed plan).
+        ServeFaultsInjected => "serve.faults_injected",
+        /// Panics caught and contained by the serve worker pool / writer
+        /// (the thread keeps serving instead of poisoning the engine).
+        ServeWorkerRestarts => "serve.worker_restarts",
+        /// Client-side retries performed by the serve `RetryPolicy`
+        /// wrappers (`execute_with_retry` / `submit_with_retry`).
+        ServeRetries => "serve.retries",
+        /// Queries answered from a retained cached result under overload
+        /// shedding instead of being rejected with `QueueFull`.
+        ServeShed => "serve.shed",
     }
 }
 

@@ -1,0 +1,461 @@
+//! Chaos suite for `esd-serve`: seeded, deterministic fault plans replay a
+//! mixed query+mutation workload and prove graceful degradation.
+//!
+//! Every scenario asserts three properties:
+//!
+//! 1. **No deadlock** — the workload runs to completion and every thread
+//!    joins (the writer and workers answer every slot even when a window
+//!    fails or a worker panics).
+//! 2. **No wrong answers** — the post-chaos index state is *identical* to
+//!    a fault-free replay of exactly the acknowledged batches, applied in
+//!    acknowledgement order, on a fresh `MaintainedIndex` (running under
+//!    `strict-invariants` in this test profile). The service's error
+//!    contract makes this checkable: an `Ok` ack means applied and
+//!    published; an `Err` ack means the window was rolled back and
+//!    nothing from it survived.
+//! 3. **Recovery** — after the storm the service still answers queries;
+//!    a contained worker panic never poisons the engine.
+//!
+//! Determinism: each scenario prints its seed and fault plan up front.
+//! The mutation stream is driven by a single sequential client seeded
+//! from it, and fault triggers are pure functions of the per-point call
+//! number, so `chaos_determinism_two_runs_agree` can demand bit-identical
+//! outcomes across runs.
+//!
+//! The suite requires the `fault-injection` feature (armed for this
+//! package's tests via the dev-dependency); in a disarmed build every
+//! test skips itself.
+
+use esd_core::maintain::{GraphUpdate, MutationBatch};
+use esd_core::MaintainedIndex;
+use esd_graph::{generators, Graph};
+use esd_serve::{
+    FaultKind, FaultPlan, FaultPoint, QueryRequest, RetryPolicy, ServeError, Service,
+    ServiceConfig, Snapshot, Trigger,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Vertices in the chaos graph (dense ids `0..N`).
+const N: u32 = 160;
+
+/// Installs (once) a panic hook that silences the *expected* injected
+/// panics so test output stays readable, while forwarding every real
+/// panic (assertion failures included) to the default hook.
+fn quiet_injected_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.starts_with("injected panic") {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn chaos_graph(seed: u64) -> Graph {
+    generators::clique_overlap(N as usize, 120, 5, seed)
+}
+
+fn chaos_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        cache_capacity: 1024,
+        // No deadlines: every mutation outcome is determinate (Ok ⇒
+        // applied, Err ⇒ rolled back), which is what makes the replay
+        // check sound. Liveness is proven by the suite completing.
+        default_deadline: None,
+        pipeline_threads: 2,
+        shed_stale_epochs: 1,
+    }
+}
+
+fn reader_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_micros(200),
+        cap: Duration::from_millis(5),
+        max_retries: 4,
+        budget: Duration::from_millis(25),
+        seed,
+    }
+}
+
+/// One random small batch: 1–3 non-self-loop inserts/removes.
+fn random_ops(rng: &mut StdRng) -> Vec<GraphUpdate> {
+    (0..rng.gen_range(1..=3))
+        .map(|_| {
+            let (a, b) = loop {
+                let (a, b) = (rng.gen_range(0..N), rng.gen_range(0..N));
+                if a != b {
+                    break (a, b);
+                }
+            };
+            if rng.gen_bool(0.6) {
+                GraphUpdate::Insert(a, b)
+            } else {
+                GraphUpdate::Remove(a, b)
+            }
+        })
+        .collect()
+}
+
+struct ChaosOutcome {
+    g: Graph,
+    /// Acknowledged batches, in acknowledgement (= apply) order.
+    acked: Vec<Vec<GraphUpdate>>,
+    snapshot: Arc<Snapshot>,
+    write_errors: usize,
+    queries_ok: u64,
+    faults_injected: u64,
+    worker_restarts: u64,
+}
+
+/// Runs `writes` sequential mutations under `plan` while `readers` query
+/// threads hammer the service, then verifies recovery and returns the
+/// evidence for the replay check.
+fn run_chaos(
+    label: &str,
+    seed: u64,
+    plan: FaultPlan,
+    writes: usize,
+    readers: usize,
+) -> ChaosOutcome {
+    quiet_injected_panics();
+    println!("chaos[{label}]: seed={seed:#x} plan={plan:?}");
+    let g = chaos_graph(seed);
+    let service = Service::start_with_faults(&g, &chaos_config(2), plan);
+    let handle = service.handle();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries_ok = Arc::new(AtomicU64::new(0));
+    let reader_threads: Vec<_> = (0..readers)
+        .map(|r| {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            let queries_ok = Arc::clone(&queries_ok);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0xAB00 + r as u64));
+                let policy = reader_policy(seed ^ r as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng.gen_range(5..200);
+                    let tau = rng.gen_range(1..=3);
+                    match handle.execute_with_retry(QueryRequest::new(k, tau), &policy) {
+                        Ok(_) => {
+                            queries_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::ShuttingDown) => break,
+                        // Transient failures past the retry budget are
+                        // acceptable; the recovery phase below asserts
+                        // the service comes back.
+                        Err(_) => {}
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // A single sequential mutator: batch i+1 is only submitted after
+    // batch i was acknowledged, so the acked order IS the apply order.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    let mut acked = Vec::new();
+    let mut write_errors = 0usize;
+    for _ in 0..writes {
+        let ops = random_ops(&mut rng);
+        match handle.submit(MutationBatch::from_raw(ops.clone())) {
+            Ok(_) => acked.push(ops),
+            Err(e) => {
+                assert!(
+                    matches!(e, ServeError::Internal(_)),
+                    "unexpected write error under chaos: {e}"
+                );
+                write_errors += 1;
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for t in reader_threads {
+        t.join().expect("reader thread survived the storm");
+    }
+
+    // Recovery: the service still answers a burst of queries (with
+    // retries, since EveryNth plans keep firing).
+    let recovery = RetryPolicy::new(seed ^ 0x1234);
+    for k in 1..=10 {
+        handle
+            .execute_with_retry(QueryRequest::new(10 * k, 2), &recovery)
+            .unwrap_or_else(|e| panic!("post-chaos query {k} failed (seed={seed:#x}): {e}"));
+    }
+
+    let metrics = handle.metrics();
+    let outcome = ChaosOutcome {
+        g,
+        acked,
+        snapshot: handle.snapshot(),
+        write_errors,
+        queries_ok: queries_ok.load(Ordering::Relaxed),
+        faults_injected: metrics.faults_injected.get(),
+        worker_restarts: metrics.worker_restarts.get(),
+    };
+    println!(
+        "chaos[{label}]: acked={} write_errors={} queries_ok={} faults={} restarts={}",
+        outcome.acked.len(),
+        outcome.write_errors,
+        outcome.queries_ok,
+        outcome.faults_injected,
+        outcome.worker_restarts,
+    );
+    service.shutdown();
+    outcome
+}
+
+fn edge_keys(index: &MaintainedIndex) -> BTreeSet<u64> {
+    index
+        .graph()
+        .edges()
+        .iter()
+        .map(esd_graph::Edge::key)
+        .collect()
+}
+
+/// Property 2: post-chaos state equals a fault-free replay of exactly the
+/// acknowledged batches on a fresh index.
+fn assert_matches_fault_free_replay(outcome: &ChaosOutcome, seed: u64) {
+    let mut replay = MaintainedIndex::new(&outcome.g);
+    for ops in &outcome.acked {
+        replay.apply_batch(ops);
+    }
+    let served = outcome.snapshot.index();
+    assert_eq!(
+        edge_keys(served),
+        edge_keys(&replay),
+        "final edge set diverged from fault-free replay (seed={seed:#x})"
+    );
+    assert_eq!(
+        served.component_sizes(),
+        replay.component_sizes(),
+        "component sizes diverged from fault-free replay (seed={seed:#x})"
+    );
+    for (k, tau) in [(10, 1), (25, 2), (50, 3), (400, 1)] {
+        assert_eq!(
+            served.query(k, tau),
+            replay.query(k, tau),
+            "query ({k}, {tau}) diverged from fault-free replay (seed={seed:#x})"
+        );
+    }
+}
+
+/// Scenario 1 — injected `io::Error`s at snapshot publication: some
+/// windows fail and roll back; everything acknowledged still replays.
+#[test]
+fn chaos_io_error_on_publish() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_0001;
+    let plan = FaultPlan::new(seed).rule(
+        FaultPoint::SnapshotPublish,
+        Trigger::EveryNth(3),
+        FaultKind::IoError,
+    );
+    let outcome = run_chaos("io_error_on_publish", seed, plan, 60, 2);
+    assert!(outcome.faults_injected > 0, "the plan must actually fire");
+    assert!(
+        outcome.write_errors > 0,
+        "every third publication fails, so some writes must error"
+    );
+    assert!(outcome.acked.len() >= 20, "most writes still land");
+    assert_matches_fault_free_replay(&outcome, seed);
+}
+
+/// Scenario 2 — injected latency at every fault point: nothing fails,
+/// everything is just slower; state identity is exact.
+#[test]
+fn chaos_latency_everywhere() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_0002;
+    let lag = FaultKind::Latency(Duration::from_micros(800));
+    let plan = FaultPlan::new(seed)
+        .rule(FaultPoint::WriterApply, Trigger::EveryNth(5), lag)
+        .rule(FaultPoint::SnapshotPublish, Trigger::EveryNth(7), lag)
+        .rule(FaultPoint::WorkerDequeue, Trigger::PerMille(150), lag)
+        .rule(FaultPoint::CacheLookup, Trigger::PerMille(100), lag);
+    let outcome = run_chaos("latency_everywhere", seed, plan, 60, 2);
+    // 60 writes ⇒ ≥ 60 WriterApply consultations ⇒ ≥ 12 deterministic
+    // EveryNth(5) hits, before counting the probabilistic ones.
+    assert!(outcome.faults_injected >= 12);
+    assert_eq!(outcome.write_errors, 0, "latency never fails a window");
+    assert_eq!(outcome.acked.len(), 60);
+    assert!(outcome.queries_ok > 0);
+    assert_matches_fault_free_replay(&outcome, seed);
+}
+
+/// Scenario 3 — worker panics: contained, counted, and demonstrably not
+/// poisoning the service (the recovery burst inside `run_chaos` succeeds
+/// while the plan keeps firing).
+#[test]
+fn chaos_worker_panic_does_not_poison() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_0003;
+    let plan = FaultPlan::new(seed).rule(
+        FaultPoint::WorkerDequeue,
+        Trigger::EveryNth(4),
+        FaultKind::Panic,
+    );
+    let outcome = run_chaos("worker_panic", seed, plan, 40, 3);
+    assert!(
+        outcome.worker_restarts > 0,
+        "panics must be caught and counted"
+    );
+    assert!(
+        outcome.queries_ok > 0,
+        "the pool keeps serving between panics"
+    );
+    assert_eq!(outcome.write_errors, 0, "the write path is unaffected");
+    assert_matches_fault_free_replay(&outcome, seed);
+}
+
+/// Scenario 4 — a mixed plan: writer I/O faults and panics, worker
+/// panics, cache-lookup faults (degrade to recompute), publish faults.
+#[test]
+fn chaos_mixed_faults() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_0004;
+    let plan = FaultPlan::new(seed)
+        .rule(FaultPoint::WriterApply, Trigger::Nth(3), FaultKind::IoError)
+        .rule(
+            FaultPoint::WriterApply,
+            Trigger::EveryNth(11),
+            FaultKind::Panic,
+        )
+        .rule(
+            FaultPoint::WorkerDequeue,
+            Trigger::EveryNth(6),
+            FaultKind::Panic,
+        )
+        .rule(
+            FaultPoint::CacheLookup,
+            Trigger::EveryNth(5),
+            FaultKind::IoError,
+        )
+        .rule(
+            FaultPoint::SnapshotPublish,
+            Trigger::EveryNth(9),
+            FaultKind::IoError,
+        );
+    let outcome = run_chaos("mixed", seed, plan, 60, 2);
+    assert!(outcome.faults_injected > 0);
+    assert!(
+        outcome.worker_restarts > 0,
+        "writer/worker panics contained"
+    );
+    assert!(outcome.write_errors > 0, "io faults fail some windows");
+    assert!(outcome.acked.len() >= 20, "most writes still land");
+    assert_matches_fault_free_replay(&outcome, seed);
+}
+
+/// Scenario 5 — ESDX persist faults: an injected I/O error and an
+/// injected panic each leave NO file behind; the next attempt persists a
+/// loadable, correct snapshot.
+#[test]
+fn chaos_persist_fault_leaves_no_partial_file() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    quiet_injected_panics();
+    let seed = 0xC1A0_0005;
+    let plan = FaultPlan::new(seed)
+        .rule(FaultPoint::PersistIo, Trigger::Nth(1), FaultKind::IoError)
+        .rule(FaultPoint::PersistIo, Trigger::Nth(2), FaultKind::Panic);
+    println!("chaos[persist_fault]: seed={seed:#x} plan={plan:?}");
+    let g = chaos_graph(seed);
+    let service = Service::start_with_faults(&g, &chaos_config(2), plan);
+    let handle = service.handle();
+    // Mutate a little first so the persisted snapshot is non-trivial.
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..10 {
+        let _ = handle.submit(MutationBatch::from_raw(random_ops(&mut rng)));
+    }
+
+    let dir = std::env::temp_dir().join(format!("esd_chaos_{seed:x}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snapshot.esdx");
+
+    handle
+        .persist_snapshot(&path)
+        .expect_err("call 1: injected i/o error");
+    assert!(!path.exists(), "failed persist must leave no file");
+    handle
+        .persist_snapshot(&path)
+        .expect_err("call 2: injected panic, contained");
+    assert!(!path.exists(), "panicked persist must leave no file");
+    assert!(handle.metrics().worker_restarts.get() > 0);
+
+    let epoch = handle.persist_snapshot(&path).expect("call 3: clean");
+    assert_eq!(epoch, handle.snapshot().epoch());
+    let loaded = esd_core::index::FrozenEsdIndex::load(&path).expect("persisted file loads");
+    // The round trip is exact: the loaded index answers like a freshly
+    // frozen build of the served graph.
+    let expect =
+        esd_core::index::FrozenEsdIndex::build(&handle.snapshot().index().graph().to_graph());
+    for (k, tau) in [(10, 1), (50, 2), (200, 1)] {
+        assert_eq!(loaded.query(k, tau), expect.query(k, tau));
+    }
+    service.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The reproducibility claim itself: with a single worker and no
+/// concurrent readers, two runs of the same seeded plan produce
+/// bit-identical acks, faults, and final state.
+#[test]
+fn chaos_determinism_two_runs_agree() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_0006;
+    let plan = || {
+        FaultPlan::new(seed)
+            .rule(
+                FaultPoint::WriterApply,
+                Trigger::EveryNth(3),
+                FaultKind::IoError,
+            )
+            .rule(
+                FaultPoint::SnapshotPublish,
+                Trigger::EveryNth(4),
+                FaultKind::IoError,
+            )
+    };
+    let run = || run_chaos("determinism", seed, plan(), 50, 0);
+    let (a, b) = (run(), run());
+    assert_eq!(a.acked, b.acked, "acked batches must be identical");
+    assert_eq!(a.write_errors, b.write_errors);
+    assert_eq!(a.faults_injected, b.faults_injected);
+    assert_eq!(edge_keys(a.snapshot.index()), edge_keys(b.snapshot.index()));
+    assert_matches_fault_free_replay(&a, seed);
+    assert_matches_fault_free_replay(&b, seed);
+}

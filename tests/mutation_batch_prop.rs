@@ -1,0 +1,129 @@
+//! Property test: [`MutationBatch`] last-writer-wins coalescing is
+//! semantically equivalent to applying the raw operation sequence one at
+//! a time, for arbitrary op streams over arbitrary start graphs.
+//!
+//! The soundness argument the batch module relies on — insert/remove are
+//! idempotent *ensure*-ops, so an edge's final presence is decided
+//! entirely by the most recent op on it — is exactly what this test
+//! checks mechanically, including the two tricky corners: streams that
+//! touch the same edge many times with alternating directions, and
+//! self-loops (which bypass coalescing so they surface as `rejected`).
+
+use esd_core::maintain::{GraphUpdate, MutationBatch};
+use esd_core::MaintainedIndex;
+use esd_graph::{generators, Graph};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn random_graph(model: u8, n: usize, seed: u64) -> Graph {
+    match model % 4 {
+        0 => generators::erdos_renyi(n, 0.2, seed),
+        1 => generators::barabasi_albert(n, 3, seed),
+        2 => generators::clique_overlap(n, n, 4, seed),
+        _ => generators::planted_partition(n, 3, 0.3, 0.05, seed),
+    }
+}
+
+fn edge_keys(index: &MaintainedIndex) -> BTreeSet<u64> {
+    index
+        .graph()
+        .edges()
+        .iter()
+        .map(esd_graph::Edge::key)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coalesced batch application reaches the same graph, components,
+    /// and rankings as the un-coalesced one-op-at-a-time reference.
+    #[test]
+    fn coalesced_batch_matches_sequential_raw_application(
+        model in 0u8..4,
+        n in 8usize..20,
+        seed in 0u64..500,
+        // Endpoints deliberately range over a small vertex set so streams
+        // revisit the same edge often (the interesting coalescing cases)
+        // and include self-loops (a == b).
+        ops in prop::collection::vec((0u32..12, 0u32..12, any::<bool>()), 0..40),
+    ) {
+        let g = random_graph(model, n, seed);
+        let updates: Vec<GraphUpdate> = ops
+            .iter()
+            .map(|&(a, b, ins)| {
+                if ins {
+                    GraphUpdate::Insert(a, b)
+                } else {
+                    GraphUpdate::Remove(a, b)
+                }
+            })
+            .collect();
+
+        // Reference: every raw op applied individually, in order.
+        let mut sequential = MaintainedIndex::new(&g);
+        for &up in &updates {
+            let (u, v) = up.endpoints();
+            if up.is_insert() {
+                sequential.insert_edge(u, v);
+            } else {
+                sequential.remove_edge(u, v);
+            }
+        }
+
+        // Subject: the same stream pushed through a coalescing batch.
+        let mut batch = MutationBatch::new();
+        for &up in &updates {
+            batch.push(up);
+        }
+        let mut coalesced = MaintainedIndex::new(&g);
+        let stats = coalesced.apply_batch(&batch.updates());
+
+        prop_assert_eq!(edge_keys(&sequential), edge_keys(&coalesced),
+            "final edge sets must agree");
+        prop_assert_eq!(sequential.component_sizes(), coalesced.component_sizes(),
+            "component multisets must agree");
+        for tau in 1..=3u32 {
+            prop_assert_eq!(sequential.query(64, tau), coalesced.query(64, tau),
+                "top-k ranking at tau={} must agree", tau);
+        }
+
+        // Coalescing keeps at most one op per distinct edge, plus every
+        // self-loop verbatim — and those self-loops all come back rejected.
+        let self_loops = updates
+            .iter()
+            .filter(|u| { let (a, b) = u.endpoints(); a == b })
+            .count();
+        let distinct_edges: BTreeSet<u64> = updates
+            .iter()
+            .filter(|u| { let (a, b) = u.endpoints(); a != b })
+            .map(|u| { let (a, b) = u.endpoints(); esd_graph::Edge::new(a, b).key() })
+            .collect();
+        prop_assert!(batch.len() <= distinct_edges.len() + self_loops);
+        prop_assert_eq!(stats.rejected, self_loops);
+        prop_assert_eq!(stats.applied + stats.noop + stats.rejected, batch.len(),
+            "every surviving update gets exactly one disposition");
+    }
+
+    /// Applying a coalesced batch is idempotent: a second application of
+    /// the same surviving updates is all no-ops (plus the same rejects).
+    #[test]
+    fn reapplying_a_coalesced_batch_is_a_noop(
+        n in 8usize..16,
+        seed in 0u64..200,
+        ops in prop::collection::vec((0u32..10, 0u32..10, any::<bool>()), 1..24),
+    ) {
+        let g = random_graph(0, n, seed);
+        let mut batch = MutationBatch::new();
+        for &(a, b, ins) in &ops {
+            if ins { batch.insert(a, b); } else { batch.remove(a, b); }
+        }
+        let mut index = MaintainedIndex::new(&g);
+        let first = index.apply_batch(&batch.updates());
+        let before = edge_keys(&index);
+        let second = index.apply_batch(&batch.updates());
+        prop_assert_eq!(second.applied, 0, "ensure-ops already satisfied");
+        prop_assert_eq!(second.rejected, first.rejected);
+        prop_assert_eq!(edge_keys(&index), before);
+    }
+}
