@@ -54,7 +54,8 @@ pub fn topk_betweenness_sampled(
 }
 
 /// Top-k edges by trussness (`TR`) — the cohesive-subgraph baseline from the
-/// paper's related work (truss decomposition [10], [11]). High-truss edges
+/// paper's related work (truss decomposition, refs \[10\] and \[11\] of
+/// the paper). High-truss edges
 /// sit in one dense near-clique, so like CN they miss multi-context ties.
 pub fn topk_trussness(g: &Graph, k: usize) -> Vec<ScoredEdge> {
     let truss = esd_graph::truss::truss_decomposition(g);

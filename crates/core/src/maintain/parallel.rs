@@ -221,7 +221,11 @@ impl MaintainedIndex {
     /// Phase 2: recompute every owned key's forest from the final graph.
     /// Groups are assigned to workers greedily (largest first onto the
     /// least-loaded worker); each worker reads the shared graph immutably.
-    #[allow(clippy::type_complexity)]
+    #[allow(
+        clippy::type_complexity,
+        reason = "the three-part return is consumed once by apply_batch_parallel; \
+                  naming a struct for it would only add indirection"
+    )]
     fn recompute_groups(
         &self,
         owned: &[Vec<u64>],

@@ -138,9 +138,11 @@ pub fn list_k_cliques(g: &Graph, k: usize, mut f: impl FnMut(&[VertexId])) {
         f: &mut impl FnMut(&[VertexId]),
     ) {
         if depth + 1 == k {
-            // Emit prefix + each candidate. Indexing (not iterating) keeps
-            // `levels` free for the `prefix` mutation inside the loop.
-            #[allow(clippy::needless_range_loop)]
+            #[allow(
+                clippy::needless_range_loop,
+                reason = "indexing (not iterating) keeps `levels` free for \
+                          the `prefix` mutation inside the loop"
+            )]
             for i in 0..levels[depth].len() {
                 let w = levels[depth][i];
                 prefix.push(w);

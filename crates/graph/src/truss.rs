@@ -2,7 +2,8 @@
 //!
 //! The trussness of an edge is the largest `k` such that the edge survives
 //! in the `k`-truss: the maximal subgraph where every edge closes at least
-//! `k − 2` triangles. The paper cites truss decomposition [10], [11] as the
+//! `k − 2` triangles. The paper cites truss decomposition (refs \[10\],
+//! \[11\]) as the
 //! neighbouring cohesive-subgraph machinery; it shares the edge-support
 //! kernel with the common-neighbour upper bound, and the experiments use it
 //! as an additional edge-importance baseline.

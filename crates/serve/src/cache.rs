@@ -7,10 +7,10 @@
 //! out of the LRU anyway). Sharding keeps the per-lookup critical section
 //! from serialising the worker pool.
 
+use crate::sync::{Arc, Mutex, Unpoison};
 use esd_core::ScoredEdge;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex};
 
 /// Cache key: the full query identity against one snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,7 +69,7 @@ impl ResultCache {
         if self.per_shard_cap == 0 {
             return None;
         }
-        let mut shard = self.shard(key).lock().expect("cache poisoned");
+        let mut shard = self.shard(key).lock().unpoison();
         let value = shard.map.get(key).map(|(v, _)| Arc::clone(v))?;
         shard.touch(*key);
         Some(value)
@@ -81,7 +81,7 @@ impl ResultCache {
         if self.per_shard_cap == 0 {
             return;
         }
-        let mut shard = self.shard(&key).lock().expect("cache poisoned");
+        let mut shard = self.shard(&key).lock().unpoison();
         if let Some((_, stamp)) = shard.map.remove(&key) {
             shard.order.remove(&stamp);
         }
@@ -102,7 +102,7 @@ impl ResultCache {
     /// a snapshot publication).
     pub(crate) fn purge_older_than(&self, epoch: u64) {
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("cache poisoned");
+            let mut shard = shard.lock().unpoison();
             let stale: Vec<(u64, CacheKey)> = shard
                 .order
                 .iter()
@@ -120,7 +120,7 @@ impl ResultCache {
     pub(crate) fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache poisoned").map.len())
+            .map(|s| s.lock().unpoison().map.len())
             .sum()
     }
 }

@@ -11,7 +11,7 @@
 //! * A [`FaultPlan`] is a seeded list of [`FaultRule`]s: *at this point,
 //!   when this trigger matches, inject this fault*. Triggers are
 //!   deterministic functions of the per-point call number (and, for
-//!   [`Trigger::Probability`], of the plan seed), never of wall-clock time
+//!   [`Trigger::PerMille`], of the plan seed), never of wall-clock time
 //!   or a global RNG.
 //! * [`FaultKind`] is what gets injected: a synthetic `io::Error`, a fixed
 //!   latency, or a panic (which the engine must contain).
@@ -110,8 +110,10 @@ impl Trigger {
     pub fn matches(self, seed: u64, point: FaultPoint, n: u64) -> bool {
         match self {
             Self::Nth(target) => n == target.max(1),
-            // Not `u64::is_multiple_of`: that would raise the MSRV to 1.87.
-            #[allow(clippy::manual_is_multiple_of)]
+            #[allow(
+                clippy::manual_is_multiple_of,
+                reason = "u64::is_multiple_of would raise the MSRV to 1.87"
+            )]
             Self::EveryNth(period) => n % period.max(1) == 0,
             Self::PerMille(p) => {
                 let h = splitmix64(
@@ -196,7 +198,7 @@ pub(crate) fn splitmix64(x: u64) -> u64 {
 #[derive(Debug)]
 pub(crate) struct FaultInjector {
     plan: FaultPlan,
-    calls: [std::sync::atomic::AtomicU64; FaultPoint::COUNT],
+    calls: [crate::sync::atomic::AtomicU64; FaultPoint::COUNT],
 }
 
 #[cfg(feature = "fault-injection")]
@@ -204,7 +206,7 @@ impl FaultInjector {
     pub(crate) fn from_plan(plan: FaultPlan) -> Self {
         Self {
             plan,
-            calls: std::array::from_fn(|_| std::sync::atomic::AtomicU64::new(0)),
+            calls: std::array::from_fn(|_| crate::sync::atomic::AtomicU64::new(0)),
         }
     }
 
@@ -214,7 +216,7 @@ impl FaultInjector {
         if self.plan.is_empty() {
             return None;
         }
-        let n = self.calls[point.index()].fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        let n = self.calls[point.index()].fetch_add(1, crate::sync::atomic::Ordering::Relaxed) + 1;
         self.plan
             .rules
             .iter()

@@ -6,8 +6,8 @@
 //! the TCP server and the stdin loop share one [`IdMap`] to keep the
 //! assignment consistent.
 
+use crate::sync::{Mutex, Unpoison};
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 #[derive(Debug, Default)]
 struct IdMapInner {
@@ -37,7 +37,7 @@ impl IdMap {
     /// Dense ids for a pair of original ids, allocating fresh slots for
     /// unseen vertices.
     pub fn dense_pair(&self, a: u64, b: u64) -> (u32, u32) {
-        let mut inner = self.inner.lock().expect("id map poisoned");
+        let mut inner = self.inner.lock().unpoison();
         let mut dense = |o: u64| {
             if let Some(&d) = inner.to_dense.get(&o) {
                 return d;
@@ -54,7 +54,7 @@ impl IdMap {
     /// ids the map has never issued — they can only come from a corrupted
     /// caller, but a lookup must not panic on the serving path).
     pub fn original_of(&self, dense: u32) -> u64 {
-        let inner = self.inner.lock().expect("id map poisoned");
+        let inner = self.inner.lock().unpoison();
         inner
             .original
             .get(dense as usize)
@@ -64,7 +64,7 @@ impl IdMap {
 
     /// Number of mapped vertices.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("id map poisoned").original.len()
+        self.inner.lock().unpoison().original.len()
     }
 
     /// True when no vertex is mapped.

@@ -51,6 +51,8 @@
 mod cache;
 pub mod faults;
 pub mod ids;
+#[cfg(all(loom, test))]
+mod loom_models;
 pub mod metrics;
 pub mod protocol;
 mod queue;
@@ -59,6 +61,7 @@ pub mod server;
 pub mod service;
 pub mod session;
 mod snapshot;
+pub(crate) mod sync;
 
 pub use faults::{FaultKind, FaultPlan, FaultPoint, FaultRule, Trigger};
 pub use ids::IdMap;

@@ -137,7 +137,7 @@ pub fn format_error(msg: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::sync::Arc;
     use std::time::Duration;
 
     #[test]

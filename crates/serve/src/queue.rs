@@ -2,8 +2,8 @@
 //! producers never block — a full queue is an error the caller turns into
 //! load shedding — while consumers park until work or shutdown arrives.
 
+use crate::sync::{Condvar, Mutex, Unpoison};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 /// Why a `try_push` was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +42,7 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueues without blocking; returns the depth after the push.
     pub(crate) fn try_push(&self, item: T) -> Result<usize, PushRefused> {
-        let mut s = self.state.lock().expect("queue poisoned");
+        let mut s = self.state.lock().unpoison();
         if s.closed {
             return Err(PushRefused::Closed);
         }
@@ -59,7 +59,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available or the queue is closed *and*
     /// drained; `None` means shutdown.
     pub(crate) fn pop(&self) -> Option<T> {
-        let mut s = self.state.lock().expect("queue poisoned");
+        let mut s = self.state.lock().unpoison();
         loop {
             if let Some(item) = s.items.pop_front() {
                 return Some(item);
@@ -67,23 +67,23 @@ impl<T> BoundedQueue<T> {
             if s.closed {
                 return None;
             }
-            s = self.not_empty.wait(s).expect("queue poisoned");
+            s = self.not_empty.wait(s).unpoison();
         }
     }
 
     /// Dequeues without blocking (used by the writer to coalesce a chunk).
     pub(crate) fn try_pop(&self) -> Option<T> {
-        self.state.lock().expect("queue poisoned").items.pop_front()
+        self.state.lock().unpoison().items.pop_front()
     }
 
     /// Current depth.
     pub(crate) fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.state.lock().unpoison().items.len()
     }
 
     /// Closes the queue: producers are refused, consumers drain then stop.
     pub(crate) fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.state.lock().unpoison().closed = true;
         self.not_empty.notify_all();
     }
 }
@@ -91,7 +91,7 @@ impl<T> BoundedQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::sync::Arc;
 
     #[test]
     fn backpressure_refuses_when_full() {

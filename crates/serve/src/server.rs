@@ -8,11 +8,11 @@
 
 use crate::service::ServiceHandle;
 use crate::session::{LineOutcome, Session};
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 use crate::IdMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 /// A running TCP server.
 #[derive(Debug)]

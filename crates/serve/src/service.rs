@@ -32,12 +32,13 @@ use crate::metrics::MetricsRegistry;
 use crate::queue::{BoundedQueue, PushRefused};
 use crate::retry::RetryPolicy;
 use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::sync::time::Instant;
+use crate::sync::{Arc, Condvar, Mutex, Unpoison};
 use esd_core::maintain::{BatchStats, GraphUpdate, MutationBatch, UpdateDisposition};
 use esd_core::{MaintainedIndex, ScoredEdge};
 use esd_graph::Graph;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning knobs for [`Service::start`].
 #[derive(Debug, Clone)]
@@ -197,29 +198,25 @@ impl<T> Slot<T> {
     }
 
     fn put(&self, v: T) {
-        *self.value.lock().expect("slot poisoned") = Some(v);
+        *self.value.lock().unpoison() = Some(v);
         self.ready.notify_one();
     }
 
     /// Waits until the slot is filled or `deadline` passes.
     fn wait(&self, deadline: Option<Instant>) -> Option<T> {
-        let mut guard = self.value.lock().expect("slot poisoned");
+        let mut guard = self.value.lock().unpoison();
         loop {
             if let Some(v) = guard.take() {
                 return Some(v);
             }
             match deadline {
-                None => guard = self.ready.wait(guard).expect("slot poisoned"),
+                None => guard = self.ready.wait(guard).unpoison(),
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
                         return None;
                     }
-                    guard = self
-                        .ready
-                        .wait_timeout(guard, d - now)
-                        .expect("slot poisoned")
-                        .0;
+                    guard = self.ready.wait_timeout(guard, d - now).unpoison().0;
                 }
             }
         }
@@ -292,7 +289,7 @@ impl Engine {
         esd_telemetry::add(esd_telemetry::Metric::ServeFaultsInjected, 1);
         match kind {
             FaultKind::Latency(d) => {
-                std::thread::sleep(d);
+                crate::sync::thread::sleep(d);
                 Ok(())
             }
             FaultKind::IoError => Err(std::io::Error::other(format!(
@@ -447,7 +444,7 @@ impl Engine {
         updates: &[GraphUpdate],
     ) -> Result<(Vec<UpdateDisposition>, u64), ServeError> {
         type WindowResult = Result<(Vec<UpdateDisposition>, BatchStats, u64), ServeError>;
-        let mut index = self.writer_index.lock().expect("writer poisoned");
+        let mut index = self.writer_index.lock().unpoison();
         let window = catch_unwind(AssertUnwindSafe(|| -> WindowResult {
             self.fault(FaultPoint::WriterApply)
                 .map_err(|e| ServeError::Internal(e.to_string()))?;
@@ -799,7 +796,7 @@ impl ServiceHandle {
             Some(d) => {
                 self.engine.metrics.retries.incr();
                 esd_telemetry::add(esd_telemetry::Metric::ServeRetries, 1);
-                std::thread::sleep(d);
+                crate::sync::thread::sleep(d);
                 true
             }
             None => false,
@@ -1219,10 +1216,12 @@ mod tests {
         service.shutdown();
     }
 
-    // The deprecated entry points must keep working verbatim — this is the
-    // one place they are exercised, so deprecation warnings stay contained.
     #[test]
-    #[allow(deprecated)]
+    #[allow(
+        deprecated,
+        reason = "the deprecated entry points must keep working verbatim; this \
+                  is the one place they are exercised"
+    )]
     fn legacy_wrappers_still_work() {
         let g = test_graph();
         let expected = MaintainedIndex::new(&g).query(10, 2);

@@ -6,9 +6,9 @@
 use crate::protocol::{self, Request};
 use crate::retry::RetryPolicy;
 use crate::service::{QueryRequest, ServiceHandle};
+use crate::sync::Arc;
 use crate::IdMap;
 use esd_core::maintain::MutationBatch;
-use std::sync::Arc;
 
 /// What a handled line produced.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -4,8 +4,8 @@
 //! whole query — they can never observe a half-applied batch, only the
 //! state before or after one.
 
+use crate::sync::{Arc, RwLock, Unpoison};
 use esd_core::{MaintainedIndex, ScoredEdge};
-use std::sync::{Arc, RwLock};
 
 /// An immutable, epoch-stamped view of the index.
 #[derive(Debug)]
@@ -47,11 +47,11 @@ impl SnapshotCell {
     }
 
     pub(crate) fn load(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.0.read().expect("snapshot cell poisoned"))
+        Arc::clone(&self.0.read().unpoison())
     }
 
     pub(crate) fn store(&self, snapshot: Arc<Snapshot>) {
-        *self.0.write().expect("snapshot cell poisoned") = snapshot;
+        *self.0.write().unpoison() = snapshot;
     }
 }
 

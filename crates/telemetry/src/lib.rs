@@ -34,13 +34,16 @@
 //! environment is offline, so serde is not an option.
 
 pub mod json;
+#[cfg(all(loom, test, feature = "enabled"))]
+mod loom_models;
+pub(crate) mod sync;
 
 use json::Json;
 
 #[cfg(feature = "enabled")]
-use std::sync::atomic::Ordering;
+use crate::sync::atomic::Ordering;
 #[cfg(feature = "enabled")]
-use std::time::Instant;
+use crate::sync::time::Instant;
 
 /// Schema identifier stamped into [`Snapshot::to_json`] output.
 pub const SCHEMA: &str = "esd-telemetry/v1";
@@ -69,6 +72,13 @@ macro_rules! catalogue {
             #[must_use]
             pub const fn name(self) -> &'static str {
                 match self { $($name::$variant => $label,)+ }
+            }
+
+            /// Looks up a catalogue member by its stable dotted name —
+            /// the inverse of [`Self::name`]. `None` for unknown names.
+            #[must_use]
+            pub fn from_name(name: &str) -> Option<$name> {
+                Self::ALL.iter().copied().find(|m| m.name() == name)
             }
 
             #[cfg(feature = "enabled")]
@@ -194,7 +204,7 @@ catalogue! {
 #[cfg(feature = "enabled")]
 mod reg {
     use super::{Metric, Stage};
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::atomic::{AtomicU64, Ordering};
 
     pub(crate) struct StageCell {
         pub(crate) total_ns: AtomicU64,
@@ -224,12 +234,18 @@ mod reg {
         }
     }
 
-    // The `[C; N]` repeat of an interior-mutable const is deliberate: each
-    // array element is a *fresh* zeroed cell, which is exactly how a
-    // const-initialised static atomic array is built on Rust 1.75.
-    #[allow(clippy::declare_interior_mutable_const)]
+    #[allow(
+        clippy::declare_interior_mutable_const,
+        reason = "each `[C; N]` repeat of this const is a fresh zeroed cell, \
+                  which is exactly how a const-initialised static atomic \
+                  array is built without const fn in array repeat position"
+    )]
     const ZERO_CELL: StageCell = StageCell::new();
-    #[allow(clippy::declare_interior_mutable_const)]
+    #[allow(
+        clippy::declare_interior_mutable_const,
+        reason = "each `[C; N]` repeat of this const is a fresh zeroed \
+                  counter, never a shared one"
+    )]
     const ZERO_CTR: AtomicU64 = AtomicU64::new(0);
 
     pub(crate) static STAGES: [StageCell; Stage::COUNT] = [ZERO_CELL; Stage::COUNT];
@@ -505,6 +521,26 @@ mod tests {
     }
 
     #[test]
+    fn catalogue_round_trips_through_names() {
+        for &s in Stage::ALL {
+            assert_eq!(Stage::from_name(s.name()), Some(s));
+        }
+        for &m in Metric::ALL {
+            assert_eq!(Metric::from_name(m.name()), Some(m));
+        }
+        assert_eq!(Stage::from_name("no.such.stage"), None);
+        assert_eq!(Metric::from_name(""), None);
+        // The two catalogues share a namespace in reports: a Stage name
+        // must never resolve as a Metric and vice versa.
+        for &s in Stage::ALL {
+            assert_eq!(Metric::from_name(s.name()), None);
+        }
+        for &m in Metric::ALL {
+            assert_eq!(Stage::from_name(m.name()), None);
+        }
+    }
+
+    #[test]
     fn snapshot_json_shape_is_stable() {
         let snap = Snapshot {
             stages: vec![StageSample {
@@ -530,26 +566,30 @@ mod tests {
     // Registry tests share process-global state; each takes this lock so
     // reset() from one test cannot clobber another's window.
     #[cfg(feature = "enabled")]
-    static REGISTRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    static REGISTRY_LOCK: crate::sync::Mutex<()> = crate::sync::Mutex::new(());
 
     #[cfg(feature = "enabled")]
     mod enabled_behaviour {
         use super::super::*;
         use super::REGISTRY_LOCK;
+        use crate::sync::Unpoison;
 
         #[test]
         fn spans_and_counters_record_and_reset() {
-            let _guard = REGISTRY_LOCK.lock().unwrap();
+            let _guard = REGISTRY_LOCK.lock().unpoison();
             reset();
             {
                 let _span = span(Stage::BuildEnumerate);
-                std::thread::sleep(std::time::Duration::from_millis(1));
+                crate::sync::thread::sleep(std::time::Duration::from_millis(1));
             }
             add(Metric::CliquesEnumerated, 5);
             add(Metric::CliquesEnumerated, 2);
             let snap = snapshot();
             let stage = snap.stage("build.enumerate").expect("span recorded");
             assert_eq!(stage.count, 1);
+            // Under loom the facade sleep is a logical yield, not wall
+            // time, so the duration floor only holds in normal builds.
+            #[cfg(not(loom))]
             assert!(stage.total_ns >= 1_000_000, "slept ≥ 1 ms");
             assert_eq!(stage.max_ns, stage.total_ns);
             assert_eq!(snap.counter("cliques.enumerated"), 7);
@@ -560,7 +600,7 @@ mod tests {
 
         #[test]
         fn delta_since_windows_the_registry() {
-            let _guard = REGISTRY_LOCK.lock().unwrap();
+            let _guard = REGISTRY_LOCK.lock().unpoison();
             reset();
             add(Metric::OnlineHeapPops, 10);
             drop(span(Stage::OnlineTopk));
@@ -579,7 +619,7 @@ mod tests {
 
         #[test]
         fn concurrent_spans_sum_across_threads() {
-            let _guard = REGISTRY_LOCK.lock().unwrap();
+            let _guard = REGISTRY_LOCK.lock().unpoison();
             reset();
             std::thread::scope(|scope| {
                 for _ in 0..4 {

@@ -1,0 +1,72 @@
+//! The crate's only doorway to `std::sync` — swap-in point for `loom`.
+//!
+//! Mirrors `esd-serve`'s `sync` facade: every atomic, lock, and clock the
+//! registry touches is imported from here, never from `std` directly (the
+//! `sync-facade` pass of `cargo xtask analyze` enforces this). Normal
+//! builds re-export `std`; under `RUSTFLAGS="--cfg loom"` the same paths
+//! resolve to the vendored `loom` stand-in, whose scheduler injects yields
+//! around every synchronisation operation so the model suites in
+//! `loom_models.rs` can explore adversarial interleavings.
+//!
+//! ## Lock results
+//!
+//! [`Unpoison`] is the crate's sanctioned way to consume a `LockResult`:
+//! poisoning is recovered, not propagated, because no code path in this
+//! workspace panics while holding a lock (panics are contained at thread
+//! boundaries by `esd-serve`). The `lock-unwrap` analyze pass bans
+//! `.unwrap()` / `.expect()` on lock results in favour of this.
+
+#![allow(
+    dead_code,
+    unused_imports,
+    reason = "the facade mirrors one std surface for all build shapes; \
+              disarmed feature sets use only a slice of it"
+)]
+
+#[cfg(loom)]
+pub(crate) use loom::sync::Mutex;
+#[cfg(not(loom))]
+pub(crate) use std::sync::Mutex;
+
+/// Atomics, from `std` or `loom` depending on the build.
+pub(crate) mod atomic {
+    #[cfg(loom)]
+    pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+    #[cfg(not(loom))]
+    pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+}
+
+/// Thread utilities whose timing matters to the model checker.
+pub(crate) mod thread {
+    /// Like `std::thread::sleep`; under loom it is a yield point instead
+    /// (the model clock is logical, not wall time).
+    #[cfg(not(loom))]
+    pub(crate) use std::thread::sleep;
+
+    #[cfg(loom)]
+    pub(crate) fn sleep(_d: std::time::Duration) {
+        loom::thread::yield_now();
+    }
+}
+
+/// Clock sources. `Instant` stays the std type even under loom: spans
+/// measure wall time, which the model checker does not virtualise.
+pub(crate) mod time {
+    pub(crate) use std::time::Instant;
+}
+
+/// Recovers the guard from a `LockResult`, treating poisoning as benign.
+pub(crate) trait Unpoison {
+    /// The guard type inside the `LockResult`.
+    type Inner;
+    /// Returns the guard, poisoned or not.
+    fn unpoison(self) -> Self::Inner;
+}
+
+impl<G> Unpoison for Result<G, std::sync::PoisonError<G>> {
+    type Inner = G;
+
+    fn unpoison(self) -> G {
+        self.unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

@@ -17,9 +17,16 @@ use esd::core::online::{online_topk_with_stats, UpperBound};
 use esd::core::{EsdIndex, MaintainedIndex};
 use esd::graph::{cliques, generators};
 use esd::telemetry;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialises registry access across tests without propagating poison: a
+/// failed test must not cascade into every later one (the project-wide
+/// lock-hygiene policy `cargo xtask analyze` enforces).
+fn registry_guard() -> std::sync::MutexGuard<'static, ()> {
+    REGISTRY_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// This test binary must be compiled with the registry armed (the root
 /// crate's dev-dependencies turn the `telemetry` feature on); everything
@@ -34,7 +41,7 @@ fn registry_is_armed_for_integration_tests() {
 
 #[test]
 fn clique_counter_matches_enumerator_ground_truth() {
-    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let _guard = registry_guard();
     let g = generators::clique_overlap(150, 110, 6, 7);
     let expected = {
         // count_four_cliques itself goes through the instrumented
@@ -76,7 +83,7 @@ fn clique_counter_matches_enumerator_ground_truth() {
 
 #[test]
 fn parallel_apply_counter_matches_sequential_union_ops() {
-    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let _guard = registry_guard();
     let g = generators::clique_overlap(140, 100, 5, 11);
 
     telemetry::reset();
@@ -109,7 +116,7 @@ fn parallel_apply_counter_matches_sequential_union_ops() {
 
 #[test]
 fn maintenance_counters_balance_over_a_round_trip() {
-    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let _guard = registry_guard();
     let g = generators::clique_overlap(120, 90, 5, 3);
     let mut index = MaintainedIndex::new(&g);
     let churn: Vec<_> = g.edges().iter().take(12).copied().collect();
@@ -163,7 +170,7 @@ fn maintenance_counters_balance_over_a_round_trip() {
 
 #[test]
 fn pipeline_counters_match_its_own_report() {
-    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let _guard = registry_guard();
     let g = generators::clique_overlap(120, 90, 5, 3);
     let mut index = MaintainedIndex::new(&g);
     let batch: Vec<_> = g
@@ -197,7 +204,7 @@ fn pipeline_counters_match_its_own_report() {
 
 #[test]
 fn online_counters_equal_the_search_stats() {
-    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let _guard = registry_guard();
     let g = generators::erdos_renyi(80, 0.15, 5);
 
     telemetry::reset();
@@ -215,7 +222,7 @@ fn online_counters_equal_the_search_stats() {
 
 #[test]
 fn query_spans_count_queries_without_touching_counters() {
-    let _guard = REGISTRY_LOCK.lock().unwrap();
+    let _guard = registry_guard();
     let g = generators::clique_overlap(100, 80, 5, 9);
     let index = EsdIndex::build_fast(&g);
 

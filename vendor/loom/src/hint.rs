@@ -1,0 +1,7 @@
+//! Mirror of `loom::hint`.
+
+/// Spin-loop hint that is also a preemption opportunity.
+pub fn spin_loop() {
+    crate::sched::yield_point();
+    std::hint::spin_loop();
+}

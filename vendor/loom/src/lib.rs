@@ -1,0 +1,95 @@
+//! Offline in-workspace stand-in for the `loom` model checker.
+//!
+//! The build environment has no crates.io access, so — like the `rand`,
+//! `proptest`, and `criterion` stand-ins next to it — this crate
+//! implements exactly the API subset the repository uses:
+//! [`model()`](model::model), `thread::{spawn, yield_now}`,
+//! `sync::{Arc, Mutex, RwLock, Condvar}`, and `sync::atomic::*`.
+//!
+//! ## Documented deviations from the real crate
+//!
+//! * **Bounded randomized exploration, not exhaustive DPOR.** Real loom
+//!   runs model threads under a cooperative scheduler and enumerates every
+//!   distinguishable interleaving. This stand-in runs the model closure
+//!   [`model::iterations`] times on *real* OS threads, injecting seeded
+//!   pseudo-random `yield_now` calls at every synchronization operation
+//!   (lock acquisition, atomic access, spawn/join edges). That is the
+//!   PCT-style "randomized scheduling" family: probabilistically thorough
+//!   rather than exhaustive. A model that fails under this crate is
+//!   genuinely broken; a model that passes has survived a few thousand
+//!   perturbed schedules, not a proof.
+//! * **No causality tracking.** `sync::Arc` is `std::sync::Arc`, and the
+//!   atomics permit every `Ordering` without modelling weak memory: on the
+//!   x86_64 CI hosts the hardware provides TSO, so reorderings that only a
+//!   weaker architecture could exhibit are not explored. The nightly
+//!   ThreadSanitizer CI job covers the data-race half of that gap.
+//! * **Const-friendly.** Unlike real loom, every wrapper type here has a
+//!   `const fn new`, so const-initialised registries (the esd-telemetry
+//!   pattern) model-check without restructuring.
+//!
+//! Schedules are seeded per iteration: `LOOM_SEED` pins the base seed and
+//! `LOOM_ITERS` the iteration count, so a failing schedule can be re-run.
+
+pub mod hint;
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;
+
+pub(crate) mod sched {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Bumped once per model iteration; folded into every thread's seed so
+    /// each iteration explores a different schedule.
+    pub(crate) static ITERATION: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) fn splitmix64(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    thread_local! {
+        static RNG: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// A preemption opportunity. Called before every modelled
+    /// synchronization operation; yields the OS scheduler with a seeded
+    /// pseudo-random decision so successive iterations interleave the
+    /// model threads differently.
+    pub(crate) fn yield_point() {
+        let draw = RNG.with(|c| {
+            let mut s = c.get();
+            if s == 0 {
+                // Lazily seed from the iteration counter and this thread's
+                // identity so every (iteration, thread) pair gets its own
+                // deterministic-ish stream.
+                let tid = {
+                    use std::hash::{Hash, Hasher};
+                    let mut h = std::collections::hash_map::DefaultHasher::new();
+                    std::thread::current().id().hash(&mut h);
+                    h.finish()
+                };
+                s = splitmix64(ITERATION.load(Ordering::Relaxed) ^ tid | 1);
+            }
+            s = splitmix64(s);
+            c.set(s);
+            s
+        });
+        // ~3/8 of sync operations yield; a sliver of them back off harder
+        // so sleeping-reader interleavings (condvar waits) get explored.
+        match draw % 16 {
+            0..=4 => std::thread::yield_now(),
+            5 => std::thread::sleep(std::time::Duration::from_nanos(1)),
+            _ => {}
+        }
+    }
+
+    /// Re-seeds the calling thread for a fresh iteration.
+    pub(crate) fn reseed(seed: u64) {
+        RNG.with(|c| c.set(seed | 1));
+    }
+}

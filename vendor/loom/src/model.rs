@@ -1,0 +1,50 @@
+//! The model runner: repeated execution under perturbed schedules.
+
+use crate::sched;
+use std::sync::atomic::Ordering;
+
+/// Default number of schedules explored per [`model`] call. Kept modest —
+/// the models run under `cargo test` on every CI push; `LOOM_ITERS`
+/// raises it for soak runs.
+const DEFAULT_ITERS: u64 = 96;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Number of iterations a [`model`] call will run (`LOOM_ITERS` override).
+pub fn iterations() -> u64 {
+    env_u64("LOOM_ITERS", DEFAULT_ITERS).max(1)
+}
+
+/// Runs `f` under the exploration harness: `iterations()` times, each with
+/// a fresh schedule seed (base seed from `LOOM_SEED`, default 0). An
+/// assertion failure inside the model aborts the run on its first failing
+/// schedule, reporting the iteration so `LOOM_SEED`/`LOOM_ITERS` can
+/// reproduce it.
+///
+/// Real loom requires `f: Fn() + Sync + Send + 'static`; this stand-in
+/// relaxes nothing there so call sites stay source-compatible.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let base = env_u64("LOOM_SEED", 0);
+    let iters = iterations();
+    for i in 0..iters {
+        let seed = sched::splitmix64(base ^ i);
+        sched::ITERATION.store(seed, Ordering::Relaxed);
+        sched::reseed(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "loom (stand-in): model failed on iteration {i}/{iters} \
+                 (LOOM_SEED={base}); re-run with LOOM_SEED={base} LOOM_ITERS={iters}",
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}

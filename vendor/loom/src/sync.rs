@@ -1,0 +1,296 @@
+//! Instrumented `std::sync` mirror: every acquisition and atomic access
+//! passes a yield point so the explorer can perturb the interleaving.
+//!
+//! Guard types are re-exported from `std` (the wrappers return real std
+//! guards), so poisoning semantics are byte-for-byte std's.
+
+use crate::sched::yield_point;
+
+pub use std::sync::{
+    Arc, LockResult, MutexGuard, PoisonError, RwLockReadGuard, RwLockWriteGuard, TryLockError,
+    TryLockResult, WaitTimeoutResult, Weak,
+};
+
+/// Mirror of `std::sync::Mutex` with yield points around acquisition.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// See `std::sync::Mutex::new` (const, unlike real loom's).
+    pub const fn new(t: T) -> Self {
+        Self(std::sync::Mutex::new(t))
+    }
+
+    /// See `std::sync::Mutex::lock`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        yield_point();
+        let guard = self.0.lock();
+        yield_point();
+        guard
+    }
+
+    /// See `std::sync::Mutex::try_lock`.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        yield_point();
+        self.0.try_lock()
+    }
+
+    /// See `std::sync::Mutex::into_inner`.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.0.into_inner()
+    }
+
+    /// See `std::sync::Mutex::get_mut`.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.0.get_mut()
+    }
+}
+
+/// Mirror of `std::sync::RwLock` with yield points around acquisition.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// See `std::sync::RwLock::new` (const, unlike real loom's).
+    pub const fn new(t: T) -> Self {
+        Self(std::sync::RwLock::new(t))
+    }
+
+    /// See `std::sync::RwLock::read`.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        yield_point();
+        let guard = self.0.read();
+        yield_point();
+        guard
+    }
+
+    /// See `std::sync::RwLock::write`.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        yield_point();
+        let guard = self.0.write();
+        yield_point();
+        guard
+    }
+
+    /// See `std::sync::RwLock::into_inner`.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.0.into_inner()
+    }
+}
+
+/// Mirror of `std::sync::Condvar`; waits and wakes are yield points.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// See `std::sync::Condvar::new` (const).
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// See `std::sync::Condvar::wait`.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        yield_point();
+        self.0.wait(guard)
+    }
+
+    /// See `std::sync::Condvar::wait_timeout`.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        yield_point();
+        self.0.wait_timeout(guard, dur)
+    }
+
+    /// See `std::sync::Condvar::notify_one`.
+    pub fn notify_one(&self) {
+        yield_point();
+        self.0.notify_one();
+    }
+
+    /// See `std::sync::Condvar::notify_all`.
+    pub fn notify_all(&self) {
+        yield_point();
+        self.0.notify_all();
+    }
+}
+
+pub mod atomic {
+    //! Instrumented `std::sync::atomic` mirror.
+
+    use crate::sched::yield_point;
+
+    pub use std::sync::atomic::{fence, Ordering};
+
+    macro_rules! atomic_mirror {
+        ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty) => {
+            $(#[$meta])*
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// See the `std::sync::atomic` equivalent (const new).
+                pub const fn new(v: $prim) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                /// See the `std::sync::atomic` equivalent.
+                pub fn load(&self, order: Ordering) -> $prim {
+                    yield_point();
+                    self.0.load(order)
+                }
+
+                /// See the `std::sync::atomic` equivalent.
+                pub fn store(&self, val: $prim, order: Ordering) {
+                    yield_point();
+                    self.0.store(val, order);
+                    yield_point();
+                }
+
+                /// See the `std::sync::atomic` equivalent.
+                pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.0.swap(val, order)
+                }
+
+                /// See the `std::sync::atomic` equivalent.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_point();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                /// See the `std::sync::atomic` equivalent.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_point();
+                    self.0.compare_exchange_weak(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    macro_rules! atomic_int_ops {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                /// See the `std::sync::atomic` equivalent.
+                pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    let prev = self.0.fetch_add(val, order);
+                    yield_point();
+                    prev
+                }
+
+                /// See the `std::sync::atomic` equivalent.
+                pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.0.fetch_sub(val, order)
+                }
+
+                /// See the `std::sync::atomic` equivalent.
+                pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    let prev = self.0.fetch_max(val, order);
+                    yield_point();
+                    prev
+                }
+
+                /// See the `std::sync::atomic` equivalent.
+                pub fn fetch_min(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.0.fetch_min(val, order)
+                }
+            }
+        };
+    }
+
+    atomic_mirror!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    atomic_mirror!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    atomic_mirror!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_mirror!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    atomic_int_ops!(AtomicU32, u32);
+    atomic_int_ops!(AtomicU64, u64);
+    atomic_int_ops!(AtomicUsize, usize);
+
+    impl AtomicBool {
+        /// See the `std::sync::atomic` equivalent.
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            yield_point();
+            self.0.fetch_or(val, order)
+        }
+
+        /// See the `std::sync::atomic` equivalent.
+        pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+            yield_point();
+            self.0.fetch_and(val, order)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The stand-in's own sanity checks run in ordinary (non-`--cfg loom`)
+    // builds so `cargo test --workspace` exercises them.
+    use super::atomic::{AtomicU64, Ordering};
+    use super::{Arc, Condvar, Mutex, RwLock};
+
+    #[test]
+    fn model_runs_and_counters_sum() {
+        crate::model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    crate::thread::spawn(move || {
+                        for _ in 0..10 {
+                            n.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 20);
+        });
+    }
+
+    #[test]
+    fn mutex_rwlock_condvar_mirror_std() {
+        let m = Mutex::new(1);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 2);
+        let rw = RwLock::new(3);
+        assert_eq!(*rw.read().unwrap(), 3);
+        *rw.write().unwrap() = 4;
+        assert_eq!(rw.into_inner().unwrap(), 4);
+        let cv = Condvar::new();
+        let g = m.lock().unwrap();
+        let (g, timeout) = cv
+            .wait_timeout(g, std::time::Duration::from_millis(1))
+            .unwrap();
+        assert!(timeout.timed_out());
+        drop(g);
+        cv.notify_all();
+    }
+
+    #[test]
+    fn const_init_statics_work() {
+        static N: AtomicU64 = AtomicU64::new(7);
+        static M: Mutex<u64> = Mutex::new(9);
+        assert_eq!(N.load(Ordering::Relaxed), 7);
+        assert_eq!(*M.lock().unwrap(), 9);
+    }
+}

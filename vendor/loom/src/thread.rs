@@ -1,0 +1,35 @@
+//! Instrumented `std::thread` mirror: spawn/join edges are preemption
+//! opportunities for the schedule explorer.
+
+use crate::sched;
+
+/// Mirror of `std::thread::JoinHandle` whose `join` is a yield point.
+#[derive(Debug)]
+pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+impl<T> JoinHandle<T> {
+    /// See `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        sched::yield_point();
+        self.0.join()
+    }
+}
+
+/// Mirror of `std::thread::spawn`: the child re-seeds its schedule stream
+/// and both sides pass a yield point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    sched::yield_point();
+    JoinHandle(std::thread::spawn(move || {
+        sched::yield_point();
+        f()
+    }))
+}
+
+/// Mirror of `std::thread::yield_now`.
+pub fn yield_now() {
+    std::thread::yield_now();
+}

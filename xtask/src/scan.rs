@@ -1,0 +1,387 @@
+//! Source loading and lexical masking for the analyze passes.
+//!
+//! The passes are textual, not syntactic (the build environment is offline,
+//! so a real parser like `syn` is not available). To keep textual scanning
+//! honest, every file is paired with a **masked** twin: the same bytes with
+//! the contents of comments, string literals, and char literals replaced by
+//! spaces. Newlines and byte offsets are preserved, so positions computed
+//! on the masked text map 1:1 onto the original. A pass that searches the
+//! masked text can never be fooled by `"std::sync"` inside a string or a
+//! `// .lock().unwrap()` in a comment; a pass that needs literal contents
+//! (the docs-sync catalogue labels) reads the raw text at offsets it
+//! located via the mask.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One loaded Rust source file.
+#[derive(Debug, Clone)]
+pub(crate) struct SourceFile {
+    /// Repo-relative path with `/` separators (stable across platforms).
+    pub(crate) rel: String,
+    /// The file's bytes as read.
+    pub(crate) raw: String,
+    /// The raw text with comment/string/char contents blanked to spaces.
+    pub(crate) masked: String,
+}
+
+impl SourceFile {
+    /// Builds a file from in-memory text (used by fixtures and self-test).
+    pub(crate) fn from_text(rel: &str, raw: &str) -> Self {
+        Self {
+            rel: rel.to_owned(),
+            raw: raw.to_owned(),
+            masked: mask(raw),
+        }
+    }
+
+    /// 1-based line number of a byte offset into this file.
+    pub(crate) fn line_of(&self, offset: usize) -> usize {
+        line_of(&self.raw, offset)
+    }
+}
+
+/// 1-based line number of `offset` in `text`.
+pub(crate) fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Everything the passes look at, loaded once.
+#[derive(Debug)]
+pub(crate) struct Workspace {
+    /// All first-party `.rs` files (vendored stand-ins excluded — they
+    /// mirror external crates' APIs, not this project's discipline).
+    pub(crate) files: Vec<SourceFile>,
+    /// `docs/observability.md`, if present: `(rel, contents)`.
+    pub(crate) observability_doc: Option<(String, String)>,
+    /// Allowlist entries: `(pass, path-substring)` pairs a finding may
+    /// match to be suppressed.
+    pub(crate) allowlist: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root`.
+    pub(crate) fn load(root: &Path) -> io::Result<Self> {
+        let mut rs_paths = Vec::new();
+        collect_rs(root, root, &mut rs_paths)?;
+        rs_paths.sort();
+        let mut files = Vec::with_capacity(rs_paths.len());
+        for path in rs_paths {
+            let raw = fs::read_to_string(root.join(&path))?;
+            files.push(SourceFile {
+                masked: mask(&raw),
+                rel: path,
+                raw,
+            });
+        }
+        let doc_path = root.join("docs/observability.md");
+        let observability_doc = fs::read_to_string(&doc_path)
+            .ok()
+            .map(|text| ("docs/observability.md".to_owned(), text));
+        let allowlist = fs::read_to_string(root.join("xtask/analyze_allow.txt"))
+            .map(|text| parse_allowlist(&text))
+            .unwrap_or_default();
+        Ok(Self {
+            files,
+            observability_doc,
+            allowlist,
+        })
+    }
+
+    /// The file with exactly this repo-relative path, if loaded.
+    pub(crate) fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// Whether a `(pass, file)` finding is suppressed by the allowlist.
+    pub(crate) fn allowed(&self, pass: &str, file: &str) -> bool {
+        self.allowlist
+            .iter()
+            .any(|(p, substr)| p == pass && file.contains(substr.as_str()))
+    }
+}
+
+/// Parses `analyze_allow.txt`: one `pass path-substring` pair per line,
+/// `#` comments and blank lines ignored.
+pub(crate) fn parse_allowlist(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .map(|line| line.split('#').next().unwrap_or("").trim())
+        .filter(|line| !line.is_empty())
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            Some((parts.next()?.to_owned(), parts.next()?.to_owned()))
+        })
+        .collect()
+}
+
+/// Directories never scanned: build output, VCS state, and the vendored
+/// API stand-ins (external style, exempt from first-party discipline).
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", ".claude"];
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_of(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Blanks the contents of comments, string literals, and char literals to
+/// spaces, preserving length and newlines. Handles line and (nested) block
+/// comments, escapes, raw strings with any number of `#`s, byte strings,
+/// and the char-literal/lifetime ambiguity.
+pub(crate) fn mask(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"..." / r#"..."# / br"..." — skip prefix, count hashes.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                let hash_start = j;
+                while bytes.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                let hashes = j - hash_start;
+                j += 1; // opening quote
+                while j < bytes.len() {
+                    if bytes[j] == b'"' && bytes[j + 1..].iter().take(hashes).all(|&b| b == b'#') {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    if bytes[j] != b'\n' {
+                        out[j] = b' ';
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out[i] = b' ';
+                            if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                                out[i + 1] = b' ';
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => i += 1,
+                        _ => {
+                            out[i] = b' ';
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    for k in i + 1..end {
+                        if bytes[k] != b'\n' {
+                            out[k] = b' ';
+                        }
+                    }
+                    i = end + 1;
+                } else {
+                    // A lifetime: leave it, skip the quote.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Masking only writes ASCII spaces over existing bytes; multi-byte
+    // UTF-8 sequences are either fully overwritten or untouched, so the
+    // result is valid UTF-8.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // `r"`, `r#`, or `br"`, `br#` — and not part of an identifier like `for`.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Index of the closing quote of a char literal starting at `i`, or `None`
+/// when `'` introduces a lifetime instead.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped: the byte after the backslash is always part of the
+        // escape (covers `'\\'` and `'\''`); then scan to the closing
+        // quote (covers multi-byte escapes like `'\u{41}'`).
+        let mut j = i + 3;
+        while j < bytes.len() {
+            if bytes[j] == b'\'' {
+                return Some(j);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // One complete UTF-8 char then a quote ⇒ char literal; else lifetime.
+    let char_len = match next {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    };
+    (bytes.get(i + 1 + char_len) == Some(&b'\'')).then_some(i + 1 + char_len)
+}
+
+/// Index of the `}` (or `)`) matching the opener at `open` in `masked`,
+/// which must index an opening delimiter. Operates on masked text so
+/// delimiters inside literals cannot unbalance the walk.
+pub(crate) fn matching_close(masked: &str, open: usize) -> Option<usize> {
+    let bytes = masked.as_bytes();
+    let (op, cl) = match bytes.get(open)? {
+        b'{' => (b'{', b'}'),
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (j, &b) in bytes.iter().enumerate().skip(open) {
+        if b == op {
+            depth += 1;
+        } else if b == cl {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_and_strings_but_keeps_offsets() {
+        let src = "let a = \"std::sync\"; // .lock().unwrap()\nlet b = 1;";
+        let masked = mask(src);
+        assert_eq!(masked.len(), src.len());
+        assert!(!masked.contains("std::sync"));
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("let b = 1;"));
+        assert_eq!(line_of(src, src.find("let b").unwrap()), 2);
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_char_literals() {
+        let src =
+            r##"let r = r#"has "quotes" and std::sync"#; let c = '"'; let l: &'static str = "x";"##;
+        let masked = mask(src);
+        assert!(!masked.contains("std::sync"));
+        assert!(!masked.contains("quotes"));
+        assert!(masked.contains("&'static str"), "lifetimes survive");
+    }
+
+    #[test]
+    fn masking_handles_nested_block_comments() {
+        let src = "/* outer /* inner */ std::sync */ let x = 1;";
+        let masked = mask(src);
+        assert!(!masked.contains("std::sync"));
+        assert!(masked.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn matching_close_balances_on_masked_text() {
+        let src = "fn f() { let s = \"}\"; }";
+        let masked = mask(src);
+        let open = masked.find('{').unwrap();
+        let close = matching_close(&masked, open).unwrap();
+        assert_eq!(&src[close..=close], "}");
+        assert_eq!(close, src.len() - 1);
+    }
+
+    #[test]
+    fn allowlist_parses_pairs_and_ignores_comments() {
+        let entries =
+            parse_allowlist("# comment\nzst-disarmed crates/foo.rs # why\n\nlock-unwrap bar\n");
+        assert_eq!(
+            entries,
+            vec![
+                ("zst-disarmed".to_owned(), "crates/foo.rs".to_owned()),
+                ("lock-unwrap".to_owned(), "bar".to_owned()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! `--self-test`: proves each pass can actually catch its violation.
+//!
+//! A static-analysis gate that silently stops matching anything is worse
+//! than no gate. For every pass this module builds a tiny in-memory
+//! workspace seeded with exactly one violation, runs the pass, and
+//! requires (a) the violation is reported with the right pass name and
+//! location, and (b) a clean twin workspace produces no findings.
+
+use crate::passes::{self, Finding};
+use crate::scan::{SourceFile, Workspace};
+
+/// One seeded scenario: a violating workspace, its clean twin, and where
+/// the seeded violation lives.
+struct Scenario {
+    pass: &'static str,
+    violating: Workspace,
+    clean: Workspace,
+    expect_file: &'static str,
+    run: fn(&Workspace) -> Vec<Finding>,
+}
+
+fn ws(files: Vec<SourceFile>, doc: Option<&str>) -> Workspace {
+    Workspace {
+        files,
+        observability_doc: doc.map(|d| ("docs/observability.md".to_owned(), d.to_owned())),
+        allowlist: Vec::new(),
+    }
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let telemetry_lib = "crates/telemetry/src/lib.rs";
+    let faults = "crates/serve/src/faults.rs";
+
+    let catalogue = |entries: &str| {
+        format!("macro_rules! catalogue {{ () => {{}}; }}\ncatalogue! {{\n    Stage {{\n{entries}    }}\n}}\n")
+    };
+    let doc_ok = "| Stage | Where |\n|---|---|\n| `alpha.one` | here |\n| `beta.two` | there |\n";
+    let doc_bad =
+        "| Stage | Where |\n|---|---|\n| `alpha.one` | here |\n| `gamma.three` | nowhere |\n";
+
+    vec![
+        Scenario {
+            pass: "docs-sync",
+            violating: ws(
+                vec![SourceFile::from_text(
+                    telemetry_lib,
+                    &catalogue("        A => \"alpha.one\",\n        B => \"beta.two\",\n"),
+                )],
+                Some(doc_bad),
+            ),
+            clean: ws(
+                vec![SourceFile::from_text(
+                    telemetry_lib,
+                    &catalogue("        A => \"alpha.one\",\n        B => \"beta.two\",\n"),
+                )],
+                Some(doc_ok),
+            ),
+            expect_file: telemetry_lib,
+            run: passes::docs_sync,
+        },
+        Scenario {
+            pass: "fault-coverage",
+            violating: ws(
+                vec![
+                    SourceFile::from_text(
+                        faults,
+                        "pub enum FaultPoint {\n    SnapshotPublish,\n    WriterApply,\n}\n",
+                    ),
+                    SourceFile::from_text(
+                        "tests/chaos_serve.rs",
+                        "fn scenario() { let _ = FaultPoint::SnapshotPublish; }\n",
+                    ),
+                ],
+                None,
+            ),
+            clean: ws(
+                vec![
+                    SourceFile::from_text(
+                        faults,
+                        "pub enum FaultPoint {\n    SnapshotPublish,\n    WriterApply,\n}\n",
+                    ),
+                    SourceFile::from_text(
+                        "tests/chaos_serve.rs",
+                        "fn scenario() { let _ = (FaultPoint::SnapshotPublish, FaultPoint::WriterApply); }\n",
+                    ),
+                ],
+                None,
+            ),
+            expect_file: faults,
+            run: passes::fault_coverage,
+        },
+        Scenario {
+            pass: "sync-facade",
+            violating: ws(
+                vec![SourceFile::from_text(
+                    "crates/serve/src/bad.rs",
+                    "use std::sync::Mutex;\n",
+                )],
+                None,
+            ),
+            clean: ws(
+                vec![
+                    SourceFile::from_text(
+                        "crates/serve/src/good.rs",
+                        "use crate::sync::Mutex;\n// std::sync in a comment is fine\n",
+                    ),
+                    SourceFile::from_text(
+                        "crates/serve/src/sync.rs",
+                        "pub(crate) use std::sync::Mutex;\n",
+                    ),
+                ],
+                None,
+            ),
+            expect_file: "crates/serve/src/bad.rs",
+            run: passes::sync_facade,
+        },
+        Scenario {
+            pass: "lock-unwrap",
+            violating: ws(
+                vec![SourceFile::from_text(
+                    "crates/core/src/bad.rs",
+                    "fn f() { let _g = M.lock()\n        .unwrap(); }\n",
+                )],
+                None,
+            ),
+            clean: ws(
+                vec![SourceFile::from_text(
+                    "crates/core/src/good.rs",
+                    "fn f(buf: &mut [u8]) { let _g = M.lock().unpoison(); file.read(buf).unwrap(); }\n",
+                )],
+                None,
+            ),
+            expect_file: "crates/core/src/bad.rs",
+            run: passes::lock_unwrap,
+        },
+        Scenario {
+            pass: "allow-reason",
+            violating: ws(
+                vec![SourceFile::from_text(
+                    "crates/core/src/bad.rs",
+                    "#[allow(dead_code)]\nfn f() {}\n",
+                )],
+                None,
+            ),
+            clean: ws(
+                vec![SourceFile::from_text(
+                    "crates/core/src/good.rs",
+                    "#[allow(dead_code, reason = \"exercised only by the slow suite\")]\nfn f() {}\n",
+                )],
+                None,
+            ),
+            expect_file: "crates/core/src/bad.rs",
+            run: passes::allow_reason,
+        },
+        Scenario {
+            pass: "zst-disarmed",
+            violating: ws(
+                vec![SourceFile::from_text(
+                    "crates/serve/src/bad.rs",
+                    "#[cfg(not(feature = \"x\"))]\n#[derive(Debug)]\npub struct Disarmed {\n    leftover: u64,\n}\n",
+                )],
+                None,
+            ),
+            clean: ws(
+                vec![SourceFile::from_text(
+                    "crates/serve/src/good.rs",
+                    "#[cfg(not(feature = \"x\"))]\npub struct Disarmed;\npub struct Guard {\n    #[cfg(feature = \"x\")]\n    state: u64,\n    #[cfg(feature = \"x\")]\n    start: u64,\n}\n",
+                )],
+                None,
+            ),
+            expect_file: "crates/serve/src/bad.rs",
+            run: passes::zst_disarmed,
+        },
+    ]
+}
+
+/// Runs every scenario; prints one line per pass; `true` when all hold.
+pub(crate) fn run(json: bool) -> bool {
+    let mut all_ok = true;
+    let mut rows = Vec::new();
+    for s in scenarios() {
+        let caught = (s.run)(&s.violating);
+        let hit = caught
+            .iter()
+            .find(|f| f.pass == s.pass && f.file == s.expect_file);
+        let false_alarms = (s.run)(&s.clean);
+        let ok = hit.is_some() && false_alarms.is_empty();
+        all_ok &= ok;
+        let detail = match (hit, false_alarms.is_empty()) {
+            (Some(f), true) => format!("caught seeded violation at {}:{}", f.file, f.line),
+            (None, _) => "MISSED the seeded violation".to_owned(),
+            (_, false) => format!("false alarm on clean fixture: {:?}", false_alarms[0]),
+        };
+        rows.push((s.pass, ok, detail));
+    }
+    if json {
+        use esd_telemetry::json::Json;
+        let obj = Json::obj(vec![
+            ("schema", Json::str(crate::SCHEMA)),
+            ("self_test", Json::Bool(true)),
+            ("ok", Json::Bool(all_ok)),
+            (
+                "passes",
+                Json::Arr(
+                    rows.iter()
+                        .map(|(pass, ok, detail)| {
+                            Json::obj(vec![
+                                ("pass", Json::str(*pass)),
+                                ("ok", Json::Bool(*ok)),
+                                ("detail", Json::str(detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", obj.render_compact());
+    } else {
+        for (pass, ok, detail) in &rows {
+            println!(
+                "self-test {pass}: {} — {detail}",
+                if *ok { "ok" } else { "FAIL" }
+            );
+        }
+    }
+    all_ok
+}
