@@ -8,15 +8,24 @@
 //!
 //! ```text
 //! loadgen [--n V] [--ops N] [--write-ratio R] [--workers 0,2,8] [--seed S]
+//!         [--durable]
 //! ```
 //!
 //! Queries draw `k` log-uniformly from `[16, 2048]` and `τ` from `[1, 4]`
 //! so the result cache sees a realistic mix of hits and misses instead of
 //! one key served entirely from cache.
+//!
+//! With `--durable`, every phase is run twice — once in-memory and once
+//! with the write-ahead log armed under the ack-after-fsync policy on a
+//! scratch directory — so the `wal` column makes the durability tax
+//! directly readable: same workload, same workers, `u_p99_us` with and
+//! without an fsync on the ack path.
 
 use esd_core::maintain::{GraphUpdate, MutationBatch};
 use esd_graph::{generators, Graph};
-use esd_serve::{QueryRequest, RetryPolicy, Service, ServiceConfig, ServiceHandle};
+use esd_serve::{
+    AckPolicy, DurabilityConfig, QueryRequest, RetryPolicy, Service, ServiceConfig, ServiceHandle,
+};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,6 +38,7 @@ struct Config {
     write_ratio: f64,
     workers: Vec<usize>,
     seed: u64,
+    durable: bool,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -38,6 +48,7 @@ fn parse_args() -> Result<Config, String> {
         write_ratio: 0.05,
         workers: vec![0, 8],
         seed: 0xBE7C,
+        durable: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -70,10 +81,11 @@ fn parse_args() -> Result<Config, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--durable" => cfg.durable = true,
             other => {
                 return Err(format!(
                     "unknown flag {other} \
-                     (--n | --ops | --write-ratio | --workers | --seed)"
+                     (--n | --ops | --write-ratio | --workers | --seed | --durable)"
                 ))
             }
         }
@@ -148,16 +160,29 @@ fn client(handle: &ServiceHandle, n: u32, ops: u64, write_ratio: f64, seed: u64)
     stats
 }
 
-/// Runs one workload phase against a fresh service and returns the row for
-/// the report table plus the measured throughput (ops/s).
-fn run_phase(g: &Graph, cfg: &Config, workers: usize) -> (Vec<String>, f64) {
-    let service = Service::start(
+/// Runs one workload phase against a fresh service — durably when
+/// `wal_dir` is given (WAL armed, ack-after-fsync) — and returns the row
+/// for the report table, the measured throughput (ops/s), and the update
+/// ack p99 in microseconds.
+fn run_phase(
+    g: &Graph,
+    cfg: &Config,
+    workers: usize,
+    wal_dir: Option<&std::path::Path>,
+) -> (Vec<String>, f64, u64) {
+    let service = Service::try_start(
         g,
         &ServiceConfig {
             workers,
+            durability: wal_dir.map(|dir| {
+                let mut durability = DurabilityConfig::new(dir);
+                durability.ack_policy = AckPolicy::Fsync;
+                durability
+            }),
             ..ServiceConfig::default()
         },
-    );
+    )
+    .expect("scratch WAL directory opens");
     let handle = service.handle();
     let clients = workers.max(1);
     let per_client = cfg.ops / clients as u64;
@@ -178,8 +203,10 @@ fn run_phase(g: &Graph, cfg: &Config, workers: usize) -> (Vec<String>, f64) {
     let wall = started.elapsed();
     let m = handle.metrics();
     let throughput = stats.succeeded as f64 / wall.as_secs_f64();
+    let update_p99 = m.update_latency.percentile_us(0.99);
     let row = vec![
         workers.to_string(),
+        if wal_dir.is_some() { "fsync" } else { "off" }.to_string(),
         stats.attempted.to_string(),
         stats.succeeded.to_string(),
         m.retries.get().to_string(),
@@ -189,11 +216,11 @@ fn run_phase(g: &Graph, cfg: &Config, workers: usize) -> (Vec<String>, f64) {
         format!("{throughput:.0}"),
         format!("{}", m.query_latency.percentile_us(0.50)),
         format!("{}", m.query_latency.percentile_us(0.99)),
-        format!("{}", m.update_latency.percentile_us(0.99)),
+        format!("{update_p99}"),
         format!("{:.0}%", m.hit_rate() * 100.0),
     ];
     service.shutdown();
-    (row, throughput)
+    (row, throughput, update_p99)
 }
 
 /// Applies one 1000-edge batch while reader threads keep querying, and
@@ -289,6 +316,7 @@ fn main() {
 
     let mut table = esd_bench::TextTable::new(&[
         "workers",
+        "wal",
         "attempted",
         "ok",
         "retries",
@@ -303,15 +331,32 @@ fn main() {
     ]);
     let mut baseline = None;
     let mut speedups = Vec::new();
+    let mut wal_costs = Vec::new();
     for &workers in &cfg.workers {
-        let (row, throughput) = run_phase(&g, &cfg, workers);
+        let (row, throughput, u_p99) = run_phase(&g, &cfg, workers, None);
         table.row(row);
         let base = *baseline.get_or_insert(throughput);
         speedups.push((workers, throughput / base));
+        if cfg.durable {
+            let dir = std::env::temp_dir()
+                .join(format!("esd_loadgen_wal_{}_{workers}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            let (row, _, durable_p99) = run_phase(&g, &cfg, workers, Some(&dir));
+            table.row(row);
+            wal_costs.push((workers, u_p99, durable_p99));
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
     println!("{}", table.render());
     for (workers, speedup) in &speedups[1..] {
         println!("speedup at {workers} workers vs baseline: {speedup:.2}x");
+    }
+    for (workers, off, fsync) in &wal_costs {
+        println!(
+            "durable ack cost at {workers} worker(s): u_p99 {fsync} µs with fsync vs {off} µs off \
+             ({:+} µs per acked update)",
+            *fsync as i64 - *off as i64,
+        );
     }
     println!();
     run_update_storm(&g, &cfg);

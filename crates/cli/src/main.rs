@@ -8,6 +8,8 @@
 //! esd stream <graph.txt>                         read updates/queries from stdin:
 //!                                                  + u v | - u v | ? k tau | quit
 //! esd serve  <graph.txt> [--port P] [--threads N]  TCP query service (same protocol)
+//!            [--wal-dir DIR] [--checkpoint-interval N] [--ack enqueue]
+//! esd recover <wal-dir> [-o <out.esdx>]          inspect/replay durable state
 //! esd ego    <graph.txt> <u> <v> [-o <out.dot>]  render an edge ego-network
 //! esd explain <graph.txt> <u> <v>                score/context breakdown
 //! esd audit  <index.esdx> [graph.txt]            structural invariant audit
@@ -32,6 +34,14 @@
 //! archives one per PR as `BENCH_smoke.json`; `--check` re-validates an
 //! existing report against the schema. See `docs/observability.md`.
 //!
+//! With `--wal-dir` the serve engine runs durably: every acked update
+//! batch is appended to an epoch-stamped, CRC-checked write-ahead log and
+//! (by default) fsynced before the ack; incremental ESDX delta checkpoints
+//! bound replay time. Restarting `esd serve` with the same `--wal-dir`
+//! recovers the pre-crash published state; `esd recover` inspects a
+//! durable directory offline and can export the recovered index as a
+//! frozen ESDX file. See `docs/durability.md`.
+//!
 //! Graphs are SNAP-style edge lists (`u<ws>v` per line, `#` comments).
 //! `topk`/`stream` print the file's original vertex ids; a persisted index
 //! stores the dense relabelling (first-appearance order), which `build`
@@ -41,7 +51,9 @@ use esd::Error;
 use esd_core::online::{online_topk, UpperBound};
 use esd_core::{EsdIndex, ScoredEdge};
 use esd_graph::io;
-use esd_serve::{IdMap, LineOutcome, Server, Service, ServiceConfig, Session};
+use esd_serve::{
+    AckPolicy, DurabilityConfig, IdMap, LineOutcome, Server, Service, ServiceConfig, Session,
+};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -70,6 +82,8 @@ usage:
   esd query  <index.esdx> [-k N] [--tau T]
   esd stream <graph.txt> [--pipeline-threads N]
   esd serve  <graph.txt> [--port P] [--threads N] [--pipeline-threads N]
+             [--wal-dir DIR] [--checkpoint-interval N] [--ack fsync|enqueue]
+  esd recover <wal-dir> [-o <out.esdx>]           inspect/replay durable state
   esd ego    <graph.txt> <u> <v> [-o <out.dot>]   render an edge ego-network
   esd explain <graph.txt> <u> <v>                 score/context breakdown
   esd audit  <index.esdx> [graph.txt]             structural invariant audit
@@ -88,6 +102,9 @@ struct Options {
     json: bool,
     reps: usize,
     check: Option<String>,
+    wal_dir: Option<String>,
+    checkpoint_interval: u64,
+    ack: String,
     positional: Vec<String>,
 }
 
@@ -104,6 +121,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         json: false,
         reps: 3,
         check: None,
+        wal_dir: None,
+        checkpoint_interval: 32,
+        ack: "fsync".into(),
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -145,6 +165,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("bad --reps: {e}"))?;
             }
             "--check" => opts.check = Some(value("--check")?),
+            "--wal-dir" => opts.wal_dir = Some(value("--wal-dir")?),
+            "--checkpoint-interval" => {
+                opts.checkpoint_interval = value("--checkpoint-interval")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-interval: {e}"))?;
+            }
+            "--ack" => opts.ack = value("--ack")?,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => opts.positional.push(other.to_string()),
         }
@@ -168,6 +195,7 @@ fn run(args: &[String]) -> Result<ExitCode, Error> {
         "query" => done(query(&opts)),
         "stream" => done(stream(&opts)),
         "serve" => done(serve(&opts)),
+        "recover" => done(recover(&opts)),
         "ego" => done(ego(&opts)),
         "explain" => done(explain(&opts)),
         "audit" => audit(&opts),
@@ -569,14 +597,29 @@ fn stream(opts: &Options) -> Result<(), Error> {
 /// final metrics registry.
 fn serve(opts: &Options) -> Result<(), Error> {
     let (g, original) = load_graph(opts)?;
-    let service = Service::start(
+    let service = Service::try_start(
         &g,
         &ServiceConfig {
             workers: opts.threads,
             pipeline_threads: opts.pipeline_threads.max(1),
+            durability: durability_config(opts)?,
             ..ServiceConfig::default()
         },
-    );
+    )
+    .map_err(|e| Error::from(e).context("cannot open durable state"))?;
+    if let Some(report) = service.recovery_report() {
+        println!(
+            "recovered durable state: epoch {} (checkpoint {}, {} WAL record(s) replayed{})",
+            report.recovered_epoch,
+            report.checkpoint_epoch,
+            report.wal_records_replayed,
+            if report.wal_truncated {
+                ", torn tail truncated"
+            } else {
+                ""
+            }
+        );
+    }
     let ids = Arc::new(IdMap::from_original(original));
     let server = Server::start(("127.0.0.1", opts.port), service.handle(), ids)
         .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
@@ -598,5 +641,80 @@ fn serve(opts: &Options) -> Result<(), Error> {
     server.stop();
     print!("{}", service.handle().metrics_text());
     service.shutdown();
+    Ok(())
+}
+
+/// Translates the `--wal-dir` / `--checkpoint-interval` / `--ack` flags
+/// into a [`DurabilityConfig`]; `None` when `--wal-dir` was not given.
+fn durability_config(opts: &Options) -> Result<Option<DurabilityConfig>, Error> {
+    let Some(dir) = &opts.wal_dir else {
+        return Ok(None);
+    };
+    let mut cfg = DurabilityConfig::new(dir);
+    cfg.ack_policy = match opts.ack.as_str() {
+        "fsync" => AckPolicy::Fsync,
+        "enqueue" => AckPolicy::Enqueue,
+        other => return Err(format!("unknown --ack {other:?} (fsync|enqueue)").into()),
+    };
+    if opts.checkpoint_interval == 0 {
+        return Err("--checkpoint-interval must be at least 1".into());
+    }
+    cfg.checkpoint_interval = opts.checkpoint_interval;
+    Ok(Some(cfg))
+}
+
+/// Offline recovery: loads the newest valid checkpoint chain from a
+/// durable directory, replays the WAL tail, prints the report, and — with
+/// `-o` — exports the recovered state as a frozen ESDX index.
+fn recover(opts: &Options) -> Result<(), Error> {
+    let dir = opts
+        .positional
+        .first()
+        .ok_or("missing durable directory argument")?;
+    let recovered = esd_serve::durability::recover(std::path::Path::new(dir))
+        .map_err(|e| Error::from(e).context(format!("cannot recover {dir}")))?
+        .ok_or_else(|| {
+            // A dir without durable state is a runtime failure (exit 1),
+            // not a usage mistake — don't take the String → Usage lift.
+            Error::from(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("{dir} holds no valid durable state"),
+            ))
+        })?;
+    let report = &recovered.report;
+    println!("recovered {dir}:");
+    println!("  checkpoint epoch        {}", report.checkpoint_epoch);
+    println!("  wal records replayed    {}", report.wal_records_replayed);
+    println!("  wal segments scanned    {}", report.wal_segments);
+    println!(
+        "  wal torn tail           {}",
+        if report.wal_truncated {
+            "yes (truncated at last valid record)"
+        } else {
+            "no"
+        }
+    );
+    println!(
+        "  invalid checkpoints     {}",
+        report.skipped_invalid_checkpoints
+    );
+    println!("  recovered epoch         {}", report.recovered_epoch);
+    let g = recovered.index.graph();
+    println!(
+        "  state                   {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    if let Some(out) = &opts.output {
+        let frozen = esd_core::index::FrozenEsdIndex::build(&g.to_graph());
+        frozen
+            .save(out)
+            .map_err(|e| Error::from(e).context(format!("cannot write {out}")))?;
+        println!(
+            "wrote {out} ({} lists, {} entries)",
+            frozen.num_lists(),
+            frozen.total_entries()
+        );
+    }
     Ok(())
 }

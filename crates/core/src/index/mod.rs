@@ -16,12 +16,14 @@
 //!   edge-parallel 4-clique enumeration with sharded DSU application.
 
 pub(crate) mod build;
+pub mod delta;
 pub mod frozen;
 pub mod ostree;
 mod parallel;
 pub mod persist;
 
 pub use build::BuildStats;
+pub use delta::{DeltaError, EdgeSetDelta, EdgeSetSnapshot};
 pub use frozen::FrozenEsdIndex;
 
 /// Assembles an [`EsdIndex`] from precomputed per-edge component sizes

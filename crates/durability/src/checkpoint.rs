@@ -1,0 +1,418 @@
+//! The checkpoint store: atomic, fsynced, checksummed full/delta
+//! checkpoint files with crash-safe chain discovery.
+//!
+//! ## On-disk format
+//!
+//! Each checkpoint is one file in the log directory:
+//!
+//! * `ckpt-<epoch:016x>.full` — a complete state payload at `epoch`;
+//! * `ckpt-<base:016x>-<epoch:016x>.delta` — a delta payload that, applied
+//!   to the **full** checkpoint at `base`, yields the state at `epoch`.
+//!
+//! Every delta chains directly off a full checkpoint (never off another
+//! delta), so recovery needs at most two files and one bad delta costs one
+//! checkpoint interval of extra WAL replay, not the whole chain. The file
+//! envelope is:
+//!
+//! ```text
+//! magic "ESDK" | u32 version | u8 kind | u64 base_epoch | u64 epoch
+//! | u64 payload_len | payload | u32 crc32
+//! ```
+//!
+//! with the CRC covering everything after the magic. Payloads are opaque
+//! bytes — the serving layer encodes them with `esd-core`'s ESDX delta
+//! codec, keeping this crate index-family-agnostic.
+//!
+//! ## Write protocol
+//!
+//! [`CheckpointStore::write_full`]/[`write_delta`](CheckpointStore::write_delta)
+//! write to a temporary sibling, fsync **the file**, rename into place,
+//! then fsync **the directory** — the full tmp+rename+fsync dance, so a
+//! crash at any byte leaves either the old chain or the complete new file,
+//! never a torn checkpoint with a valid name.
+
+use crate::crc32::crc32;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Checkpoint file magic.
+pub const MAGIC: &[u8; 4] = b"ESDK";
+/// Checkpoint envelope version.
+pub const VERSION: u32 = 1;
+/// Upper bound on a checkpoint payload (1 GiB) — larger length fields are
+/// treated as corruption.
+const MAX_PAYLOAD: u64 = 1 << 30;
+
+/// Whether a checkpoint file carries a complete state or a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// Complete state at `epoch`.
+    Full,
+    /// Changes from the full checkpoint at `base_epoch` up to `epoch`.
+    Delta,
+}
+
+/// The newest valid checkpoint chain found by
+/// [`CheckpointStore::load_chain`].
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// Epoch of the full checkpoint the chain starts from.
+    pub full_epoch: u64,
+    /// Payload of that full checkpoint.
+    pub full_payload: Vec<u8>,
+    /// The newest valid delta based on that full checkpoint, if any:
+    /// `(epoch, payload)`.
+    pub delta: Option<(u64, Vec<u8>)>,
+    /// Checkpoint files that failed validation and were skipped during
+    /// discovery (corruption tolerated, surfaced for observability).
+    pub skipped_invalid: usize,
+}
+
+impl LoadedCheckpoint {
+    /// The epoch the chain restores to (delta epoch if present, else the
+    /// full checkpoint's).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.delta.as_ref().map_or(self.full_epoch, |(e, _)| *e)
+    }
+}
+
+/// A directory of checkpoint files. Cheap to construct; all state is on
+/// disk.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if missing) the checkpoint directory.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Durably writes a full checkpoint at `epoch`.
+    pub fn write_full(&self, epoch: u64, payload: &[u8]) -> io::Result<PathBuf> {
+        self.write(CheckpointKind::Full, epoch, epoch, payload)
+    }
+
+    /// Durably writes a delta checkpoint at `epoch` based on the full
+    /// checkpoint at `base_epoch`.
+    pub fn write_delta(&self, base_epoch: u64, epoch: u64, payload: &[u8]) -> io::Result<PathBuf> {
+        self.write(CheckpointKind::Delta, base_epoch, epoch, payload)
+    }
+
+    fn write(
+        &self,
+        kind: CheckpointKind,
+        base_epoch: u64,
+        epoch: u64,
+        payload: &[u8],
+    ) -> io::Result<PathBuf> {
+        let name = match kind {
+            CheckpointKind::Full => format!("ckpt-{epoch:016x}.full"),
+            CheckpointKind::Delta => format!("ckpt-{base_epoch:016x}-{epoch:016x}.delta"),
+        };
+        let mut body = Vec::with_capacity(25 + payload.len());
+        body.push(match kind {
+            CheckpointKind::Full => 0u8,
+            CheckpointKind::Delta => 1u8,
+        });
+        body.extend_from_slice(&base_epoch.to_le_bytes());
+        body.extend_from_slice(&epoch.to_le_bytes());
+        body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let mut versioned = Vec::with_capacity(4 + body.len() + payload.len());
+        versioned.extend_from_slice(&VERSION.to_le_bytes());
+        versioned.extend_from_slice(&body);
+        versioned.extend_from_slice(payload);
+        let crc = crc32(&versioned);
+
+        let path = self.dir.join(&name);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(MAGIC)?;
+            file.write_all(&versioned)?;
+            file.write_all(&crc.to_le_bytes())?;
+            // fsync the tmp file BEFORE the rename: rename alone orders the
+            // name change, not the data blocks.
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        // fsync the directory AFTER the rename so the new name itself is
+        // durable.
+        crate::wal::sync_dir(&self.dir)?;
+        Ok(path)
+    }
+
+    /// Loads the newest valid checkpoint chain: the highest-epoch full
+    /// checkpoint that validates, plus the newest valid delta based on it.
+    /// Corrupt files are skipped (counted in
+    /// [`LoadedCheckpoint::skipped_invalid`]); `None` when no valid full
+    /// checkpoint exists.
+    pub fn load_chain(&self) -> io::Result<Option<LoadedCheckpoint>> {
+        let mut fulls: Vec<(u64, PathBuf)> = Vec::new();
+        let mut deltas: Vec<(u64, u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(epoch) = parse_full_name(name) {
+                fulls.push((epoch, entry.path()));
+            } else if let Some((base, epoch)) = parse_delta_name(name) {
+                deltas.push((base, epoch, entry.path()));
+            }
+        }
+        fulls.sort_by_key(|(epoch, _)| std::cmp::Reverse(*epoch));
+        deltas.sort_by_key(|(_, epoch, _)| std::cmp::Reverse(*epoch));
+
+        let mut skipped = 0;
+        for (full_epoch, path) in fulls {
+            let Some(full_payload) =
+                read_valid(&path, CheckpointKind::Full, full_epoch, full_epoch)
+            else {
+                skipped += 1;
+                continue;
+            };
+            let mut delta = None;
+            for (base, epoch, dpath) in &deltas {
+                if *base != full_epoch || *epoch <= full_epoch {
+                    continue;
+                }
+                match read_valid(dpath, CheckpointKind::Delta, *base, *epoch) {
+                    Some(payload) => {
+                        delta = Some((*epoch, payload));
+                        break;
+                    }
+                    None => skipped += 1,
+                }
+            }
+            return Ok(Some(LoadedCheckpoint {
+                full_epoch,
+                full_payload,
+                delta,
+                skipped_invalid: skipped,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// Deletes checkpoint files whose end epoch is below `epoch`, plus any
+    /// stale `.tmp` leftovers. Returns the number of files removed. Call
+    /// with the *previous* full checkpoint's epoch to always retain one
+    /// complete fallback generation.
+    pub fn purge_older_than(&self, epoch: u64) -> io::Result<usize> {
+        let mut removed = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = if name.starts_with("ckpt-") && name.ends_with(".tmp") {
+                true
+            } else if let Some(e) = parse_full_name(name) {
+                e < epoch
+            } else if let Some((_, e)) = parse_delta_name(name) {
+                e < epoch
+            } else {
+                false
+            };
+            if stale {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+fn parse_full_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("ckpt-")?.strip_suffix(".full")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn parse_delta_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("ckpt-")?.strip_suffix(".delta")?;
+    let (base, epoch) = rest.split_once('-')?;
+    if base.len() != 16 || epoch.len() != 16 {
+        return None;
+    }
+    Some((
+        u64::from_str_radix(base, 16).ok()?,
+        u64::from_str_radix(epoch, 16).ok()?,
+    ))
+}
+
+/// Reads and fully validates one checkpoint file: magic, version, kind,
+/// epochs matching the file name, payload length, and CRC. `None` on any
+/// mismatch — never panics, never returns partially validated bytes.
+fn read_valid(path: &Path, kind: CheckpointKind, base_epoch: u64, epoch: u64) -> Option<Vec<u8>> {
+    let bytes = std::fs::read(path).ok()?;
+    // magic(4) + version(4) + kind(1) + base(8) + epoch(8) + len(8) + crc(4)
+    if bytes.len() < 37 || &bytes[..4] != MAGIC {
+        return None;
+    }
+    let crc_stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().ok()?);
+    let versioned = &bytes[4..bytes.len() - 4];
+    if crc32(versioned) != crc_stored {
+        return None;
+    }
+    if u32::from_le_bytes(versioned[..4].try_into().ok()?) != VERSION {
+        return None;
+    }
+    let body = &versioned[4..];
+    let file_kind = match body[0] {
+        0 => CheckpointKind::Full,
+        1 => CheckpointKind::Delta,
+        _ => return None,
+    };
+    let file_base = u64::from_le_bytes(body[1..9].try_into().ok()?);
+    let file_epoch = u64::from_le_bytes(body[9..17].try_into().ok()?);
+    let payload_len = u64::from_le_bytes(body[17..25].try_into().ok()?);
+    if file_kind != kind || file_base != base_epoch || file_epoch != epoch {
+        return None;
+    }
+    if payload_len > MAX_PAYLOAD || payload_len != (body.len() - 25) as u64 {
+        return None;
+    }
+    Some(body[25..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("esd_ckpt_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn full_plus_delta_chain() {
+        let dir = tmp("chain");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.load_chain().unwrap().is_none());
+        store.write_full(10, b"state@10").unwrap();
+        store.write_delta(10, 14, b"delta@14").unwrap();
+        store.write_delta(10, 18, b"delta@18").unwrap();
+        let chain = store.load_chain().unwrap().unwrap();
+        assert_eq!(chain.full_epoch, 10);
+        assert_eq!(chain.full_payload, b"state@10");
+        assert_eq!(chain.delta, Some((18, b"delta@18".to_vec())));
+        assert_eq!(chain.epoch(), 18);
+        assert_eq!(chain.skipped_invalid, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newest_full_wins_and_foreign_deltas_ignored() {
+        let dir = tmp("newest");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.write_full(10, b"old").unwrap();
+        store.write_delta(10, 12, b"old-delta").unwrap();
+        store.write_full(20, b"new").unwrap();
+        let chain = store.load_chain().unwrap().unwrap();
+        assert_eq!(chain.full_epoch, 20);
+        assert_eq!(
+            chain.delta, None,
+            "deltas based on the old full are not chained"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_delta_falls_back_to_full() {
+        let dir = tmp("corrupt_delta");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.write_full(5, b"base").unwrap();
+        let dpath = store.write_delta(5, 9, b"will-corrupt").unwrap();
+        let mut bytes = std::fs::read(&dpath).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x80;
+        std::fs::write(&dpath, &bytes).unwrap();
+        let chain = store.load_chain().unwrap().unwrap();
+        assert_eq!(chain.full_epoch, 5);
+        assert_eq!(chain.delta, None);
+        assert_eq!(chain.skipped_invalid, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_full_falls_back_to_older_full() {
+        let dir = tmp("corrupt_full");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.write_full(5, b"older").unwrap();
+        store.write_delta(5, 7, b"older-delta").unwrap();
+        let fpath = store.write_full(9, b"newer").unwrap();
+        let mut bytes = std::fs::read(&fpath).unwrap();
+        let last = bytes.len() - 10;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&fpath, &bytes).unwrap();
+        let chain = store.load_chain().unwrap().unwrap();
+        assert_eq!(chain.full_epoch, 5);
+        assert_eq!(chain.delta, Some((7, b"older-delta".to_vec())));
+        assert!(chain.skipped_invalid >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_every_length_never_panics_or_validates() {
+        let dir = tmp("truncate_all");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let path = store
+            .write_full(3, b"some checkpoint payload bytes")
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for len in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..len]).unwrap();
+            assert!(
+                store.load_chain().unwrap().is_none(),
+                "truncated to {len} bytes must not validate"
+            );
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load_chain().unwrap().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn purge_keeps_the_retained_generation() {
+        let dir = tmp("purge");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.write_full(5, b"g1").unwrap();
+        store.write_delta(5, 7, b"g1d").unwrap();
+        store.write_full(10, b"g2").unwrap();
+        store.write_delta(10, 12, b"g2d").unwrap();
+        let removed = store.purge_older_than(10).unwrap();
+        assert_eq!(removed, 2);
+        let chain = store.load_chain().unwrap().unwrap();
+        assert_eq!(chain.full_epoch, 10);
+        assert_eq!(chain.delta, Some((12, b"g2d".to_vec())));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        // A delta file renamed to look like a full checkpoint must fail
+        // validation (kind and epochs are inside the checksummed body).
+        let dir = tmp("confusion");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let dpath = store.write_delta(2, 4, b"delta-bytes").unwrap();
+        let fake = dir.join(format!("ckpt-{:016x}.full", 4));
+        std::fs::rename(&dpath, &fake).unwrap();
+        assert!(store.load_chain().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

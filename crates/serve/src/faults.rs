@@ -7,7 +7,8 @@
 //!
 //! * A [`FaultPoint`] names each place the engine consults the injector —
 //!   snapshot publication, the writer's apply window, worker dequeue, the
-//!   result-cache lookup, and ESDX persist I/O.
+//!   result-cache lookup, ESDX persist I/O, and the durability subsystem's
+//!   WAL append, WAL fsync, and checkpoint write.
 //! * A [`FaultPlan`] is a seeded list of [`FaultRule`]s: *at this point,
 //!   when this trigger matches, inject this fault*. Triggers are
 //!   deterministic functions of the per-point call number (and, for
@@ -42,6 +43,16 @@ pub enum FaultPoint {
     CacheLookup,
     /// At the head of an ESDX snapshot persist, before any file is created.
     PersistIo,
+    /// In the durable commit path, before the window's WAL record is
+    /// appended.
+    WalAppend,
+    /// In the durable commit path, before the WAL fsync that makes the
+    /// record durable (ack-after-fsync policy).
+    WalFsync,
+    /// At the head of a checkpoint write, before any checkpoint file is
+    /// created. Fires *after* the window published — a checkpoint failure
+    /// must never fail an already-acked batch.
+    CheckpointWrite,
 }
 
 impl FaultPoint {
@@ -52,6 +63,9 @@ impl FaultPoint {
         FaultPoint::WorkerDequeue,
         FaultPoint::CacheLookup,
         FaultPoint::PersistIo,
+        FaultPoint::WalAppend,
+        FaultPoint::WalFsync,
+        FaultPoint::CheckpointWrite,
     ];
 
     /// Number of fault points (the injector's call-counter array length).
@@ -66,6 +80,9 @@ impl FaultPoint {
             Self::WorkerDequeue => "worker_dequeue",
             Self::CacheLookup => "cache_lookup",
             Self::PersistIo => "persist_io",
+            Self::WalAppend => "wal_append",
+            Self::WalFsync => "wal_fsync",
+            Self::CheckpointWrite => "checkpoint_write",
         }
     }
 

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod durability;
 pub mod faults;
 pub mod ids;
 #[cfg(all(loom, test))]
@@ -63,6 +64,7 @@ pub mod session;
 mod snapshot;
 pub(crate) mod sync;
 
+pub use durability::{AckPolicy, DurabilityConfig, Recovered, RecoveryReport};
 pub use faults::{FaultKind, FaultPlan, FaultPoint, FaultRule, Trigger};
 pub use ids::IdMap;
 pub use metrics::MetricsRegistry;

@@ -147,6 +147,24 @@ pub struct MetricsRegistry {
     /// Queries answered from a retained cached result under overload
     /// shedding instead of being rejected with `QueueFull`.
     pub shed: Counter,
+    /// WAL records appended by the durable commit path (0 when the
+    /// service runs without a [`crate::durability::DurabilityConfig`]).
+    pub wal_records: Counter,
+    /// WAL bytes appended (frame bytes, including headers).
+    pub wal_bytes: Counter,
+    /// WAL group-commit fsyncs performed.
+    pub wal_fsyncs: Counter,
+    /// Failed windows whose speculative WAL record was transactionally
+    /// truncated away (so it can never be replayed).
+    pub wal_truncations: Counter,
+    /// WAL records replayed during crash recovery at startup.
+    pub wal_replayed_records: Counter,
+    /// Full checkpoints written.
+    pub ckpt_full: Counter,
+    /// Delta checkpoints written.
+    pub ckpt_delta: Counter,
+    /// Checkpoint attempts that failed (retried at the next interval).
+    pub ckpt_failures: Counter,
     /// End-to-end query latency (enqueue to response).
     pub query_latency: LatencyHistogram,
     /// End-to-end update-batch latency (enqueue to publish).
@@ -171,6 +189,14 @@ impl Default for MetricsRegistry {
             worker_restarts: Counter::default(),
             retries: Counter::default(),
             shed: Counter::default(),
+            wal_records: Counter::default(),
+            wal_bytes: Counter::default(),
+            wal_fsyncs: Counter::default(),
+            wal_truncations: Counter::default(),
+            wal_replayed_records: Counter::default(),
+            ckpt_full: Counter::default(),
+            ckpt_delta: Counter::default(),
+            ckpt_failures: Counter::default(),
             query_latency: LatencyHistogram::default(),
             update_latency: LatencyHistogram::default(),
         }
@@ -226,6 +252,17 @@ impl MetricsRegistry {
         line("worker_restarts", self.worker_restarts.get().to_string());
         line("retries", self.retries.get().to_string());
         line("shed", self.shed.get().to_string());
+        line("wal_records", self.wal_records.get().to_string());
+        line("wal_bytes", self.wal_bytes.get().to_string());
+        line("wal_fsyncs", self.wal_fsyncs.get().to_string());
+        line("wal_truncations", self.wal_truncations.get().to_string());
+        line(
+            "wal_replayed_records",
+            self.wal_replayed_records.get().to_string(),
+        );
+        line("ckpt_full", self.ckpt_full.get().to_string());
+        line("ckpt_delta", self.ckpt_delta.get().to_string());
+        line("ckpt_failures", self.ckpt_failures.get().to_string());
         line(
             "query_p50_us",
             self.query_latency.percentile_us(0.50).to_string(),

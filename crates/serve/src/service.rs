@@ -27,6 +27,7 @@
 //! the interactive tool and the TCP server share one code path.
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::durability::{DurabilityConfig, DurableState, RecoveryReport};
 use crate::faults::{FaultInjector, FaultKind, FaultPlan, FaultPoint};
 use crate::metrics::MetricsRegistry;
 use crate::queue::{BoundedQueue, PushRefused};
@@ -62,6 +63,11 @@ pub struct ServiceConfig {
     /// instead of rejecting outright. `0` disables stale serving (only
     /// current-epoch cache hits can shed).
     pub shed_stale_epochs: u64,
+    /// Arms the durability subsystem (WAL + checkpoints + recovery on
+    /// start). `None` (the default) serves purely in memory. When set and
+    /// the directory already holds durable state, the **recovered** state
+    /// wins over the graph passed to [`Service::start`].
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +79,7 @@ impl Default for ServiceConfig {
             default_deadline: Some(Duration::from_secs(10)),
             pipeline_threads: 2,
             shed_stale_epochs: 1,
+            durability: None,
         }
     }
 }
@@ -257,13 +264,41 @@ pub(crate) struct Engine {
     pipeline_threads: usize,
     shed_stale_epochs: u64,
     faults: FaultInjector,
+    /// Durable commit state (WAL + checkpoint store). Locked **after**
+    /// `writer_index`, and only while holding it, so a window's
+    /// apply/append/fsync/checkpoint is one serialized story.
+    durable: Option<Mutex<DurableState>>,
+    /// What recovery found at startup, if the durable directory was
+    /// non-empty.
+    recovery: Option<RecoveryReport>,
 }
 
 impl Engine {
+    /// Infallible constructor for the common in-memory case; panics only
+    /// if a configured durable directory cannot be opened or recovered.
     fn new(g: &Graph, cfg: &ServiceConfig, plan: FaultPlan) -> Self {
-        let index = MaintainedIndex::new(g);
-        Self {
-            snapshot: SnapshotCell::new(Snapshot::new(0, index.clone())),
+        Self::build(g, cfg, plan).expect("durability init failed")
+    }
+
+    /// Builds the engine, opening (or recovering) the durable directory
+    /// when [`ServiceConfig::durability`] is set. The recovered state wins
+    /// over `g`; a fresh durable directory gets a genesis full checkpoint
+    /// of `g` so the starting graph itself is recoverable.
+    fn build(g: &Graph, cfg: &ServiceConfig, plan: FaultPlan) -> std::io::Result<Self> {
+        let (index, epoch, durable, recovery) = match &cfg.durability {
+            None => (MaintainedIndex::new(g), 0, None, None),
+            Some(dcfg) => {
+                let init = crate::durability::open_or_recover(g, dcfg)?;
+                (
+                    init.index,
+                    init.epoch,
+                    Some(Mutex::new(init.state)),
+                    init.report,
+                )
+            }
+        };
+        let engine = Self {
+            snapshot: SnapshotCell::new(Snapshot::new(epoch, index.clone())),
             cache: ResultCache::new(cfg.cache_capacity),
             metrics: MetricsRegistry::default(),
             writer_index: Mutex::new(index),
@@ -274,7 +309,16 @@ impl Engine {
             pipeline_threads: cfg.pipeline_threads.max(1),
             shed_stale_epochs: cfg.shed_stale_epochs,
             faults: FaultInjector::from_plan(plan),
+            durable,
+            recovery,
+        };
+        if let Some(report) = &engine.recovery {
+            engine
+                .metrics
+                .wal_replayed_records
+                .add(report.wal_records_replayed);
         }
+        Ok(engine)
     }
 
     /// Consults the fault plan at `point`. Latency faults sleep here and
@@ -432,24 +476,150 @@ impl Engine {
         Ok(epoch)
     }
 
+    /// Appends the window's updates to the WAL, stamped with the epoch
+    /// [`publish_locked`](Self::publish_locked) is about to assign, and —
+    /// under [`crate::durability::AckPolicy::Fsync`] — makes the record
+    /// durable before the publish. Called inside the window containment,
+    /// so a failure (injected at `wal_append`/`wal_fsync` or real) fails
+    /// the whole window and the caller truncates the speculative record.
+    fn wal_commit(
+        &self,
+        durable: &mut DurableState,
+        updates: &[GraphUpdate],
+    ) -> Result<(), ServeError> {
+        let internal = |e: std::io::Error| ServeError::Internal(e.to_string());
+        let epoch = self.snapshot.load().epoch() + 1;
+        let bytes = {
+            let _span = esd_telemetry::span(esd_telemetry::Stage::WalAppend);
+            self.fault(FaultPoint::WalAppend).map_err(internal)?;
+            durable
+                .wal
+                .append(epoch, &crate::durability::encode_updates(updates))
+                .map_err(internal)?
+        };
+        self.metrics.wal_records.incr();
+        self.metrics.wal_bytes.add(bytes);
+        esd_telemetry::add(esd_telemetry::Metric::WalRecords, 1);
+        esd_telemetry::add(esd_telemetry::Metric::WalBytes, bytes);
+        let sync_now = match durable.policy {
+            crate::durability::AckPolicy::Fsync => true,
+            crate::durability::AckPolicy::Enqueue => {
+                durable.wal.unsynced_bytes() >= durable.group_bytes
+            }
+        };
+        if sync_now {
+            let _span = esd_telemetry::span(esd_telemetry::Stage::WalFsync);
+            self.fault(FaultPoint::WalFsync).map_err(internal)?;
+            durable.wal.sync().map_err(internal)?;
+            self.metrics.wal_fsyncs.incr();
+            esd_telemetry::add(esd_telemetry::Metric::WalFsyncs, 1);
+        }
+        Ok(())
+    }
+
+    /// The abort half of the transactional WAL append: physically removes
+    /// everything after `mark` so a record whose window failed (and was
+    /// therefore acked `Err`) can never be replayed. A failed truncate
+    /// poisons the WAL writer — subsequent windows fail cleanly rather
+    /// than risking an un-acked record surviving to recovery.
+    fn wal_abort(
+        &self,
+        durable: &mut DurableState,
+        mark: &esd_durability::WalMark,
+        appended_at_mark: u64,
+    ) {
+        if durable.wal.appended() == appended_at_mark {
+            return; // the window failed before its append — nothing to undo
+        }
+        // On Err the writer is poisoned: `WalWriter` refuses all further
+        // appends, so the next window fails cleanly instead of risking an
+        // un-acked record surviving to recovery. Either way the abort is
+        // counted — the record will not be replayed.
+        let _ = durable.wal.truncate_to(mark);
+        self.metrics.wal_truncations.incr();
+        esd_telemetry::add(esd_telemetry::Metric::WalTruncations, 1);
+    }
+
+    /// Checkpoint cadence: every `checkpoint_interval` publications, write
+    /// an incremental delta against the last full checkpoint — or a fresh
+    /// full checkpoint when the change ratio exceeds the threshold, which
+    /// also lets the WAL prefix and the previous checkpoint generation be
+    /// purged. Runs *after* the window published, under its own panic
+    /// containment: a checkpoint failure (injected at `checkpoint_write`
+    /// or real) must never turn an already-acked batch into an error. It
+    /// is counted and retried at the next interval.
+    fn maybe_checkpoint(&self, durable: &mut DurableState, index: &MaintainedIndex, epoch: u64) {
+        durable.publications += 1;
+        if durable.publications < durable.checkpoint_interval {
+            return;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| -> std::io::Result<()> {
+            let _span = esd_telemetry::span(esd_telemetry::Stage::CkptWrite);
+            self.fault(FaultPoint::CheckpointWrite)?;
+            let current = esd_core::index::delta::EdgeSetSnapshot::from_graph(index.graph());
+            let delta = durable.base.diff(&current);
+            let go_full = delta.change_ratio(&durable.base) * 1000.0
+                >= f64::from(durable.delta_ratio_permille);
+            if go_full {
+                durable.ckpts.write_full(epoch, &current.encode())?;
+                // The WAL prefix up to this epoch and the generation
+                // before the previous full checkpoint are now redundant.
+                durable.wal.purge_up_to(epoch)?;
+                durable.ckpts.purge_older_than(durable.prev_full_epoch)?;
+                durable.prev_full_epoch = durable.base_epoch;
+                durable.base = current;
+                durable.base_epoch = epoch;
+                self.metrics.ckpt_full.incr();
+                esd_telemetry::add(esd_telemetry::Metric::CkptFull, 1);
+            } else {
+                durable
+                    .ckpts
+                    .write_delta(durable.base_epoch, epoch, &delta.encode())?;
+                self.metrics.ckpt_delta.incr();
+                esd_telemetry::add(esd_telemetry::Metric::CkptDelta, 1);
+            }
+            Ok(())
+        }));
+        match result {
+            Ok(Ok(())) => durable.publications = 0,
+            Ok(Err(_)) => {
+                self.metrics.ckpt_failures.incr();
+                esd_telemetry::add(esd_telemetry::Metric::CkptFailures, 1);
+            }
+            Err(_) => {
+                self.note_contained_panic();
+                self.metrics.ckpt_failures.incr();
+                esd_telemetry::add(esd_telemetry::Metric::CkptFailures, 1);
+            }
+        }
+    }
+
     /// One apply window: lock the writer's working copy, apply `updates`
-    /// via the parallel pipeline, publish if anything changed — with
-    /// injected faults and panics contained *inside* the lock scope. On
-    /// any failure the working copy is rolled back to the last published
-    /// snapshot before the error is returned, so an `Err` always means
-    /// **nothing from this window was applied** (and the mutex is never
-    /// poisoned: no panic crosses the lock boundary).
+    /// via the parallel pipeline, log the window to the WAL (when durable),
+    /// publish if anything changed — with injected faults and panics
+    /// contained *inside* the lock scope. On any failure the working copy
+    /// is rolled back to the last published snapshot **and** the window's
+    /// speculative WAL record is truncated away before the error is
+    /// returned, so an `Err` always means **nothing from this window was
+    /// applied, published, or logged** (and the mutex is never poisoned:
+    /// no panic crosses the lock boundary).
     fn apply_window(
         &self,
         updates: &[GraphUpdate],
     ) -> Result<(Vec<UpdateDisposition>, u64), ServeError> {
         type WindowResult = Result<(Vec<UpdateDisposition>, BatchStats, u64), ServeError>;
         let mut index = self.writer_index.lock().unpoison();
+        let mut durable = self.durable.as_ref().map(|m| m.lock().unpoison());
+        // Taken before containment so both failure arms can abort to it.
+        let wal_mark = durable.as_ref().map(|d| (d.wal.mark(), d.wal.appended()));
         let window = catch_unwind(AssertUnwindSafe(|| -> WindowResult {
             self.fault(FaultPoint::WriterApply)
                 .map_err(|e| ServeError::Internal(e.to_string()))?;
             let outcome = index.apply_batch_parallel(updates, self.pipeline_threads);
             let epoch = if outcome.stats.applied > 0 {
+                if let Some(d) = durable.as_deref_mut() {
+                    self.wal_commit(d, updates)?;
+                }
                 self.publish_locked(&index)?
             } else {
                 self.snapshot.load().epoch()
@@ -461,15 +631,26 @@ impl Engine {
                 self.metrics.updates_applied.add(stats.applied as u64);
                 self.metrics.updates_noop.add(stats.noop as u64);
                 self.metrics.updates_rejected.add(stats.rejected as u64);
+                if stats.applied > 0 {
+                    if let Some(d) = durable.as_deref_mut() {
+                        self.maybe_checkpoint(d, &index, epoch);
+                    }
+                }
                 Ok((dispositions, epoch))
             }
             Ok(Err(e)) => {
                 *index = self.snapshot.load().index().clone();
+                if let (Some(d), Some((mark, at))) = (durable.as_deref_mut(), &wal_mark) {
+                    self.wal_abort(d, mark, *at);
+                }
                 Err(e)
             }
             Err(_) => {
                 self.note_contained_panic();
                 *index = self.snapshot.load().index().clone();
+                if let (Some(d), Some((mark, at))) = (durable.as_deref_mut(), &wal_mark) {
+                    self.wal_abort(d, mark, *at);
+                }
                 Err(ServeError::Internal(
                     "writer panicked mid-window; state rolled back, nothing applied".into(),
                 ))
@@ -499,6 +680,19 @@ impl Engine {
     fn shutdown(&self) {
         self.query_queue.close();
         self.update_queue.close();
+    }
+
+    /// Final WAL fsync at shutdown (best effort) — under
+    /// [`crate::durability::AckPolicy::Enqueue`] this is what makes the
+    /// deferred tail of acked batches durable on a clean exit.
+    fn sync_durable(&self) {
+        if let Some(durable) = &self.durable {
+            let d = durable.lock().unpoison();
+            if d.wal.sync().is_ok() {
+                self.metrics.wal_fsyncs.incr();
+                esd_telemetry::add(esd_telemetry::Metric::WalFsyncs, 1);
+            }
+        }
     }
 }
 
@@ -615,6 +809,23 @@ impl Service {
         Self::start_with_faults(g, cfg, FaultPlan::default())
     }
 
+    /// [`start`](Self::start), but durable-directory open/recovery errors
+    /// are returned instead of panicking. Prefer this whenever
+    /// [`ServiceConfig::durability`] is set.
+    pub fn try_start(g: &Graph, cfg: &ServiceConfig) -> std::io::Result<Self> {
+        Self::try_start_with_faults(g, cfg, FaultPlan::default())
+    }
+
+    /// [`try_start`](Self::try_start) with a deterministic [`FaultPlan`]
+    /// armed.
+    pub fn try_start_with_faults(
+        g: &Graph,
+        cfg: &ServiceConfig,
+        plan: FaultPlan,
+    ) -> std::io::Result<Self> {
+        Ok(Self::launch(Arc::new(Engine::build(g, cfg, plan)?), cfg))
+    }
+
     /// [`start`](Self::start) with a deterministic [`FaultPlan`] armed.
     ///
     /// Without the `fault-injection` cargo feature the plan is inert: the
@@ -622,7 +833,10 @@ impl Service {
     /// exactly like [`start`](Self::start). The chaos suite guards on
     /// [`crate::faults::enabled`] for this reason.
     pub fn start_with_faults(g: &Graph, cfg: &ServiceConfig, plan: FaultPlan) -> Self {
-        let engine = Arc::new(Engine::new(g, cfg, plan));
+        Self::launch(Arc::new(Engine::new(g, cfg, plan)), cfg)
+    }
+
+    fn launch(engine: Arc<Engine>, cfg: &ServiceConfig) -> Self {
         let mut threads = Vec::new();
         for i in 0..cfg.workers {
             let engine = Arc::clone(&engine);
@@ -662,6 +876,15 @@ impl Service {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // With the writer joined no further appends can race this.
+        self.engine.sync_durable();
+    }
+
+    /// What crash recovery found at startup, if the configured durable
+    /// directory held state. `None` for in-memory services and fresh
+    /// durable directories.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.engine.recovery.as_ref()
     }
 }
 
@@ -848,10 +1071,13 @@ impl ServiceHandle {
     }
 
     /// Persists the currently published snapshot as an ESDX file at
-    /// `path`, atomically: the index is frozen and written to a temporary
-    /// sibling first, then renamed into place — a failed persist (real or
-    /// injected at the `persist_io` fault point) leaves no partial file
-    /// behind. Panics are contained. Returns the persisted epoch.
+    /// `path`, atomically *and durably*: the index is frozen and written
+    /// to a temporary sibling, the tmp file is fsynced, it is renamed into
+    /// place, and the parent directory is fsynced — so a failed persist
+    /// (real or injected at the `persist_io` fault point) leaves no
+    /// partial file behind, and a power cut after return cannot roll the
+    /// rename back or leave a half-written file under the final name.
+    /// Panics are contained. Returns the persisted epoch.
     pub fn persist_snapshot(&self, path: &std::path::Path) -> std::io::Result<u64> {
         let result = catch_unwind(AssertUnwindSafe(|| {
             let snapshot = self.engine.snapshot.load();
@@ -860,7 +1086,15 @@ impl ServiceHandle {
                 esd_core::index::FrozenEsdIndex::build(&snapshot.index().graph().to_graph());
             let tmp = path.with_extension("esdx.tmp");
             frozen.save(&tmp)?;
+            // The write-then-rename dance is only atomic if the tmp file's
+            // *contents* are on disk before the rename commits the name,
+            // and the rename itself is only durable once the directory
+            // entry is.
+            std::fs::File::open(&tmp)?.sync_all()?;
             std::fs::rename(&tmp, path)?;
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                esd_durability::sync_dir(parent)?;
+            }
             Ok(snapshot.epoch())
         }));
         match result {
@@ -1009,6 +1243,7 @@ mod tests {
             default_deadline: Some(Duration::from_millis(200)),
             pipeline_threads: 1,
             shed_stale_epochs: 1,
+            durability: None,
         };
         let engine = Arc::new(Engine::new(&test_graph(), &cfg, FaultPlan::default()));
         let handle = ServiceHandle {
@@ -1051,6 +1286,7 @@ mod tests {
             default_deadline: Some(Duration::from_millis(200)),
             pipeline_threads: 1,
             shed_stale_epochs: 1,
+            durability: None,
         };
         let g = test_graph();
         let engine = Arc::new(Engine::new(&g, &cfg, FaultPlan::default()));
@@ -1108,6 +1344,7 @@ mod tests {
             default_deadline: Some(Duration::from_millis(500)),
             pipeline_threads: 1,
             shed_stale_epochs: 1,
+            durability: None,
         };
         let engine = Arc::new(Engine::new(&test_graph(), &cfg, FaultPlan::default()));
         let handle = ServiceHandle {
@@ -1243,5 +1480,159 @@ mod tests {
         let outcome = handle.apply_before(vec![], None).unwrap();
         assert_eq!(outcome.applied, 0);
         service.shutdown();
+    }
+
+    fn durable_cfg(dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig {
+            workers: 0,
+            durability: Some(crate::durability::DurabilityConfig::new(dir)),
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("esd_svc_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_service_recovers_acked_batches() {
+        let g = test_graph();
+        let dir = temp_dir("roundtrip");
+        let mut acked = Vec::new();
+        {
+            let service = Service::try_start(&g, &durable_cfg(&dir)).unwrap();
+            assert!(service.recovery_report().is_none(), "fresh dir");
+            let handle = service.handle();
+            for i in 0..10u32 {
+                let mut batch = MutationBatch::new();
+                batch.insert(i, 119 - i);
+                if handle.submit(batch).unwrap().applied > 0 {
+                    acked.push(GraphUpdate::Insert(i, 119 - i));
+                }
+            }
+            assert!(handle.metrics().wal_records.get() > 0);
+            assert!(handle.metrics().wal_fsyncs.get() > 0, "ack-after-fsync");
+            service.shutdown(); // simulate a restart (WAL + genesis ckpt survive)
+        }
+        let service = Service::try_start(&g, &durable_cfg(&dir)).unwrap();
+        let report = service.recovery_report().expect("non-empty dir recovers");
+        assert_eq!(report.wal_records_replayed, acked.len() as u64);
+        assert!(!report.wal_truncated);
+        // Recovered state == fault-free replay of exactly the acked batches.
+        let mut expected = MaintainedIndex::new(&g);
+        for u in &acked {
+            expected.apply_batch(std::slice::from_ref(u));
+        }
+        let recovered = service.handle().snapshot();
+        assert_eq!(recovered.epoch(), report.recovered_epoch);
+        assert_eq!(
+            recovered.index().graph().edges(),
+            expected.graph().edges(),
+            "recovered edge set matches replayed acked batches"
+        );
+        assert_eq!(recovered.index().query(15, 2), expected.query(15, 2));
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_checkpoints_bound_wal_replay() {
+        let g = test_graph();
+        let dir = temp_dir("ckpt");
+        let mut cfg = durable_cfg(&dir);
+        let dcfg = cfg.durability.as_mut().unwrap();
+        dcfg.checkpoint_interval = 4;
+        dcfg.delta_ratio_permille = 1_000_000; // force deltas
+        let mut published = 0u64;
+        {
+            let service = Service::try_start(&g, &cfg).unwrap();
+            let handle = service.handle();
+            for i in 0..12u32 {
+                let mut batch = MutationBatch::new();
+                batch.insert(i, 200 + i); // vertex 200+i is fresh → always applies
+                if handle.submit(batch).unwrap().applied > 0 {
+                    published += 1;
+                }
+            }
+            assert_eq!(published, 12);
+            assert!(handle.metrics().ckpt_delta.get() >= 2);
+            service.shutdown();
+        }
+        let service = Service::try_start(&g, &cfg).unwrap();
+        let report = service.recovery_report().unwrap();
+        assert!(
+            report.checkpoint_epoch >= 8,
+            "latest delta checkpoint bounds replay, got {report:?}"
+        );
+        assert!(report.wal_records_replayed <= 4);
+        assert_eq!(report.recovered_epoch, 12);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_full_fallback_purges_the_wal_prefix() {
+        let g = test_graph();
+        let dir = temp_dir("full");
+        let mut cfg = durable_cfg(&dir);
+        let dcfg = cfg.durability.as_mut().unwrap();
+        dcfg.checkpoint_interval = 2;
+        dcfg.delta_ratio_permille = 0; // every checkpoint goes full
+        {
+            let service = Service::try_start(&g, &cfg).unwrap();
+            let handle = service.handle();
+            for i in 0..8u32 {
+                let mut batch = MutationBatch::new();
+                batch.insert(i, 200 + i); // vertex 200+i is fresh → always applies
+                assert_eq!(handle.submit(batch).unwrap().applied, 1);
+            }
+            assert!(handle.metrics().ckpt_full.get() >= 3);
+            assert_eq!(handle.metrics().ckpt_delta.get(), 0);
+            service.shutdown();
+        }
+        let service = Service::try_start(&g, &cfg).unwrap();
+        let report = service.recovery_report().unwrap();
+        assert!(report.checkpoint_epoch >= 6);
+        assert!(
+            report.wal_records_replayed <= 2,
+            "prefix purged: {report:?}"
+        );
+        assert_eq!(report.recovered_epoch, 8);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_snapshot_survives_roundtrip() {
+        let g = test_graph();
+        let dir = temp_dir("persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let service = Service::start(
+            &g,
+            &ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let path = dir.join("snapshot.esdx");
+        let epoch = service.handle().persist_snapshot(&path).unwrap();
+        assert_eq!(epoch, 0);
+        let loaded = esd_core::index::FrozenEsdIndex::load(&path).unwrap();
+        assert_eq!(
+            loaded.query(10, 2),
+            *service
+                .handle()
+                .execute(QueryRequest::new(10, 2))
+                .unwrap()
+                .results
+        );
+        assert!(
+            !dir.join("snapshot.esdx.tmp").exists(),
+            "no tmp residue after a successful persist"
+        );
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

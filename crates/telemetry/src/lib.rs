@@ -143,6 +143,15 @@ catalogue! {
         ServeQuery => "serve.query",
         /// Serve engine: one snapshot publication (epoch advance).
         ServePublish => "serve.publish",
+        /// Durability: one WAL record appended (the durable commit path).
+        WalAppend => "wal.append",
+        /// Durability: one WAL fsync (a group commit covering every record
+        /// appended since the previous one).
+        WalFsync => "wal.fsync",
+        /// Durability: one recovery replay (checkpoint load + WAL replay).
+        WalReplay => "wal.replay",
+        /// Durability: one checkpoint written (full or delta).
+        CkptWrite => "ckpt.write",
     }
 }
 
@@ -198,6 +207,24 @@ catalogue! {
         /// Queries answered from a retained cached result under overload
         /// shedding instead of being rejected with `QueueFull`.
         ServeShed => "serve.shed",
+        /// WAL records appended by the durable commit path.
+        WalRecords => "wal.records",
+        /// WAL bytes appended (frame bytes, including headers).
+        WalBytes => "wal.bytes",
+        /// WAL group-commit fsyncs performed.
+        WalFsyncs => "wal.fsyncs",
+        /// WAL transactional truncations (a failed window's speculative
+        /// record physically removed so it can never be replayed).
+        WalTruncations => "wal.truncations",
+        /// WAL records replayed during crash recovery.
+        WalReplayedRecords => "wal.replayed_records",
+        /// Full checkpoints written.
+        CkptFull => "ckpt.full",
+        /// Delta checkpoints written.
+        CkptDelta => "ckpt.delta",
+        /// Checkpoint attempts that failed (counted and retried at the
+        /// next interval; never surfaced to the acked client).
+        CkptFailures => "ckpt.failures",
     }
 }
 

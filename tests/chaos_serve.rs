@@ -30,8 +30,8 @@ use esd_core::maintain::{GraphUpdate, MutationBatch};
 use esd_core::MaintainedIndex;
 use esd_graph::{generators, Graph};
 use esd_serve::{
-    FaultKind, FaultPlan, FaultPoint, QueryRequest, RetryPolicy, ServeError, Service,
-    ServiceConfig, Snapshot, Trigger,
+    AckPolicy, DurabilityConfig, FaultKind, FaultPlan, FaultPoint, QueryRequest, RetryPolicy,
+    ServeError, Service, ServiceConfig, Snapshot, Trigger,
 };
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -79,6 +79,7 @@ fn chaos_config(workers: usize) -> ServiceConfig {
         default_deadline: None,
         pipeline_threads: 2,
         shed_stale_epochs: 1,
+        durability: None,
     }
 }
 
@@ -229,31 +230,49 @@ fn edge_keys(index: &MaintainedIndex) -> BTreeSet<u64> {
         .collect()
 }
 
-/// Property 2: post-chaos state equals a fault-free replay of exactly the
-/// acknowledged batches on a fresh index.
-fn assert_matches_fault_free_replay(outcome: &ChaosOutcome, seed: u64) {
-    let mut replay = MaintainedIndex::new(&outcome.g);
-    for ops in &outcome.acked {
+/// Core identity check: `served` (however it was obtained — live snapshot
+/// or crash recovery) equals a fault-free replay of exactly `acked`, in
+/// order, on a fresh strict-invariants index.
+fn assert_index_matches_replay(
+    served: &MaintainedIndex,
+    g: &Graph,
+    acked: &[Vec<GraphUpdate>],
+    seed: u64,
+    what: &str,
+) {
+    let mut replay = MaintainedIndex::new(g);
+    for ops in acked {
         replay.apply_batch(ops);
     }
-    let served = outcome.snapshot.index();
     assert_eq!(
         edge_keys(served),
         edge_keys(&replay),
-        "final edge set diverged from fault-free replay (seed={seed:#x})"
+        "{what}: final edge set diverged from fault-free replay (seed={seed:#x})"
     );
     assert_eq!(
         served.component_sizes(),
         replay.component_sizes(),
-        "component sizes diverged from fault-free replay (seed={seed:#x})"
+        "{what}: component sizes diverged from fault-free replay (seed={seed:#x})"
     );
     for (k, tau) in [(10, 1), (25, 2), (50, 3), (400, 1)] {
         assert_eq!(
             served.query(k, tau),
             replay.query(k, tau),
-            "query ({k}, {tau}) diverged from fault-free replay (seed={seed:#x})"
+            "{what}: query ({k}, {tau}) diverged from fault-free replay (seed={seed:#x})"
         );
     }
+}
+
+/// Property 2: post-chaos state equals a fault-free replay of exactly the
+/// acknowledged batches on a fresh index.
+fn assert_matches_fault_free_replay(outcome: &ChaosOutcome, seed: u64) {
+    assert_index_matches_replay(
+        outcome.snapshot.index(),
+        &outcome.g,
+        &outcome.acked,
+        seed,
+        "served",
+    );
 }
 
 /// Scenario 1 — injected `io::Error`s at snapshot publication: some
@@ -403,14 +422,28 @@ fn chaos_persist_fault_leaves_no_partial_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("snapshot.esdx");
 
+    // Both failure modes must leave neither the target nor the `.tmp`
+    // staging file (the write-fsync-rename-fsync chain cleans up on every
+    // early exit).
+    let tmp_residue = |dir: &std::path::Path| {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .any(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+    };
     handle
         .persist_snapshot(&path)
         .expect_err("call 1: injected i/o error");
     assert!(!path.exists(), "failed persist must leave no file");
+    assert!(!tmp_residue(&dir), "failed persist must leave no .tmp file");
     handle
         .persist_snapshot(&path)
         .expect_err("call 2: injected panic, contained");
     assert!(!path.exists(), "panicked persist must leave no file");
+    assert!(
+        !tmp_residue(&dir),
+        "panicked persist must leave no .tmp file"
+    );
     assert!(handle.metrics().worker_restarts.get() > 0);
 
     let epoch = handle.persist_snapshot(&path).expect("call 3: clean");
@@ -425,6 +458,280 @@ fn chaos_persist_fault_leaves_no_partial_file() {
     }
     service.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Durable kill-and-recover scenarios
+// ---------------------------------------------------------------------------
+
+/// Fresh scratch directory for one durable scenario.
+fn durable_dir(tag: &str, seed: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("esd_chaos_{tag}_{seed:x}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Byte-for-byte copy of the durable directory taken while the service is
+/// still live: the crash image. The scenarios run with [`AckPolicy::Fsync`],
+/// so every acknowledged batch is on disk at every instant — a copy taken
+/// any time after the last ack is a faithful "kill -9 here" filesystem
+/// state, unlike the real directory which a graceful shutdown tidies.
+fn crash_image(dir: &std::path::Path) -> std::path::PathBuf {
+    let image = dir.with_file_name(format!(
+        "{}_image",
+        dir.file_name().unwrap().to_string_lossy()
+    ));
+    std::fs::remove_dir_all(&image).ok();
+    std::fs::create_dir_all(&image).unwrap();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), image.join(entry.file_name())).unwrap();
+    }
+    image
+}
+
+struct DurableOutcome {
+    g: Graph,
+    /// Acknowledged batches, in acknowledgement (= apply = WAL) order.
+    acked: Vec<Vec<GraphUpdate>>,
+    write_errors: usize,
+    dir: std::path::PathBuf,
+    image: std::path::PathBuf,
+    faults_injected: u64,
+    wal_truncations: u64,
+    ckpt_failures: u64,
+    worker_restarts: u64,
+}
+
+/// Runs `writes` sequential mutations against a durable engine under
+/// `plan`, snapshots the crash image *before* shutdown, and returns the
+/// evidence for the recovery-equivalence check.
+fn run_durable_chaos(
+    label: &str,
+    seed: u64,
+    plan: FaultPlan,
+    writes: usize,
+    checkpoint_interval: u64,
+    delta_ratio_permille: u32,
+) -> DurableOutcome {
+    quiet_injected_panics();
+    println!("chaos[{label}]: seed={seed:#x} plan={plan:?}");
+    let g = chaos_graph(seed);
+    let dir = durable_dir(label, seed);
+    let mut cfg = chaos_config(2);
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.ack_policy = AckPolicy::Fsync;
+    durability.checkpoint_interval = checkpoint_interval;
+    durability.delta_ratio_permille = delta_ratio_permille;
+    cfg.durability = Some(durability);
+    let service =
+        Service::try_start_with_faults(&g, &cfg, plan).expect("a fresh durable directory opens");
+    let handle = service.handle();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    let mut acked = Vec::new();
+    let mut write_errors = 0usize;
+    for _ in 0..writes {
+        let ops = random_ops(&mut rng);
+        match handle.submit(MutationBatch::from_raw(ops.clone())) {
+            Ok(_) => acked.push(ops),
+            Err(e) => {
+                assert!(
+                    matches!(e, ServeError::Internal(_)),
+                    "unexpected write error under chaos: {e}"
+                );
+                write_errors += 1;
+            }
+        }
+    }
+
+    // Kill point: image the directory while the service is still running.
+    let image = crash_image(&dir);
+    let metrics = handle.metrics();
+    let outcome = DurableOutcome {
+        acked,
+        write_errors,
+        image,
+        faults_injected: metrics.faults_injected.get(),
+        wal_truncations: metrics.wal_truncations.get(),
+        ckpt_failures: metrics.ckpt_failures.get(),
+        worker_restarts: metrics.worker_restarts.get(),
+        g,
+        dir,
+    };
+    println!(
+        "chaos[{label}]: acked={} write_errors={} faults={} truncations={} ckpt_failures={}",
+        outcome.acked.len(),
+        outcome.write_errors,
+        outcome.faults_injected,
+        outcome.wal_truncations,
+        outcome.ckpt_failures,
+    );
+    service.shutdown();
+    outcome
+}
+
+/// Recovers `dir` offline and asserts the recovered index equals a
+/// fault-free replay of exactly the acknowledged batches.
+fn assert_recovery_matches(
+    dir: &std::path::Path,
+    outcome: &DurableOutcome,
+    seed: u64,
+    what: &str,
+) -> esd_serve::Recovered {
+    let rec = esd_serve::durability::recover(dir)
+        .unwrap_or_else(|e| panic!("{what}: recovery errored (seed={seed:#x}): {e}"))
+        .unwrap_or_else(|| panic!("{what}: durable state missing (seed={seed:#x})"));
+    assert_index_matches_replay(&rec.index, &outcome.g, &outcome.acked, seed, what);
+    rec
+}
+
+fn cleanup_durable(outcome: &DurableOutcome) {
+    std::fs::remove_dir_all(&outcome.dir).ok();
+    std::fs::remove_dir_all(&outcome.image).ok();
+}
+
+/// Scenario 6 — injected `io::Error`s at the WAL fsync: under the
+/// ack-after-fsync policy a failed sync fails the window, which must roll
+/// back AND truncate the appended record, so neither the crash image nor
+/// the post-shutdown directory ever replays an unacknowledged batch.
+#[test]
+fn chaos_wal_fsync_fault_kill_and_recover() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_0007;
+    let plan = FaultPlan::new(seed).rule(
+        FaultPoint::WalFsync,
+        Trigger::EveryNth(4),
+        FaultKind::IoError,
+    );
+    let outcome = run_durable_chaos("wal_fsync", seed, plan, 48, 8, 250);
+    assert!(outcome.faults_injected > 0, "the plan must actually fire");
+    assert!(
+        outcome.write_errors > 0,
+        "a failed fsync must fail the window under AckPolicy::Fsync"
+    );
+    assert!(
+        outcome.wal_truncations > 0,
+        "failed windows that already appended must truncate the WAL"
+    );
+    assert!(outcome.acked.len() >= 20, "most writes still land");
+    assert_recovery_matches(&outcome.image, &outcome, seed, "crash image");
+    assert_recovery_matches(&outcome.dir, &outcome, seed, "post-shutdown dir");
+    cleanup_durable(&outcome);
+}
+
+/// Scenario 7 — injected panics at the WAL append: contained by the
+/// writer, the window rolls back, and recovery still replays exactly the
+/// acked prefix.
+#[test]
+fn chaos_wal_append_panic_kill_and_recover() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_0008;
+    let plan = FaultPlan::new(seed)
+        .rule(
+            FaultPoint::WalAppend,
+            Trigger::EveryNth(5),
+            FaultKind::Panic,
+        )
+        .rule(FaultPoint::WalAppend, Trigger::Nth(7), FaultKind::IoError);
+    let outcome = run_durable_chaos("wal_append", seed, plan, 48, 8, 250);
+    assert!(outcome.faults_injected > 0, "the plan must actually fire");
+    assert!(outcome.write_errors > 0, "append faults fail their windows");
+    assert!(
+        outcome.worker_restarts > 0,
+        "the injected append panic is contained and counted"
+    );
+    assert!(outcome.acked.len() >= 20, "most writes still land");
+    assert_recovery_matches(&outcome.image, &outcome, seed, "crash image");
+    assert_recovery_matches(&outcome.dir, &outcome, seed, "post-shutdown dir");
+    cleanup_durable(&outcome);
+}
+
+/// Scenario 8 — checkpoint writes fail (errors and panics): a checkpoint
+/// is an *optimisation*, so no acked window may fail, the failures are
+/// counted, and recovery falls back to a longer WAL replay with the same
+/// final state.
+#[test]
+fn chaos_checkpoint_faults_never_fail_acked_windows() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_0009;
+    let plan = FaultPlan::new(seed)
+        .rule(
+            FaultPoint::CheckpointWrite,
+            Trigger::EveryNth(2),
+            FaultKind::IoError,
+        )
+        .rule(
+            FaultPoint::CheckpointWrite,
+            Trigger::Nth(5),
+            FaultKind::Panic,
+        );
+    let outcome = run_durable_chaos("ckpt_fault", seed, plan, 48, 3, 1_000_000);
+    assert!(outcome.faults_injected > 0, "the plan must actually fire");
+    assert_eq!(
+        outcome.write_errors, 0,
+        "checkpoint failures must never fail an acked window"
+    );
+    assert_eq!(outcome.acked.len(), 48, "every write is acked");
+    assert!(outcome.ckpt_failures > 0, "failures are counted");
+    let rec = assert_recovery_matches(&outcome.image, &outcome, seed, "crash image");
+    // With checkpoints failing, the WAL carries the weight: replay must
+    // cover everything past whatever checkpoint (possibly only the
+    // genesis one) survived.
+    assert_eq!(
+        rec.report.checkpoint_epoch + rec.report.wal_records_replayed,
+        rec.epoch,
+        "WAL replay bridges the checkpoint gap exactly (seed={seed:#x})"
+    );
+    assert_recovery_matches(&outcome.dir, &outcome, seed, "post-shutdown dir");
+    cleanup_durable(&outcome);
+}
+
+/// Scenario 9 — the full durable storm: WAL faults, checkpoint faults,
+/// writer faults, and worker panics at once. The ack contract holds the
+/// line: recovery from the crash image equals the fault-free replay of
+/// exactly the acknowledged batches.
+#[test]
+fn chaos_durable_mixed_storm() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_000A;
+    let plan = FaultPlan::new(seed)
+        .rule(
+            FaultPoint::WriterApply,
+            Trigger::EveryNth(9),
+            FaultKind::IoError,
+        )
+        .rule(
+            FaultPoint::WalAppend,
+            Trigger::EveryNth(7),
+            FaultKind::IoError,
+        )
+        .rule(FaultPoint::WalFsync, Trigger::Nth(11), FaultKind::IoError)
+        .rule(
+            FaultPoint::CheckpointWrite,
+            Trigger::EveryNth(3),
+            FaultKind::IoError,
+        );
+    let outcome = run_durable_chaos("durable_storm", seed, plan, 64, 4, 250);
+    assert!(outcome.faults_injected > 0);
+    assert!(outcome.write_errors > 0, "some windows fail");
+    assert!(outcome.acked.len() >= 30, "most writes still land");
+    assert_recovery_matches(&outcome.image, &outcome, seed, "crash image");
+    assert_recovery_matches(&outcome.dir, &outcome, seed, "post-shutdown dir");
+    cleanup_durable(&outcome);
 }
 
 /// The reproducibility claim itself: with a single worker and no

@@ -175,3 +175,255 @@ fn esdx_semantically_corrupt_but_checksummed_file_is_rejected() {
         "nesting-violating file must be rejected, got {err:?}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Durable-state corruption fuzzing (WAL segments + checkpoints)
+// ---------------------------------------------------------------------------
+//
+// Layer 4: the durability subsystem's loaders face the same adversary as
+// the ESDX loader above — every single-byte flip and every truncation of
+// a real WAL segment, and every flip of every checkpoint file. The
+// contract is weaker than ESDX's all-or-nothing (a WAL is *expected* to
+// have a torn tail), but just as strict:
+//
+// * recovery NEVER panics and NEVER errors on corrupt contents;
+// * a corrupt WAL yields exactly a valid *prefix* of the acked batches
+//   (stop at the last valid record, nothing fabricated after it);
+// * a corrupt checkpoint degrades recovery (older chain + longer WAL
+//   replay, or no state at all when the genesis full is the victim) but
+//   never fabricates state.
+
+use esd_core::maintain::MutationBatch;
+use esd_serve::{AckPolicy, DurabilityConfig, Service, ServiceConfig};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Batches written to the durable dir; batch `i` inserts the guaranteed
+/// fresh edge `(i, 100 + i)`, so every batch publishes exactly one epoch
+/// and epoch `e` ⇔ "the first `e` batches applied".
+const FUZZ_BATCHES: u32 = 16;
+
+fn fuzz_graph() -> esd_graph::Graph {
+    generators::clique_overlap(40, 20, 4, 9)
+}
+
+/// Runs a real durable service over `FUZZ_BATCHES` acked batches and
+/// returns the directory its WAL + checkpoints live in.
+fn build_durable_dir(tag: &str, checkpoint_interval: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("esd_fuzz_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.ack_policy = AckPolicy::Fsync;
+    durability.checkpoint_interval = checkpoint_interval;
+    // Force delta checkpoints: the WAL is then never purged, so the
+    // genesis full + the complete WAL cover every prefix.
+    durability.delta_ratio_permille = 1_000_000;
+    let cfg = ServiceConfig {
+        workers: 0,
+        durability: Some(durability),
+        ..ServiceConfig::default()
+    };
+    let service = Service::try_start(&fuzz_graph(), &cfg).expect("fresh durable dir opens");
+    for i in 0..FUZZ_BATCHES {
+        let mut batch = MutationBatch::new();
+        batch.insert(i, 100 + i);
+        service.handle().submit(batch).expect("batch acked");
+    }
+    service.shutdown();
+    dir
+}
+
+fn recovered_edges(index: &MaintainedIndex) -> BTreeSet<u64> {
+    index
+        .graph()
+        .edges()
+        .iter()
+        .map(esd_graph::Edge::key)
+        .collect()
+}
+
+/// `prefixes[e]` = the exact edge set after the first `e` batches.
+fn prefix_edge_sets() -> Vec<BTreeSet<u64>> {
+    let mut replay = MaintainedIndex::new(&fuzz_graph());
+    let mut out = vec![recovered_edges(&replay)];
+    for i in 0..FUZZ_BATCHES {
+        replay.apply_batch(&[esd_core::maintain::GraphUpdate::Insert(i, 100 + i)]);
+        out.push(recovered_edges(&replay));
+    }
+    out
+}
+
+/// The fuzz oracle: recovery of (a possibly corrupted) `dir` must succeed
+/// without error and yield exactly the prefix its own report claims.
+fn assert_recovers_to_valid_prefix(dir: &Path, prefixes: &[BTreeSet<u64>], what: &str) -> u64 {
+    let rec = esd_serve::durability::recover(dir)
+        .unwrap_or_else(|e| panic!("{what}: corrupt contents must not error recovery: {e}"))
+        .unwrap_or_else(|| panic!("{what}: durable state vanished"));
+    let epoch = rec.report.recovered_epoch;
+    let epoch_idx = usize::try_from(epoch).unwrap();
+    assert!(
+        epoch_idx < prefixes.len(),
+        "{what}: recovered epoch {epoch} exceeds every acked prefix"
+    );
+    assert_eq!(
+        recovered_edges(&rec.index),
+        prefixes[epoch_idx],
+        "{what}: recovered state is not the acked prefix its report claims"
+    );
+    epoch
+}
+
+fn wal_segments_in(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            name.starts_with("wal-") && name.ends_with(".log")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Exhaustive single-byte corruption of every WAL segment byte: recovery
+/// must stop at the last valid record — a clean prefix, never a panic,
+/// never an error, never a record past the flip.
+#[test]
+fn wal_every_single_byte_corruption_recovers_a_valid_prefix() {
+    let dir = build_durable_dir("wal_flip", 1_000_000);
+    let prefixes = prefix_edge_sets();
+    // Uncorrupted baseline: the full acked history.
+    assert_eq!(
+        assert_recovers_to_valid_prefix(&dir, &prefixes, "baseline"),
+        u64::from(FUZZ_BATCHES)
+    );
+    let segments = wal_segments_in(&dir);
+    assert_eq!(segments.len(), 1, "the workload fits one segment");
+    let seg = &segments[0];
+    let pristine = std::fs::read(seg).unwrap();
+    for pos in 0..pristine.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut bad = pristine.clone();
+            bad[pos] ^= mask;
+            std::fs::write(seg, &bad).unwrap();
+            assert_recovers_to_valid_prefix(
+                &dir,
+                &prefixes,
+                &format!("wal byte {pos} ^ {mask:#04x}"),
+            );
+        }
+    }
+    std::fs::write(seg, &pristine).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every truncation length of the WAL segment recovers the longest prefix
+/// of whole valid records the remaining bytes contain — monotonically
+/// non-decreasing in the cut position.
+#[test]
+fn wal_every_truncation_recovers_a_valid_prefix() {
+    let dir = build_durable_dir("wal_trunc", 1_000_000);
+    let prefixes = prefix_edge_sets();
+    let segments = wal_segments_in(&dir);
+    assert_eq!(segments.len(), 1, "the workload fits one segment");
+    let seg = &segments[0];
+    let pristine = std::fs::read(seg).unwrap();
+    let mut last_epoch = 0u64;
+    for cut in 0..pristine.len() {
+        std::fs::write(seg, &pristine[..cut]).unwrap();
+        let epoch =
+            assert_recovers_to_valid_prefix(&dir, &prefixes, &format!("wal truncated to {cut}"));
+        assert!(
+            epoch >= last_epoch,
+            "longer tails must never recover less (cut {cut}: {epoch} < {last_epoch})"
+        );
+        last_epoch = epoch;
+    }
+    std::fs::write(seg, &pristine).unwrap();
+    assert_eq!(
+        assert_recovers_to_valid_prefix(&dir, &prefixes, "restored"),
+        u64::from(FUZZ_BATCHES)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Exhaustive single-byte corruption of every checkpoint file: a corrupt
+/// delta falls back to an older chain plus a longer WAL replay (same
+/// final state, because the WAL was never purged); a corrupt genesis full
+/// removes the only chain, and recovery reports *no* durable state rather
+/// than inventing one.
+#[test]
+fn checkpoint_corruption_degrades_recovery_never_fabricates() {
+    let dir = build_durable_dir("ckpt_flip", 5);
+    let prefixes = prefix_edge_sets();
+    let full_state = &prefixes[FUZZ_BATCHES as usize];
+    let ckpts: Vec<PathBuf> = {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                name.starts_with("ckpt-")
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    let fulls = ckpts
+        .iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "full"))
+        .count();
+    let deltas = ckpts.len() - fulls;
+    assert_eq!(fulls, 1, "delta-forcing config keeps only the genesis full");
+    assert!(
+        deltas >= 2,
+        "interval 5 over 16 epochs writes several deltas"
+    );
+    for path in &ckpts {
+        let is_full = path.extension().is_some_and(|e| e == "full");
+        let pristine = std::fs::read(path).unwrap();
+        for pos in 0..pristine.len() {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut bad = pristine.clone();
+                bad[pos] ^= mask;
+                std::fs::write(path, &bad).unwrap();
+                let what = format!("{} byte {pos} ^ {mask:#04x}", path.display());
+                let rec = esd_serve::durability::recover(&dir)
+                    .unwrap_or_else(|e| panic!("{what}: corruption must not error recovery: {e}"));
+                match rec {
+                    None => assert!(
+                        is_full,
+                        "{what}: only losing the genesis full may erase all durable state"
+                    ),
+                    Some(rec) => {
+                        // Only the newest delta is guaranteed to be *read*
+                        // (discovery walks newest-first and stops at the
+                        // first valid chain); corrupting it must be noticed.
+                        if Some(path) == ckpts.last() {
+                            assert!(
+                                rec.report.skipped_invalid_checkpoints > 0,
+                                "{what}: the corrupt newest delta must be noticed and skipped"
+                            );
+                        }
+                        assert_eq!(
+                            rec.report.recovered_epoch,
+                            u64::from(FUZZ_BATCHES),
+                            "{what}: the un-purged WAL must bridge to the final epoch"
+                        );
+                        assert_eq!(
+                            &recovered_edges(&rec.index),
+                            full_state,
+                            "{what}: degraded recovery must still reach the exact final state"
+                        );
+                    }
+                }
+            }
+        }
+        std::fs::write(path, &pristine).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

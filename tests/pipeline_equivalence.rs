@@ -184,3 +184,199 @@ fn coalesced_batches_reach_the_same_final_state() {
     raw.check_consistency();
     coalesced.check_consistency();
 }
+
+// ---------------------------------------------------------------------------
+// Recovery equivalence: kill the durable engine at every WAL/checkpoint
+// boundary and demand the recovered index is observably identical to a
+// fault-free replay of exactly the batches acked before the kill.
+// ---------------------------------------------------------------------------
+//
+// The durable engine appends one WAL record per *publishing* batch
+// (epochs 1, 2, 3, …) and interleaves checkpoint writes. A real crash can
+// land between any two of those I/O steps. With ack-after-fsync, the
+// filesystem state at each such instant is fully determined: the WAL cut
+// at a record boundary plus exactly the checkpoints written so far. The
+// property below reconstructs every one of those crash images from a
+// completed run and recovers each — under `strict-invariants`, with the
+// full query grid compared — against an independent sequential replay.
+
+use esd_serve::{AckPolicy, DurabilityConfig, Service, ServiceConfig};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// Epoch a checkpoint file name commits to (`ckpt-<e>.full` or
+/// `ckpt-<base>-<e>.delta`); `None` for non-checkpoint files.
+fn ckpt_epoch(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("ckpt-")?;
+    if let Some(hex) = rest.strip_suffix(".full") {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = rest.strip_suffix(".delta") {
+        u64::from_str_radix(hex.split_once('-')?.1, 16).ok()
+    } else {
+        None
+    }
+}
+
+/// Byte offsets of every record boundary in one WAL segment:
+/// `offsets[e]` = length of the file holding exactly the first `e`
+/// records (`offsets[0]` = just the segment header).
+fn wal_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut out = vec![8];
+    let mut pos = 8usize;
+    // Frame = [u32 len][u32 crc][len bytes: u64 epoch + payload].
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 8 + len;
+        if pos > bytes.len() {
+            break;
+        }
+        out.push(pos);
+    }
+    out
+}
+
+/// Builds the crash image for a kill at WAL boundary `epoch`:
+/// the WAL truncated to `wal_len` bytes plus every checkpoint written
+/// strictly before the kill (`epoch` itself included only *after* its
+/// checkpoint write, controlled by `include_ckpt_at_epoch`).
+fn build_crash_image(
+    dir: &Path,
+    wal_name: &str,
+    wal_bytes: &[u8],
+    wal_len: usize,
+    epoch: u64,
+    include_ckpt_at_epoch: bool,
+) -> PathBuf {
+    let image = dir.with_file_name(format!(
+        "{}_img",
+        dir.file_name().unwrap().to_string_lossy()
+    ));
+    std::fs::remove_dir_all(&image).ok();
+    std::fs::create_dir_all(&image).unwrap();
+    std::fs::write(image.join(wal_name), &wal_bytes[..wal_len]).unwrap();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(e) = ckpt_epoch(&name) else { continue };
+        if e < epoch || (e == epoch && include_ckpt_at_epoch) {
+            std::fs::copy(entry.path(), image.join(&name)).unwrap();
+        }
+    }
+    image
+}
+
+/// Replays acked batches sequentially until the durable epoch counter
+/// (one tick per batch with `applied > 0`) reaches `epoch`.
+fn replay_to_epoch(
+    g: &esd::graph::Graph,
+    acked: &[Vec<GraphUpdate>],
+    epoch: u64,
+) -> MaintainedIndex {
+    let mut replay = MaintainedIndex::new(g);
+    let mut reached = 0u64;
+    for ops in acked {
+        if reached == epoch {
+            break;
+        }
+        if replay.apply_batch(ops).applied > 0 {
+            reached += 1;
+        }
+    }
+    assert_eq!(reached, epoch, "boundary epoch {epoch} must be reachable");
+    replay
+}
+
+fn recovery_equivalence_case(seed: u64) {
+    let g = generators::clique_overlap(60, 40, 4, seed ^ 0x5EED);
+    let dir = std::env::temp_dir().join(format!("esd_recov_eq_{seed:x}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.ack_policy = AckPolicy::Fsync;
+    durability.checkpoint_interval = 3;
+    // Deltas only: the WAL is never purged, so every boundary image is
+    // recoverable from the genesis full plus the WAL prefix alone even
+    // when the image drops later checkpoints.
+    durability.delta_ratio_permille = 1_000_000;
+    let cfg = ServiceConfig {
+        workers: 0,
+        durability: Some(durability),
+        ..ServiceConfig::default()
+    };
+    let service = Service::try_start(&g, &cfg).expect("fresh durable dir opens");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acked: Vec<Vec<GraphUpdate>> = Vec::new();
+    for _ in 0..10 {
+        let ops = random_batch(&mut rng, 70, 12);
+        service
+            .handle()
+            .submit(MutationBatch::from_raw(ops.clone()))
+            .expect("batch acked");
+        acked.push(ops);
+    }
+    service.shutdown();
+
+    let wal: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    assert_eq!(wal.len(), 1, "the workload fits one WAL segment");
+    let wal_name = wal[0].file_name().unwrap().to_string_lossy().into_owned();
+    let wal_bytes = std::fs::read(&wal[0]).unwrap();
+    let boundaries = wal_boundaries(&wal_bytes);
+
+    for (epoch, &wal_len) in boundaries.iter().enumerate() {
+        let epoch = epoch as u64;
+        for include_ckpt_at_epoch in [false, true] {
+            let image = build_crash_image(
+                &dir,
+                &wal_name,
+                &wal_bytes,
+                wal_len,
+                epoch,
+                include_ckpt_at_epoch,
+            );
+            let what = format!(
+                "seed {seed:#x}, kill at epoch {epoch} ({}checkpoint)",
+                if include_ckpt_at_epoch {
+                    "post-"
+                } else {
+                    "pre-"
+                }
+            );
+            let recovered = esd_serve::durability::recover(&image)
+                .unwrap_or_else(|e| panic!("{what}: recovery errored: {e}"));
+            match recovered {
+                // A kill before even the genesis checkpoint leaves no
+                // durable state — recovery must say so, not fabricate.
+                None => assert_eq!(
+                    (epoch, include_ckpt_at_epoch),
+                    (0, false),
+                    "{what}: durable state vanished"
+                ),
+                Some(rec) => {
+                    assert_eq!(rec.epoch, epoch, "{what}: recovered epoch");
+                    let replay = replay_to_epoch(&g, &acked, epoch);
+                    assert_state_identical(&rec.index, &replay, &what);
+                    rec.index.check_consistency();
+                }
+            }
+            std::fs::remove_dir_all(&image).ok();
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For random acked workloads, recovery from a kill at EVERY WAL
+    /// record boundary — both before and after any checkpoint written at
+    /// that boundary — reproduces the sequential replay exactly.
+    #[test]
+    fn recovery_at_every_boundary_matches_fault_free_replay(seed in any::<u64>()) {
+        recovery_equivalence_case(seed);
+    }
+}

@@ -218,10 +218,13 @@ pub(crate) fn fault_coverage(ws: &Workspace) -> Vec<Finding> {
     findings
 }
 
-/// Files the facade discipline applies to: serve and telemetry sources,
-/// minus the facades themselves (they are the one sanctioned doorway).
+/// Files the facade discipline applies to: serve, telemetry, and
+/// durability sources, minus the facades themselves (they are the one
+/// sanctioned doorway).
 fn facade_scoped(file: &SourceFile) -> bool {
-    (file.rel.starts_with("crates/serve/src/") || file.rel.starts_with("crates/telemetry/src/"))
+    (file.rel.starts_with("crates/serve/src/")
+        || file.rel.starts_with("crates/telemetry/src/")
+        || file.rel.starts_with("crates/durability/src/"))
         && !file.rel.ends_with("/sync.rs")
 }
 
@@ -331,7 +334,9 @@ pub(crate) fn allow_reason(ws: &Workspace) -> Vec<Finding> {
 pub(crate) fn zst_disarmed(ws: &Workspace) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in ws.files.iter().filter(|f| {
-        f.rel.starts_with("crates/serve/src/") || f.rel.starts_with("crates/telemetry/src/")
+        f.rel.starts_with("crates/serve/src/")
+            || f.rel.starts_with("crates/telemetry/src/")
+            || f.rel.starts_with("crates/durability/src/")
     }) {
         findings.extend(zst_disarmed_in(file));
         findings.extend(gated_fields_consistent(file));

@@ -64,11 +64,16 @@ fn scenarios() -> Vec<Scenario> {
                 vec![
                     SourceFile::from_text(
                         faults,
-                        "pub enum FaultPoint {\n    SnapshotPublish,\n    WriterApply,\n}\n",
+                        "pub enum FaultPoint {\n    SnapshotPublish,\n    WriterApply,\n    \
+                         WalAppend,\n    WalFsync,\n    CheckpointWrite,\n}\n",
                     ),
+                    // Every durability point but WalFsync is exercised —
+                    // the pass must flag exactly the uncovered one.
                     SourceFile::from_text(
                         "tests/chaos_serve.rs",
-                        "fn scenario() { let _ = FaultPoint::SnapshotPublish; }\n",
+                        "fn scenario() { let _ = (FaultPoint::SnapshotPublish, \
+                         FaultPoint::WriterApply, FaultPoint::WalAppend, \
+                         FaultPoint::CheckpointWrite); }\n",
                     ),
                 ],
                 None,
@@ -77,11 +82,14 @@ fn scenarios() -> Vec<Scenario> {
                 vec![
                     SourceFile::from_text(
                         faults,
-                        "pub enum FaultPoint {\n    SnapshotPublish,\n    WriterApply,\n}\n",
+                        "pub enum FaultPoint {\n    SnapshotPublish,\n    WriterApply,\n    \
+                         WalAppend,\n    WalFsync,\n    CheckpointWrite,\n}\n",
                     ),
                     SourceFile::from_text(
                         "tests/chaos_serve.rs",
-                        "fn scenario() { let _ = (FaultPoint::SnapshotPublish, FaultPoint::WriterApply); }\n",
+                        "fn scenario() { let _ = (FaultPoint::SnapshotPublish, \
+                         FaultPoint::WriterApply, FaultPoint::WalAppend, \
+                         FaultPoint::WalFsync, FaultPoint::CheckpointWrite); }\n",
                     ),
                 ],
                 None,
