@@ -36,7 +36,11 @@
 //! record**: a torn tail, a bit flip, a truncated segment, or an epoch
 //! regression ends the replay there (recorded in
 //! [`WalReplay::truncated`]) — it never panics and never yields a record
-//! that fails its checksum.
+//! that fails its checksum. After a truncated replay, a process that
+//! intends to keep appending must call [`repair_dir`] to physically drop
+//! the invalid tail *before* opening a writer: the writer starts a fresh
+//! segment after the tear, and a later replay would stop at the tear and
+//! never reach it.
 
 use crate::crc32::crc32;
 use crate::sync::{Condvar, Mutex, Unpoison};
@@ -180,6 +184,11 @@ struct Inner {
     unsynced_bytes: u64,
     /// A sync is in flight outside the lock; contenders park on `synced`.
     syncing: bool,
+    /// Bumped by every effective [`WalWriter::truncate_to`]: an fsync that
+    /// raced a truncation (its generation no longer matches) proves
+    /// nothing about the current tail, so its result must not advance
+    /// `durable`.
+    truncations: u64,
     /// Set when the on-disk tail may not match this bookkeeping (a failed
     /// truncate). Every subsequent append refuses, so an inconsistent log
     /// is never extended.
@@ -216,6 +225,7 @@ impl WalWriter {
                 durable: 0,
                 unsynced_bytes: 0,
                 syncing: false,
+                truncations: 0,
                 poisoned: false,
                 last_epoch: None,
             }),
@@ -291,8 +301,11 @@ impl WalWriter {
     /// is covered by that fsync when possible.
     pub fn sync(&self) -> io::Result<()> {
         let mut inner = self.inner.lock().unpoison();
-        let target = inner.appended;
+        let mut target = inner.appended;
         loop {
+            // A concurrent truncate_to may have removed records this call
+            // set out to cover; what still exists is all there is to sync.
+            target = target.min(inner.appended);
             if inner.durable >= target {
                 return Ok(());
             }
@@ -309,6 +322,7 @@ impl WalWriter {
             };
             let clone = file.try_clone()?;
             let high = inner.appended;
+            let generation = inner.truncations;
             inner.syncing = true;
             drop(inner);
             let result = clone.sync_data();
@@ -316,10 +330,18 @@ impl WalWriter {
             inner.syncing = false;
             self.synced.notify_all();
             result?;
-            inner.durable = inner.durable.max(high);
-            if inner.durable == inner.appended {
-                inner.unsynced_bytes = 0;
+            if inner.truncations == generation {
+                inner.durable = inner.durable.max(high);
+                if inner.durable == inner.appended {
+                    inner.unsynced_bytes = 0;
+                }
             }
+            // On a generation mismatch the fsync raced a truncation — it
+            // may even have targeted a now-deleted segment file — so its
+            // result is discarded and the loop re-evaluates against the
+            // shrunken log. Without this, `durable` could run past
+            // `appended` and records appended after the truncation would
+            // be counted durable without ever being fsynced.
         }
     }
 
@@ -340,6 +362,14 @@ impl WalWriter {
         self.inner.lock().unpoison().poisoned
     }
 
+    /// `(appended, durable)` under one lock acquisition, for invariant
+    /// checks: `durable ≤ appended` must hold at every instant.
+    #[cfg(test)]
+    fn accounting(&self) -> (u64, u64) {
+        let inner = self.inner.lock().unpoison();
+        (inner.appended, inner.durable)
+    }
+
     /// Physically removes every record appended after `mark` — the abort
     /// half of a transactional append. If the removal itself fails the
     /// writer is **poisoned** (all further appends refuse) because the
@@ -350,6 +380,10 @@ impl WalWriter {
         if inner.appended == mark.appended {
             return Ok(());
         }
+        // Invalidate any fsync in flight outside the lock: its result must
+        // not advance the durable watermark past records removed here (see
+        // `sync`).
+        inner.truncations += 1;
         let result = self.truncate_locked(&mut inner, mark);
         if result.is_err() {
             inner.poisoned = true;
@@ -471,7 +505,8 @@ pub fn read_dir(dir: &Path) -> io::Result<WalReplay> {
             replay.truncated = true;
             return Ok(replay);
         };
-        if !read_segment(&mut file, &mut replay, &mut last_epoch) {
+        let (clean, _) = read_segment(&mut file, &mut replay, &mut last_epoch);
+        if !clean {
             replay.truncated = true;
             // Later segments are unreachable for replay: records must form
             // a prefix of the commit order.
@@ -481,47 +516,109 @@ pub fn read_dir(dir: &Path) -> io::Result<WalReplay> {
     Ok(replay)
 }
 
-/// Reads one segment into `replay`; `false` means replay must stop here.
-fn read_segment(file: &mut File, replay: &mut WalReplay, last_epoch: &mut Option<u64>) -> bool {
+/// Physically truncates the log in `dir` to its valid record prefix: the
+/// segment holding the first invalid byte is truncated at that byte (or
+/// deleted outright when even its header is bad), every later segment is
+/// removed, and the surviving tail plus the directory are fsynced.
+/// Returns `true` when anything was removed.
+///
+/// This is the mandatory companion of recovery-after-a-torn-tail: a new
+/// [`WalWriter`] always starts a fresh segment *after* the tear, while
+/// [`read_dir`] stops at the *first* invalid byte — so a tear left in
+/// place would hide, and a later recovery would silently lose, every
+/// record fsynced after the restart. Nothing acked is ever dropped here:
+/// appends are strictly sequential, so no valid record can exist beyond
+/// the first invalid byte.
+pub fn repair_dir(dir: &Path) -> io::Result<bool> {
+    if !dir.exists() {
+        return Ok(false);
+    }
+    let segments = list_segments(dir)?;
+    let mut scratch = WalReplay::default();
+    let mut last_epoch: Option<u64> = None;
+    let mut tear: Option<(usize, u64)> = None;
+    for (i, seg) in segments.iter().enumerate() {
+        let Ok(mut file) = File::open(&seg.path) else {
+            tear = Some((i, 0));
+            break;
+        };
+        let (clean, valid_len) = read_segment(&mut file, &mut scratch, &mut last_epoch);
+        if !clean {
+            tear = Some((i, valid_len));
+            break;
+        }
+    }
+    let Some((torn, valid_len)) = tear else {
+        return Ok(false);
+    };
+    // Segments past the tear are unreachable for replay (records must form
+    // a prefix of the commit order), so they are pure garbage.
+    for seg in &segments[torn + 1..] {
+        std::fs::remove_file(&seg.path)?;
+    }
+    let seg = &segments[torn];
+    if valid_len < HEADER_LEN {
+        std::fs::remove_file(&seg.path)?;
+    } else {
+        let file = OpenOptions::new().write(true).open(&seg.path)?;
+        file.set_len(valid_len)?;
+        file.sync_data()?;
+    }
+    sync_dir(dir)?;
+    Ok(true)
+}
+
+/// Reads one segment into `replay`. Returns `(clean, valid_len)`:
+/// `clean == false` means replay must stop here, and `valid_len` is the
+/// byte length of the segment's valid prefix (`0` when even the header is
+/// bad — the whole file is garbage). [`repair_dir`] truncates at exactly
+/// this boundary.
+fn read_segment(
+    file: &mut File,
+    replay: &mut WalReplay,
+    last_epoch: &mut Option<u64>,
+) -> (bool, u64) {
     let mut header = [0u8; HEADER_LEN as usize];
     if read_exact_or_eof(file, &mut header) != ReadOutcome::Full {
-        return false;
+        return (false, 0);
     }
     if &header[..4] != MAGIC
         || u32::from_le_bytes([header[4], header[5], header[6], header[7]]) != VERSION
     {
-        return false;
+        return (false, 0);
     }
+    let mut valid_len = HEADER_LEN;
     loop {
         let mut prefix = [0u8; FRAME_PREFIX as usize];
         match read_exact_or_eof(file, &mut prefix) {
-            ReadOutcome::Eof => return true, // clean segment end
-            ReadOutcome::Partial => return false,
+            ReadOutcome::Eof => return (true, valid_len), // clean segment end
+            ReadOutcome::Partial => return (false, valid_len),
             ReadOutcome::Full => {}
         }
         let len = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]);
         let crc = u32::from_le_bytes([prefix[4], prefix[5], prefix[6], prefix[7]]);
         if !(8..=MAX_FRAME_LEN).contains(&len) {
-            return false;
+            return (false, valid_len);
         }
         let mut body = vec![0u8; len as usize];
         if read_exact_or_eof(file, &mut body) != ReadOutcome::Full {
-            return false;
+            return (false, valid_len);
         }
         if crc32(&body) != crc {
-            return false;
+            return (false, valid_len);
         }
         let epoch = u64::from_le_bytes([
             body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
         ]);
         if last_epoch.is_some_and(|last| epoch <= last) {
-            return false;
+            return (false, valid_len);
         }
         *last_epoch = Some(epoch);
         replay.records.push(WalRecord {
             epoch,
             payload: body.split_off(8),
         });
+        valid_len += FRAME_PREFIX + u64::from(len);
     }
 }
 
@@ -712,6 +809,115 @@ mod tests {
         let replay = read_dir(&dir).unwrap();
         assert!(replay.truncated);
         assert_eq!(replay.records.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repair_drops_torn_tail_so_later_records_stay_reachable() {
+        let dir = tmp("repair");
+        {
+            let wal = WalWriter::open(&dir, WalOptions::default()).unwrap();
+            for epoch in 1..=5u64 {
+                wal.append(epoch, &[epoch as u8; 24]).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Crash mid-append: the last record is torn.
+        let seg = list_segments(&dir).unwrap().pop().unwrap();
+        let full = std::fs::metadata(&seg.path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&seg.path).unwrap();
+        file.set_len(full - 10).unwrap();
+        drop(file);
+        assert!(repair_dir(&dir).unwrap());
+        let replay = read_dir(&dir).unwrap();
+        assert!(!replay.truncated, "the tear is physically gone");
+        assert_eq!(replay.records.len(), 4);
+        // The second life appends past the repaired tear; without the
+        // repair its records would sit behind the tear and be lost by the
+        // next replay.
+        {
+            let wal = WalWriter::open(&dir, WalOptions::default()).unwrap();
+            wal.append(5, b"second-life").unwrap();
+            wal.sync().unwrap();
+        }
+        let replay = read_dir(&dir).unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(replay.records.len(), 5);
+        assert_eq!(replay.records[4].payload, b"second-life");
+        // Idempotent: a clean log repairs to itself.
+        assert!(!repair_dir(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repair_deletes_headerless_garbage_and_unreachable_segments() {
+        let dir = tmp("repair_garbage");
+        let wal = WalWriter::open(&dir, WalOptions { segment_bytes: 64 }).unwrap();
+        for epoch in 1..=10u64 {
+            wal.append(epoch, &[0x5A; 16]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3, "need a mid-log segment to corrupt");
+        // Smash the second segment's header: its whole file becomes
+        // garbage, and every segment after it is unreachable for replay.
+        std::fs::write(&segments[1].path, b"no").unwrap();
+        let before = read_dir(&dir).unwrap();
+        assert!(before.truncated);
+        assert!(repair_dir(&dir).unwrap());
+        let survivors = list_segments(&dir).unwrap();
+        assert_eq!(survivors.len(), 1, "garbage + unreachable segments gone");
+        let replay = read_dir(&dir).unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(replay.records, before.records);
+        // Missing directories repair to nothing.
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(!repair_dir(&dir).unwrap());
+    }
+
+    #[test]
+    fn concurrent_sync_never_outruns_a_truncated_log() {
+        // Regression: sync() used to set `durable = max(durable, high)`
+        // with a record count captured before dropping the lock for the
+        // fsync. A truncate_to racing that fsync could shrink `appended`
+        // below `high`, after which records appended post-truncation were
+        // counted durable without ever being fsynced.
+        let dir = tmp("sync_vs_truncate");
+        let wal =
+            crate::sync::Arc::new(WalWriter::open(&dir, WalOptions { segment_bytes: 256 }).unwrap());
+        let syncer = {
+            let wal = crate::sync::Arc::clone(&wal);
+            std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    wal.sync().unwrap();
+                    let (appended, durable) = wal.accounting();
+                    assert!(
+                        durable <= appended,
+                        "durable watermark outran the log: {durable} > {appended}"
+                    );
+                }
+            })
+        };
+        let mut epoch = 0u64;
+        for _ in 0..300 {
+            let mark = wal.mark();
+            wal.append(epoch + 1, &[0xAA; 48]).unwrap();
+            wal.append(epoch + 2, &[0xBB; 48]).unwrap();
+            wal.truncate_to(&mark).unwrap();
+            epoch += 1;
+            wal.append(epoch, &[0xCC; 16]).unwrap();
+        }
+        wal.sync().unwrap();
+        syncer.join().unwrap();
+        assert!(!wal.poisoned());
+        let (appended, durable) = wal.accounting();
+        assert_eq!(appended, 300);
+        assert_eq!(durable, 300, "the final sync covers every survivor");
+        let replay = read_dir(&dir).unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(replay.records.len(), 300);
+        assert!(replay.records.iter().all(|r| r.payload == [0xCC; 16]));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -29,8 +29,12 @@
 //! ([`EdgeSetSnapshot`]/[`EdgeSetDelta`]): deltas chain off the last
 //! *full* checkpoint (never delta-of-delta), and a delta whose change
 //! ratio exceeds [`DurabilityConfig::delta_ratio_permille`] falls back to
-//! a fresh full checkpoint, which also lets the WAL prefix and the
-//! previous checkpoint generation be purged.
+//! a fresh full checkpoint, which also lets old WAL segments and the
+//! oldest checkpoint generation be purged. The WAL is only purged up to
+//! the *retained fallback* generation's epoch — one generation behind the
+//! checkpoint just written — so that if the newest full checkpoint is
+//! later found corrupt, the fallback chain plus the surviving WAL can
+//! still reconstruct every acked batch.
 //!
 //! ## Recovery
 //!
@@ -40,7 +44,12 @@
 //! [`MaintainedIndex::apply_batch`] pipeline. Corruption anywhere
 //! (checkpoint or WAL) degrades gracefully: invalid checkpoints are
 //! skipped, WAL replay stops at the last valid record, and nothing ever
-//! panics on garbage bytes.
+//! panics on garbage bytes. Before the service re-opens the WAL for
+//! appending, any torn tail found by replay is **physically truncated**
+//! ([`esd_durability::repair_dir`]): the new writer appends to a fresh
+//! segment after the tear, and replay stops at the first invalid byte, so
+//! an un-repaired tear would hide — and a later crash would lose —
+//! batches acked and fsynced after the restart.
 
 use esd_core::index::delta::{EdgeSetDelta, EdgeSetSnapshot};
 use esd_core::maintain::GraphUpdate;
@@ -303,6 +312,13 @@ pub(crate) fn open_or_recover(
             (index, 0, None, base, 0)
         }
     };
+    // Physically drop any torn WAL tail before opening the writer. The
+    // writer always starts a fresh segment *after* the tear, while replay
+    // stops at the *first* invalid byte — so a tear left in place would
+    // hide, and the next recovery would silently lose, every record
+    // fsynced (and acked) from here on. Repair drops nothing recoverable:
+    // `recover` above already stopped at the same boundary.
+    esd_durability::repair_dir(&cfg.dir)?;
     let state = DurableState {
         wal: WalWriter::open(
             &cfg.dir,

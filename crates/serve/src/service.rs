@@ -543,8 +543,9 @@ impl Engine {
     /// Checkpoint cadence: every `checkpoint_interval` publications, write
     /// an incremental delta against the last full checkpoint — or a fresh
     /// full checkpoint when the change ratio exceeds the threshold, which
-    /// also lets the WAL prefix and the previous checkpoint generation be
-    /// purged. Runs *after* the window published, under its own panic
+    /// also lets the WAL prefix (up to the retained fallback generation's
+    /// epoch) and the oldest checkpoint generation be purged. Runs
+    /// *after* the window published, under its own panic
     /// containment: a checkpoint failure (injected at `checkpoint_write`
     /// or real) must never turn an already-acked batch into an error. It
     /// is counted and retried at the next interval.
@@ -562,13 +563,17 @@ impl Engine {
                 >= f64::from(durable.delta_ratio_permille);
             if go_full {
                 durable.ckpts.write_full(epoch, &current.encode())?;
-                // The WAL prefix up to this epoch and the generation
-                // before the previous full checkpoint are now redundant.
-                durable.wal.purge_up_to(epoch)?;
                 durable.ckpts.purge_older_than(durable.prev_full_epoch)?;
                 durable.prev_full_epoch = durable.base_epoch;
                 durable.base = current;
                 durable.base_epoch = epoch;
+                // Purge the WAL only up to the *retained fallback*
+                // generation's epoch, not this one's: if the checkpoint
+                // just written later fails validation (bit rot),
+                // `load_chain` falls back to the previous full chain,
+                // which needs the WAL records above its epoch to
+                // reconstruct the acked state.
+                durable.wal.purge_up_to(durable.prev_full_epoch)?;
                 self.metrics.ckpt_full.incr();
                 esd_telemetry::add(esd_telemetry::Metric::CkptFull, 1);
             } else {
@@ -1600,6 +1605,90 @@ mod tests {
             "prefix purged: {report:?}"
         );
         assert_eq!(report.recovered_epoch, 8);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The newest WAL segment in `dir` (lexicographic order == sequence
+    /// order for the fixed-width segment names).
+    fn newest_wal_segment(dir: &std::path::Path) -> std::path::PathBuf {
+        let mut segments: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+            })
+            .collect();
+        segments.sort();
+        segments.pop().expect("a wal segment exists")
+    }
+
+    #[test]
+    fn torn_wal_tail_is_repaired_so_post_restart_acks_survive() {
+        // Regression: a crash mid-append leaves a torn record at the WAL
+        // tail. The restarted writer appends to a FRESH segment after the
+        // tear, but replay stops at the first invalid byte — so unless the
+        // tear is physically truncated at recovery, every batch acked and
+        // fsynced after the restart is silently lost by the NEXT recovery.
+        let g = test_graph();
+        let dir = temp_dir("torn_tail");
+        let mut cfg = durable_cfg(&dir);
+        // No checkpoints beyond genesis: recovery is pure WAL replay.
+        cfg.durability.as_mut().unwrap().checkpoint_interval = u64::MAX;
+        {
+            let service = Service::try_start(&g, &cfg).unwrap();
+            let handle = service.handle();
+            for i in 0..4u32 {
+                let mut batch = MutationBatch::new();
+                batch.insert(i, 200 + i); // vertex 200+i is fresh → always applies
+                assert_eq!(handle.submit(batch).unwrap().applied, 1);
+            }
+            service.shutdown();
+        }
+        // Tear the tail as a mid-append crash would: the last record
+        // (epoch 4, not yet acked) loses its final bytes.
+        let segment = newest_wal_segment(&dir);
+        let full = std::fs::metadata(&segment).unwrap().len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&segment)
+            .unwrap();
+        file.set_len(full - 5).unwrap();
+        drop(file);
+        {
+            let service = Service::try_start(&g, &cfg).unwrap();
+            let report = service.recovery_report().unwrap();
+            assert!(report.wal_truncated, "the tear is seen by this recovery");
+            assert_eq!(report.wal_records_replayed, 3);
+            let handle = service.handle();
+            for i in 4..8u32 {
+                let mut batch = MutationBatch::new();
+                batch.insert(i, 200 + i);
+                assert_eq!(handle.submit(batch).unwrap().applied, 1); // acked + fsynced
+            }
+            service.shutdown();
+        }
+        // Second recovery: everything acked after the restart must be
+        // there, and the tear must be gone for good.
+        let service = Service::try_start(&g, &cfg).unwrap();
+        let report = service.recovery_report().unwrap();
+        assert!(!report.wal_truncated, "the tear was repaired at restart");
+        assert_eq!(report.wal_records_replayed, 7);
+        assert_eq!(report.recovered_epoch, 7); // 3 surviving + 4 post-restart
+        let snapshot = service.handle().snapshot();
+        for i in 4..8u32 {
+            assert!(
+                snapshot.index().graph().has_edge(i, 200 + i),
+                "edge ({i}, {}) acked after the restart must survive",
+                200 + i
+            );
+        }
+        assert!(
+            !snapshot.index().graph().has_edge(3, 203),
+            "the torn (never-acked) record must not resurrect"
+        );
         service.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

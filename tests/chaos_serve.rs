@@ -734,6 +734,88 @@ fn chaos_durable_mixed_storm() {
     cleanup_durable(&outcome);
 }
 
+/// Scenario 10 — restart, then crash again. The first life runs under WAL
+/// faults and is killed (crash image); we then emulate a kill mid-append
+/// by writing a partial frame at the image's WAL tail. The second life
+/// boots FROM that torn image — recovery must repair the tear before
+/// re-opening the writer — serves more acked batches, and is killed in
+/// turn. Recovery from the second image must equal a fault-free replay of
+/// every batch acked in BOTH lives: a tear left in place would hide the
+/// second life's fsynced records behind the first life's torn segment.
+#[test]
+fn chaos_restart_then_crash_keeps_second_life_acks() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_000B;
+    let plan = FaultPlan::new(seed).rule(
+        FaultPoint::WalFsync,
+        Trigger::EveryNth(6),
+        FaultKind::IoError,
+    );
+    let outcome = run_durable_chaos("restart_crash", seed, plan, 48, 8, 250);
+    assert!(outcome.acked.len() >= 20, "most writes still land");
+
+    // Kill mid-append: a partial frame (prefix bytes only, bogus length)
+    // lands at the tail of the newest WAL segment. Nothing acked is in it.
+    let mut segments: Vec<_> = std::fs::read_dir(&outcome.image)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    segments.sort();
+    let newest = segments.pop().expect("the first life wrote WAL segments");
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&newest)
+            .unwrap();
+        file.write_all(&[0xFF; 12]).unwrap();
+    }
+
+    // Second life: fault-free, booted on the torn image.
+    let mut cfg = chaos_config(2);
+    let mut durability = DurabilityConfig::new(&outcome.image);
+    durability.ack_policy = AckPolicy::Fsync;
+    durability.checkpoint_interval = 8;
+    cfg.durability = Some(durability);
+    let service = Service::try_start(&outcome.g, &cfg).expect("torn image recovers");
+    let report = service
+        .recovery_report()
+        .expect("non-empty image recovers")
+        .clone();
+    assert!(report.wal_truncated, "the planted tear is seen");
+    let handle = service.handle();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let mut acked = outcome.acked.clone();
+    for _ in 0..24 {
+        let ops = random_ops(&mut rng);
+        handle
+            .submit(MutationBatch::from_raw(ops.clone()))
+            .expect("fault-free second life acks everything");
+        acked.push(ops);
+    }
+    let image2 = crash_image(&outcome.image);
+    service.shutdown();
+
+    let rec = esd_serve::durability::recover(&image2)
+        .expect("second crash image recovers")
+        .expect("durable state present");
+    assert!(
+        !rec.report.wal_truncated,
+        "the first life's tear was physically repaired at restart"
+    );
+    assert_index_matches_replay(&rec.index, &outcome.g, &acked, seed, "second crash image");
+    std::fs::remove_dir_all(&image2).ok();
+    cleanup_durable(&outcome);
+}
+
 /// The reproducibility claim itself: with a single worker and no
 /// concurrent readers, two runs of the same seeded plan produce
 /// bit-identical acks, faults, and final state.
