@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod report;
 pub mod suite;
 

@@ -18,7 +18,7 @@ use esd_core::online::{online_topk, UpperBound};
 use esd_core::{EsdIndex, MaintainedIndex};
 use esd_datasets::churn::{churn_trace, ChurnEvent, ChurnMix};
 use esd_datasets::{load, Scale};
-use esd_graph::Graph;
+use esd_graph::{Graph, VertexId};
 use esd_telemetry::json::Json;
 
 /// Which benchmark suite to run.
@@ -211,18 +211,80 @@ fn run_dataset(out: &mut Vec<Json>, g: &Graph, dataset: &str, cfg: &SuiteConfig)
     })));
 }
 
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One sweep of a kernel over every hub pair — the unit of work each
+/// `intersect_hub_*` repetition times.
+fn sweep_kernel(
+    pairs: &[(Vec<VertexId>, Vec<VertexId>)],
+    scratch: &mut Vec<VertexId>,
+    kernel: fn(&[VertexId], &[VertexId], &mut Vec<VertexId>),
+) {
+    for (a, b) in pairs {
+        scratch.clear();
+        kernel(a, b, scratch);
+        std::hint::black_box(scratch.len());
+    }
+}
+
+/// The intersection-kernel benchmarks on a synthetic high-degree "hub"
+/// workload: pairs of ~4k-element pseudorandom neighbour lists sharing a
+/// 32k-id span (≈16 combined members per 64-id word — squarely in the
+/// bitset kernel's regime; see `docs/kernels.md`). Each repetition sweeps
+/// several distinct pairs so branch predictors see fresh data on every
+/// call, as they do inside a real build. The same sweep runs through each
+/// kernel directly and once through the adaptive dispatcher, so a report
+/// shows the dispatch overhead and which kernel won on this machine.
+fn run_kernels(out: &mut Vec<Json>, reps: usize) {
+    use esd_graph::intersect;
+
+    const SPAN: u32 = 32 * 1024;
+    const PAIRS: u64 = 8;
+    let members = |seed: u64| -> Vec<VertexId> {
+        (0..SPAN)
+            .filter(|&x| splitmix(seed ^ u64::from(x)) & 7 == 0)
+            .collect()
+    };
+    let pairs: Vec<(Vec<VertexId>, Vec<VertexId>)> = (0..PAIRS)
+        .map(|i| (members(2 * i + 1), members(2 * i + 2)))
+        .collect();
+    let mut scratch: Vec<VertexId> = Vec::new();
+    type KernelFn = fn(&[VertexId], &[VertexId], &mut Vec<VertexId>);
+    let kernels: [(&str, KernelFn); 4] = [
+        ("intersect_hub_merge", intersect::intersect_merge),
+        ("intersect_hub_gallop", intersect::intersect_gallop),
+        ("intersect_hub_bitset", intersect::intersect_bitset),
+        ("intersect_hub_adaptive", intersect::intersect_into),
+    ];
+    for (name, kernel) in kernels {
+        out.push(Json::obj(bench(name, "synthetic/hub", reps, || {
+            sweep_kernel(&pairs, &mut scratch, kernel);
+        })));
+    }
+}
+
 /// Runs the configured suite and returns the `esd-bench/v1` report. The
 /// output always passes [`crate::report::validate`].
 #[must_use]
 pub fn run(cfg: &SuiteConfig) -> Json {
     assert!(cfg.reps > 0, "reps must be at least 1");
     assert!(cfg.threads > 0, "threads must be at least 1");
+    // Measure the intersection-kernel crossovers on this machine before any
+    // timed work, so the adaptive dispatcher runs with calibrated thresholds
+    // rather than the dev-machine defaults baked into esd-graph.
+    let _ = esd_graph::intersect::calibrate();
     let mut benchmarks = Vec::new();
     for (name, scale) in cfg.suite.datasets() {
         let g = load(name, scale);
         let dataset = format!("{name}/{}", scale_label(scale));
         run_dataset(&mut benchmarks, &g, &dataset, cfg);
     }
+    run_kernels(&mut benchmarks, cfg.reps);
     Json::obj(vec![
         ("schema", Json::str(BENCH_SCHEMA)),
         ("suite", Json::str(cfg.suite.name())),
@@ -276,7 +338,11 @@ mod tests {
                 "churn_batch_seq",
                 "churn_batch_parallel",
                 "query_topk",
-                "online_topk"
+                "online_topk",
+                "intersect_hub_merge",
+                "intersect_hub_gallop",
+                "intersect_hub_bitset",
+                "intersect_hub_adaptive"
             ]
         );
         // The parallel build always carries its work-balance report.

@@ -15,6 +15,7 @@
 //! esd audit  <index.esdx> [graph.txt]            structural invariant audit
 //! esd bench  [--suite smoke|full] [--json] [-o FILE] [--reps N] [--threads N]
 //! esd bench  --check <BENCH.json>                validate a bench report
+//! esd bench  gate <BENCH.json> [--baseline F] [--tolerance PCT] [--rebaseline]
 //! ```
 //!
 //! `stream` and `serve` share one engine (`esd-serve`): `stream` runs the
@@ -33,6 +34,13 @@
 //! from `esd-telemetry`, wall-time distributions from the harness). CI
 //! archives one per PR as `BENCH_smoke.json`; `--check` re-validates an
 //! existing report against the schema. See `docs/observability.md`.
+//!
+//! `bench gate` turns those reports into a perf contract: it compares a
+//! fresh report against the checked-in `bench/baseline.json` and exits
+//! nonzero when any benchmark's wall p50 regressed beyond its tolerance
+//! band (or vanished from the report). `--rebaseline` rewrites the baseline
+//! from the supplied report — the intentional way to accept a perf change.
+//! Bands and methodology are documented in `docs/benchmarking.md`.
 //!
 //! With `--wal-dir` the serve engine runs durably: every acked update
 //! batch is appended to an epoch-stamped, CRC-checked write-ahead log and
@@ -88,7 +96,9 @@ usage:
   esd explain <graph.txt> <u> <v>                 score/context breakdown
   esd audit  <index.esdx> [graph.txt]             structural invariant audit
   esd bench  [--suite smoke|full] [--json] [-o FILE] [--reps N] [--threads N]
-  esd bench  --check <BENCH.json>                 validate a bench report";
+  esd bench  --check <BENCH.json>                 validate a bench report
+  esd bench  gate <BENCH.json> [--baseline FILE] [--tolerance PCT] [--rebaseline]
+                                                  perf gate vs bench/baseline.json";
 
 struct Options {
     k: usize,
@@ -102,6 +112,9 @@ struct Options {
     json: bool,
     reps: usize,
     check: Option<String>,
+    baseline: Option<String>,
+    tolerance: Option<u64>,
+    rebaseline: bool,
     wal_dir: Option<String>,
     checkpoint_interval: u64,
     ack: String,
@@ -121,6 +134,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
         json: false,
         reps: 3,
         check: None,
+        baseline: None,
+        tolerance: None,
+        rebaseline: false,
         wal_dir: None,
         checkpoint_interval: 32,
         ack: "fsync".into(),
@@ -165,6 +181,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("bad --reps: {e}"))?;
             }
             "--check" => opts.check = Some(value("--check")?),
+            "--baseline" => opts.baseline = Some(value("--baseline")?),
+            "--tolerance" => {
+                opts.tolerance = Some(
+                    value("--tolerance")?
+                        .parse()
+                        .map_err(|e| format!("bad --tolerance: {e}"))?,
+                );
+            }
+            "--rebaseline" => opts.rebaseline = true,
             "--wal-dir" => opts.wal_dir = Some(value("--wal-dir")?),
             "--checkpoint-interval" => {
                 opts.checkpoint_interval = value("--checkpoint-interval")?
@@ -252,6 +277,10 @@ fn bench(opts: &Options) -> Result<ExitCode, Error> {
     use esd_bench::suite::{run, Suite, SuiteConfig};
     use esd_telemetry::json::Json;
 
+    if opts.positional.first().map(String::as_str) == Some("gate") {
+        return bench_gate(opts);
+    }
+
     if let Some(path) = &opts.check {
         let text = std::fs::read_to_string(path)
             .map_err(|e| Error::from(e).context(format!("cannot read {path}")))?;
@@ -305,6 +334,72 @@ fn bench(opts: &Options) -> Result<ExitCode, Error> {
         print_bench_summary(&report);
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The `esd bench gate` perf contract: compares a fresh `esd-bench/v1`
+/// report against the checked-in baseline (`bench/baseline.json` unless
+/// `--baseline` overrides it) and exits nonzero on any regression beyond
+/// tolerance or missing benchmark. With `--rebaseline` the baseline file is
+/// rewritten from the report instead — the intentional way to accept a
+/// perf change. See `docs/benchmarking.md` for the contract details.
+fn bench_gate(opts: &Options) -> Result<ExitCode, Error> {
+    use esd_telemetry::json::Json;
+
+    let report_path = opts
+        .positional
+        .get(1)
+        .ok_or("bench gate needs a <BENCH.json> report argument")?;
+    // Malformed gate inputs are data failures (exit 1), not usage mistakes.
+    let data_err =
+        |msg: String| Error::from(std::io::Error::new(std::io::ErrorKind::InvalidData, msg));
+    let read_json = |path: &str| -> Result<Json, Error> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::from(e).context(format!("cannot read {path}")))?;
+        Json::parse(&text)
+            .map_err(|e| data_err(e.to_string()).context(format!("invalid JSON in {path}")))
+    };
+    let report = read_json(report_path)?;
+    let baseline_path = opts.baseline.as_deref().unwrap_or("bench/baseline.json");
+
+    if opts.rebaseline {
+        let baseline = esd_bench::gate::baseline_from_report(&report, opts.tolerance)
+            .map_err(|e| data_err(e).context(format!("cannot baseline {report_path}")))?;
+        std::fs::write(baseline_path, baseline.render_pretty())
+            .map_err(|e| Error::from(e).context(format!("cannot write {baseline_path}")))?;
+        let pinned = baseline
+            .get("benchmarks")
+            .and_then(Json::as_arr)
+            .map_or(0, Vec::len);
+        println!("rebaselined {baseline_path}: {pinned} benchmark(s) pinned from {report_path}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = read_json(baseline_path)?;
+    let outcome = esd_bench::gate::compare(&report, &baseline, opts.tolerance)
+        .map_err(|e| data_err(e).context("bench gate"))?;
+    for row in &outcome.unbaselined {
+        println!("note: {row} (gate ignores it until the next --rebaseline)");
+    }
+    for row in &outcome.improvements {
+        println!("note: {row} — consider re-baselining to tighten the gate");
+    }
+    if outcome.passed() {
+        println!(
+            "OK: {} benchmark(s) within tolerance of {baseline_path}",
+            outcome.checked
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "FAIL: {} regression(s), {} missing benchmark(s) vs {baseline_path}",
+            outcome.regressions.len(),
+            outcome.missing.len()
+        );
+        for row in outcome.regressions.iter().chain(&outcome.missing) {
+            println!("  - {row}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 /// Human-readable digest of a bench report: one row per benchmark with the

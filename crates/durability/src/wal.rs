@@ -884,8 +884,9 @@ mod tests {
         // below `high`, after which records appended post-truncation were
         // counted durable without ever being fsynced.
         let dir = tmp("sync_vs_truncate");
-        let wal =
-            crate::sync::Arc::new(WalWriter::open(&dir, WalOptions { segment_bytes: 256 }).unwrap());
+        let wal = crate::sync::Arc::new(
+            WalWriter::open(&dir, WalOptions { segment_bytes: 256 }).unwrap(),
+        );
         let syncer = {
             let wal = crate::sync::Arc::clone(&wal);
             std::thread::spawn(move || {

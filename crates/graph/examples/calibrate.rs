@@ -1,0 +1,13 @@
+//! Prints the intersection-kernel crossover thresholds measured on this
+//! machine (see `docs/kernels.md`):
+//!
+//! ```text
+//! cargo run --release -p esd-graph --example calibrate
+//! ```
+
+fn main() {
+    let before = esd_graph::intersect::kernel_config();
+    let measured = esd_graph::intersect::calibrate();
+    println!("default config:  {before:?}");
+    println!("measured config: {measured:?}");
+}

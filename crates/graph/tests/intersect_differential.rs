@@ -1,0 +1,204 @@
+//! Differential suite for the intersection kernels: every kernel — and the
+//! adaptive dispatcher under every threshold configuration — must agree
+//! exactly with `intersect_merge`, which is the reference the
+//! `strict-invariants` build also verifies against inline. The clique tests
+//! pin the downstream consumer: the `WordTiles`-based 4-clique enumerator
+//! must count exactly what the generic k-clique lister counts on generator
+//! graphs across densities.
+
+use esd_graph::cliques::{count_four_cliques, list_k_cliques};
+use esd_graph::intersect::{
+    choose_kernel, intersect_adaptive, intersect_bitset, intersect_gallop, intersect_into,
+    intersect_merge, intersection_size, kernel_config, set_kernel_config, KernelConfig, WordTiles,
+};
+use esd_graph::{generators, VertexId};
+use proptest::prelude::*;
+
+/// Runs `f` with the dispatcher forced to the given thresholds, restoring
+/// the previous configuration afterwards (the config is process-global).
+fn with_config(cfg: KernelConfig, f: impl FnOnce()) {
+    let prev = kernel_config();
+    set_kernel_config(cfg);
+    f();
+    set_kernel_config(prev);
+}
+
+fn merge(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    intersect_merge(a, b, &mut out);
+    out
+}
+
+/// Asserts that every kernel, both argument orders, agrees with the merge
+/// reference on `(a, b)` — including the counting twins.
+fn assert_all_kernels_agree(a: &[VertexId], b: &[VertexId]) {
+    let expected = merge(a, b);
+    for (name, kernel) in [
+        (
+            "bitset",
+            intersect_bitset as fn(&[VertexId], &[VertexId], &mut Vec<VertexId>),
+        ),
+        ("adaptive", intersect_into),
+    ] {
+        for (x, y) in [(a, b), (b, a)] {
+            let mut got = Vec::new();
+            kernel(x, y, &mut got);
+            assert_eq!(got, expected, "{name} disagrees with merge");
+            assert_eq!(
+                intersection_size(x, y),
+                expected.len(),
+                "intersection_size disagrees with merge"
+            );
+        }
+    }
+    // Gallop's contract requires the shorter list first.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut got = Vec::new();
+    intersect_gallop(short, long, &mut got);
+    assert_eq!(got, expected, "gallop disagrees with merge");
+    assert_eq!(intersect_adaptive(a, b), expected);
+}
+
+#[test]
+fn adversarial_cases() {
+    let empty: &[VertexId] = &[];
+    let one = &[7u32][..];
+    let identical: Vec<VertexId> = (0..200).map(|x| x * 3).collect();
+    let disjoint_a: Vec<VertexId> = (0..200).map(|x| x * 2).collect();
+    let disjoint_b: Vec<VertexId> = (0..200).map(|x| x * 2 + 1).collect();
+    // A high-degree hub packed densely into few words against a sparse
+    // list spread over many words — the case the bitset word-grouping and
+    // the gallop jumps both have to get right at word boundaries.
+    let dense: Vec<VertexId> = (0..512).collect();
+    let sparse: Vec<VertexId> = (0..512).map(|x| x * 67).collect();
+    let near_max: Vec<VertexId> = (0..64).map(|x| u32::MAX - 63 + x).collect();
+
+    let cases: &[(&[VertexId], &[VertexId])] = &[
+        (empty, empty),
+        (empty, one),
+        (one, one),
+        (one, &identical),
+        (&identical, &identical),
+        (&disjoint_a, &disjoint_b),
+        (&dense, &sparse),
+        (&dense, &near_max),
+        (&near_max, &near_max),
+    ];
+    for &(a, b) in cases {
+        assert_all_kernels_agree(a, b);
+    }
+}
+
+#[test]
+fn agreement_holds_under_every_dispatch_configuration() {
+    let a: Vec<VertexId> = (0..300).map(|x| x * 5).collect();
+    let b: Vec<VertexId> = (0..900).map(|x| x * 2).collect();
+    let expected = merge(&a, &b);
+    // Force each corner of the dispatch space: always-merge, always-gallop,
+    // always-bitset, and the defaults. The result must never change — only
+    // which kernel computed it (choose_kernel is pure, so we can check
+    // which one fired without touching the telemetry registry).
+    for cfg in [
+        KernelConfig {
+            gallop_ratio: usize::MAX,
+            bitset_min_len: usize::MAX,
+            ..KernelConfig::default()
+        },
+        KernelConfig {
+            gallop_ratio: 1,
+            bitset_min_len: usize::MAX,
+            ..KernelConfig::default()
+        },
+        KernelConfig {
+            gallop_ratio: usize::MAX,
+            bitset_min_len: 1,
+            bitset_min_per_word: 0,
+        },
+        KernelConfig::default(),
+    ] {
+        with_config(cfg, || {
+            let _ = choose_kernel(&a, &b);
+            let mut got = Vec::new();
+            intersect_into(&a, &b, &mut got);
+            assert_eq!(got, expected, "dispatcher broke under {cfg:?}");
+            assert_eq!(intersection_size(&a, &b), expected.len());
+        });
+    }
+}
+
+proptest! {
+    /// Narrow dense ranges: many ids share a 64-id word, so the bitset
+    /// kernel's mask build/drain path does real multi-bit work.
+    #[test]
+    fn kernels_agree_on_dense_ranges(
+        mut a in proptest::collection::btree_set(0u32..256, 0..128),
+        mut b in proptest::collection::btree_set(0u32..256, 0..128),
+    ) {
+        let a: Vec<VertexId> = std::mem::take(&mut a).into_iter().collect();
+        let b: Vec<VertexId> = std::mem::take(&mut b).into_iter().collect();
+        assert_all_kernels_agree(&a, &b);
+    }
+
+    /// Wide sparse ranges up to `u32::MAX`: word indices themselves span
+    /// the full 26-bit range, pinning the `(w << 6) | bit` reconstruction.
+    #[test]
+    fn kernels_agree_on_sparse_ranges(
+        mut a in proptest::collection::btree_set(0u32..=u32::MAX, 0..64),
+        mut b in proptest::collection::btree_set(0u32..=u32::MAX, 0..64),
+    ) {
+        let a: Vec<VertexId> = std::mem::take(&mut a).into_iter().collect();
+        let b: Vec<VertexId> = std::mem::take(&mut b).into_iter().collect();
+        assert_all_kernels_agree(&a, &b);
+    }
+
+    /// `WordTiles` streaming must behave exactly like membership in the
+    /// built set, in input order.
+    #[test]
+    fn word_tiles_stream_matches_membership(
+        mut base in proptest::collection::btree_set(0u32..2048, 0..256),
+        probe in proptest::collection::vec(0u32..2048, 0..256),
+    ) {
+        let base: Vec<VertexId> = std::mem::take(&mut base).into_iter().collect();
+        let mut sorted_probe = probe.clone();
+        sorted_probe.sort_unstable();
+        sorted_probe.dedup();
+        let mut tiles = WordTiles::new();
+        tiles.build(&base);
+        let mut streamed = Vec::new();
+        tiles.intersect_sorted(&sorted_probe, |x| streamed.push(x));
+        let expected: Vec<VertexId> = sorted_probe
+            .iter()
+            .copied()
+            .filter(|&x| base.binary_search(&x).is_ok())
+            .collect();
+        prop_assert_eq!(streamed, expected);
+        for &x in &probe {
+            prop_assert_eq!(tiles.contains(x), base.binary_search(&x).is_ok());
+        }
+    }
+}
+
+/// The 4-clique enumerator (WordTiles tiling) against the generic k-clique
+/// lister (adaptive intersections) — two independent code paths whose
+/// counts must match on every graph.
+fn assert_clique_counts_agree(g: &esd_graph::Graph) {
+    let mut generic = 0u64;
+    list_k_cliques(g, 4, |_| generic += 1);
+    assert_eq!(count_four_cliques(g), generic);
+}
+
+#[test]
+fn clique_counts_agree_across_densities() {
+    for (n, p) in [(60, 0.05), (60, 0.15), (40, 0.35), (24, 0.6), (16, 0.9)] {
+        for seed in 0..3 {
+            assert_clique_counts_agree(&generators::erdos_renyi(n, p, seed));
+        }
+    }
+    // Clique-overlap graphs are the worst case for the tiling: large fully
+    // dense common neighbourhoods.
+    for seed in 0..3 {
+        assert_clique_counts_agree(&generators::clique_overlap(80, 8, 12, seed));
+    }
+    // Skewed degrees exercise the gallop arm inside the enumerator.
+    assert_clique_counts_agree(&generators::barabasi_albert(120, 4, 7));
+}

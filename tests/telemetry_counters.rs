@@ -221,6 +221,32 @@ fn online_counters_equal_the_search_stats() {
 }
 
 #[test]
+fn intersect_dispatch_counters_sum_to_the_call_count() {
+    let _guard = registry_guard();
+    // Skewed degrees plus dense overlap groups, so merge, gallop, and
+    // bitset each have realistic inputs to claim.
+    let g = generators::clique_overlap(150, 110, 6, 7);
+
+    telemetry::reset();
+    let mut calls = 0u64;
+    for e in g.edges() {
+        // Every edge endpoint has degree >= 1, so no call takes the
+        // trivially-empty early return: each one dispatches exactly once.
+        let _ = g.common_neighbor_count(e.u, e.v);
+        calls += 1;
+    }
+    let snap = telemetry::snapshot();
+    let dispatched = snap.counter("intersect.merge")
+        + snap.counter("intersect.gallop")
+        + snap.counter("intersect.bitset");
+    assert!(calls > 0, "generator produced an empty graph");
+    assert_eq!(
+        dispatched, calls,
+        "the three intersect.* counters partition the adaptive dispatches"
+    );
+}
+
+#[test]
 fn query_spans_count_queries_without_touching_counters() {
     let _guard = registry_guard();
     let g = generators::clique_overlap(100, 80, 5, 9);

@@ -4,7 +4,7 @@
 //!
 //! | pass | invariant |
 //! |------|-----------|
-//! | `docs-sync` | telemetry catalogue ↔ `docs/observability.md`, both directions |
+//! | `docs-sync` | telemetry catalogue ↔ `docs/observability.md`, both directions; `intersect.*` kernel counters additionally documented in `docs/kernels.md` |
 //! | `fault-coverage` | every named fault point exercised by ≥1 chaos scenario |
 //! | `sync-facade` | no direct `std::sync` / `std::thread::sleep` / `std::time::Instant` in serve/telemetry outside the `sync` facades |
 //! | `lock-unwrap` | no `.unwrap()` / `.expect()` on lock results (use `Unpoison`) |
@@ -145,6 +145,39 @@ pub(crate) fn docs_sync(ws: &Workspace) -> Vec<Finding> {
                     "documented name \"{token}\" has no Stage/Metric catalogue entry in {TELEMETRY_LIB}"
                 ),
             });
+        }
+    }
+    // The kernel-dispatch counters are docs/kernels.md's subject matter:
+    // every `intersect.*` catalogue label must additionally appear there,
+    // so the kernel taxonomy can never silently drift from the telemetry.
+    let kernel_labels: Vec<_> = labels
+        .iter()
+        .filter(|(l, _)| l.starts_with("intersect."))
+        .collect();
+    if !kernel_labels.is_empty() {
+        match &ws.kernels_doc {
+            Some((kernels_rel, kernels)) => {
+                for (label, offset) in kernel_labels {
+                    if !kernels.contains(&format!("`{label}`")) {
+                        findings.push(Finding {
+                            pass: "docs-sync",
+                            file: lib.rel.clone(),
+                            line: lib.line_of(*offset),
+                            message: format!(
+                                "kernel counter \"{label}\" is not documented in {kernels_rel}"
+                            ),
+                        });
+                    }
+                }
+            }
+            None => findings.push(Finding {
+                pass: "docs-sync",
+                file: lib.rel.clone(),
+                line: lib.line_of(kernel_labels[0].1),
+                message: "docs/kernels.md is missing but the catalogue declares intersect.* \
+                          kernel counters"
+                    .to_owned(),
+            }),
         }
     }
     findings

@@ -59,6 +59,11 @@ pub(crate) struct Workspace {
     pub(crate) files: Vec<SourceFile>,
     /// `docs/observability.md`, if present: `(rel, contents)`.
     pub(crate) observability_doc: Option<(String, String)>,
+    /// `docs/kernels.md`, if present: `(rel, contents)`. The docs-sync
+    /// pass additionally requires every `intersect.*` catalogue label to
+    /// appear here — the kernel-dispatch counters are the document's
+    /// subject matter.
+    pub(crate) kernels_doc: Option<(String, String)>,
     /// Allowlist entries: `(pass, path-substring)` pairs a finding may
     /// match to be suppressed.
     pub(crate) allowlist: Vec<(String, String)>,
@@ -79,16 +84,20 @@ impl Workspace {
                 raw,
             });
         }
-        let doc_path = root.join("docs/observability.md");
-        let observability_doc = fs::read_to_string(&doc_path)
-            .ok()
-            .map(|text| ("docs/observability.md".to_owned(), text));
+        let load_doc = |rel: &str| {
+            fs::read_to_string(root.join(rel))
+                .ok()
+                .map(|text| (rel.to_owned(), text))
+        };
+        let observability_doc = load_doc("docs/observability.md");
+        let kernels_doc = load_doc("docs/kernels.md");
         let allowlist = fs::read_to_string(root.join("xtask/analyze_allow.txt"))
             .map(|text| parse_allowlist(&text))
             .unwrap_or_default();
         Ok(Self {
             files,
             observability_doc,
+            kernels_doc,
             allowlist,
         })
     }

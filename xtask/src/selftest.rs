@@ -20,9 +20,14 @@ struct Scenario {
 }
 
 fn ws(files: Vec<SourceFile>, doc: Option<&str>) -> Workspace {
+    ws_with_kernels(files, doc, None)
+}
+
+fn ws_with_kernels(files: Vec<SourceFile>, doc: Option<&str>, kernels: Option<&str>) -> Workspace {
     Workspace {
         files,
         observability_doc: doc.map(|d| ("docs/observability.md".to_owned(), d.to_owned())),
+        kernels_doc: kernels.map(|d| ("docs/kernels.md".to_owned(), d.to_owned())),
         allowlist: Vec::new(),
     }
 }
@@ -54,6 +59,30 @@ fn scenarios() -> Vec<Scenario> {
                     &catalogue("        A => \"alpha.one\",\n        B => \"beta.two\",\n"),
                 )],
                 Some(doc_ok),
+            ),
+            expect_file: telemetry_lib,
+            run: passes::docs_sync,
+        },
+        // The kernel-counter arm of docs-sync: an `intersect.*` label that
+        // docs/observability.md documents must STILL be flagged when
+        // docs/kernels.md omits it.
+        Scenario {
+            pass: "docs-sync",
+            violating: ws_with_kernels(
+                vec![SourceFile::from_text(
+                    telemetry_lib,
+                    &catalogue("        M => \"intersect.merge\",\n"),
+                )],
+                Some("| Counter | Where |\n|---|---|\n| `intersect.merge` | dispatcher |\n"),
+                Some("# Kernels\n\nNo counter table here.\n"),
+            ),
+            clean: ws_with_kernels(
+                vec![SourceFile::from_text(
+                    telemetry_lib,
+                    &catalogue("        M => \"intersect.merge\",\n"),
+                )],
+                Some("| Counter | Where |\n|---|---|\n| `intersect.merge` | dispatcher |\n"),
+                Some("# Kernels\n\nDispatch is counted by `intersect.merge`.\n"),
             ),
             expect_file: telemetry_lib,
             run: passes::docs_sync,
