@@ -1,6 +1,6 @@
 //! Closed-loop load generator for the `esd-serve` query service.
 //!
-//! Drives a mixed read/write workload through [`ServiceHandle`]s at each
+//! Drives a mixed read/write workload through [`esd_serve::ServiceHandle`]s at each
 //! requested worker count and reports throughput, tail latency, and cache
 //! behaviour, then measures query availability while a 1000-edge batch is
 //! being applied. The first row (0 workers = inline single-threaded mode)
@@ -8,23 +8,34 @@
 //!
 //! ```text
 //! loadgen [--n V] [--ops N] [--write-ratio R] [--workers 0,2,8] [--seed S]
-//!         [--durable]
+//!         [--shards 1,4] [--k-set 10,50,100] [--durable]
 //! ```
 //!
 //! Queries draw `k` log-uniformly from `[16, 2048]` and `τ` from `[1, 4]`
 //! so the result cache sees a realistic mix of hits and misses instead of
-//! one key served entirely from cache.
+//! one key served entirely from cache. `--k-set` replaces the log-uniform
+//! draw with a fixed menu of `k` values — the API/dashboard serving shape
+//! where repeated keys let the result caches work; it is the reference
+//! configuration for the sharded read-scaling report
+//! (`docs/benchmarking.md`).
 //!
 //! With `--durable`, every phase is run twice — once in-memory and once
 //! with the write-ahead log armed under the ack-after-fsync policy on a
 //! scratch directory — so the `wal` column makes the durability tax
 //! directly readable: same workload, same workers, `u_p99_us` with and
 //! without an fsync on the ack path.
+//!
+//! With `--shards 1,4` each phase runs once per shard count through the
+//! shard-transparent [`EngineHandle`] — the identical client loop against
+//! a [`ShardedService`] — and the report prints per-phase read throughput
+//! plus the read-scaling ratio of every row against the first-shard-count
+//! baseline at the same worker count.
 
 use esd_core::maintain::{GraphUpdate, MutationBatch};
 use esd_graph::{generators, Graph};
 use esd_serve::{
-    AckPolicy, DurabilityConfig, QueryRequest, RetryPolicy, Service, ServiceConfig, ServiceHandle,
+    AckPolicy, DurabilityConfig, EngineHandle, QueryRequest, RetryPolicy, Service, ServiceConfig,
+    ShardConfig, ShardedService,
 };
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -37,6 +48,11 @@ struct Config {
     ops: u64,
     write_ratio: f64,
     workers: Vec<usize>,
+    shards: Vec<u32>,
+    /// Fixed menu of query `k` values; empty means log-uniform 16..2048.
+    /// A small repeated set models API/dashboard serving, where result
+    /// caches (per-engine and merged) actually get to work.
+    k_set: Vec<usize>,
     seed: u64,
     durable: bool,
 }
@@ -47,6 +63,8 @@ fn parse_args() -> Result<Config, String> {
         ops: 2000,
         write_ratio: 0.05,
         workers: vec![0, 8],
+        shards: vec![1],
+        k_set: Vec::new(),
         seed: 0xBE7C,
         durable: false,
     };
@@ -81,17 +99,36 @@ fn parse_args() -> Result<Config, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--shards" => {
+                cfg.shards = value("--shards")?
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("bad --shards: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
             "--durable" => cfg.durable = true,
+            "--k-set" => {
+                cfg.k_set = value("--k-set")?
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("bad --k-set: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
             other => {
                 return Err(format!(
                     "unknown flag {other} \
-                     (--n | --ops | --write-ratio | --workers | --seed | --durable)"
+                     (--n | --ops | --write-ratio | --workers | --shards | --k-set | --seed \
+                     | --durable)"
                 ))
             }
         }
     }
     if !(0.0..=1.0).contains(&cfg.write_ratio) {
         return Err("--write-ratio must be in [0, 1]".into());
+    }
+    if cfg.shards.iter().any(|&s| s == 0) {
+        return Err("--shards entries must be at least 1".into());
+    }
+    if cfg.k_set.iter().any(|&k| k == 0) {
+        return Err("--k-set entries must be at least 1".into());
     }
     Ok(cfg)
 }
@@ -104,6 +141,11 @@ fn parse_args() -> Result<Config, String> {
 struct ClientStats {
     attempted: u64,
     succeeded: u64,
+    reads_ok: u64,
+    /// Client-observed time spent inside query calls, in nanoseconds.
+    /// `reads_ok / read_ns` is the read throughput with write stalls
+    /// factored out — the comparable number across write-cost regimes.
+    read_ns: u64,
     shed: u64,
     failed: u64,
 }
@@ -112,6 +154,8 @@ impl ClientStats {
     fn merge(&mut self, other: ClientStats) {
         self.attempted += other.attempted;
         self.succeeded += other.succeeded;
+        self.reads_ok += other.reads_ok;
+        self.read_ns += other.read_ns;
         self.shed += other.shed;
         self.failed += other.failed;
     }
@@ -120,7 +164,16 @@ impl ClientStats {
 /// One closed-loop client: issues `ops` operations back to back, each a
 /// query (log-uniform `k`, random `τ`) or a single-edge update, retrying
 /// transient failures with jittered backoff and tallying every outcome.
-fn client(handle: &ServiceHandle, n: u32, ops: u64, write_ratio: f64, seed: u64) -> ClientStats {
+/// Shard-transparent: the same loop drives a [`esd_serve::ServiceHandle`] or a
+/// [`ShardedHandle`](esd_serve::ShardedHandle) through [`EngineHandle`].
+fn client<H: EngineHandle>(
+    handle: &H,
+    n: u32,
+    ops: u64,
+    write_ratio: f64,
+    k_set: &[usize],
+    seed: u64,
+) -> ClientStats {
     let mut rng = StdRng::seed_from_u64(seed);
     let retry = RetryPolicy::new(seed);
     let mut stats = ClientStats::default();
@@ -144,11 +197,19 @@ fn client(handle: &ServiceHandle, n: u32, ops: u64, write_ratio: f64, seed: u64)
                 Err(_) => stats.failed += 1,
             }
         } else {
-            let k = (16.0 * 128f64.powf(rng.gen::<f64>())) as usize; // 16..2048
+            let k = if k_set.is_empty() {
+                (16.0 * 128f64.powf(rng.gen::<f64>())) as usize // 16..2048
+            } else {
+                k_set[rng.gen_range(0..k_set.len())]
+            };
             let tau = rng.gen_range(1..=4);
-            match handle.execute_with_retry(QueryRequest::new(k, tau), &retry) {
+            let started = Instant::now();
+            let outcome = handle.execute_with_retry(QueryRequest::new(k, tau), &retry);
+            stats.read_ns += started.elapsed().as_nanos() as u64;
+            match outcome {
                 Ok(resp) => {
                     stats.succeeded += 1;
+                    stats.reads_ok += 1;
                     if resp.degraded {
                         stats.shed += 1;
                     }
@@ -160,30 +221,21 @@ fn client(handle: &ServiceHandle, n: u32, ops: u64, write_ratio: f64, seed: u64)
     stats
 }
 
-/// Runs one workload phase against a fresh service — durably when
-/// `wal_dir` is given (WAL armed, ack-after-fsync) — and returns the row
-/// for the report table, the measured throughput (ops/s), and the update
-/// ack p99 in microseconds.
-fn run_phase(
-    g: &Graph,
+/// What one phase measured, alongside its rendered table row.
+struct PhaseOutcome {
+    row: Vec<String>,
+    throughput: f64,
+    read_throughput: f64,
+    update_p99: u64,
+}
+
+/// Drives the closed-loop clients over any engine handle and aggregates
+/// their stats plus the wall-clock of the whole phase.
+fn drive<H: EngineHandle>(
+    handle: &H,
     cfg: &Config,
     workers: usize,
-    wal_dir: Option<&std::path::Path>,
-) -> (Vec<String>, f64, u64) {
-    let service = Service::try_start(
-        g,
-        &ServiceConfig {
-            workers,
-            durability: wal_dir.map(|dir| {
-                let mut durability = DurabilityConfig::new(dir);
-                durability.ack_policy = AckPolicy::Fsync;
-                durability
-            }),
-            ..ServiceConfig::default()
-        },
-    )
-    .expect("scratch WAL directory opens");
-    let handle = service.handle();
+) -> (ClientStats, std::time::Duration) {
     let clients = workers.max(1);
     let per_client = cfg.ops / clients as u64;
     let started = Instant::now();
@@ -193,34 +245,100 @@ fn run_phase(
             .map(|c| {
                 let handle = handle.clone();
                 let seed = cfg.seed + 1000 * c as u64;
-                scope.spawn(move || client(&handle, cfg.n, per_client, cfg.write_ratio, seed))
+                scope.spawn(move || {
+                    client(
+                        &handle,
+                        cfg.n,
+                        per_client,
+                        cfg.write_ratio,
+                        &cfg.k_set,
+                        seed,
+                    )
+                })
             })
             .collect();
         for h in handles {
             stats.merge(h.join().expect("client thread"));
         }
     });
-    let wall = started.elapsed();
-    let m = handle.metrics();
+    (stats, started.elapsed())
+}
+
+/// Runs one workload phase against a fresh service — sharded when
+/// `shards > 1`, durably when `wal_dir` is given (WAL armed,
+/// ack-after-fsync; per-shard subdirectories under a fleet) — and returns
+/// the row for the report table plus the measured throughputs.
+fn run_phase(
+    g: &Graph,
+    cfg: &Config,
+    workers: usize,
+    shards: u32,
+    wal_dir: Option<&std::path::Path>,
+) -> PhaseOutcome {
+    let per_shard = ServiceConfig {
+        workers,
+        durability: wal_dir.map(|dir| {
+            let mut durability = DurabilityConfig::new(dir);
+            durability.ack_policy = AckPolicy::Fsync;
+            durability
+        }),
+        ..ServiceConfig::default()
+    };
+    // (retries, q_p50, q_p99, u_p99, hit_rate) sampled before shutdown.
+    // The sharded service's shard 0 sees every scatter-gather round, so its
+    // registry is the representative one for latency/hit-rate columns.
+    let sample = |m: &esd_serve::MetricsRegistry| {
+        (
+            m.retries.get(),
+            m.query_latency.percentile_us(0.50),
+            m.query_latency.percentile_us(0.99),
+            m.update_latency.percentile_us(0.99),
+            m.hit_rate(),
+        )
+    };
+    let (stats, wall, (retries, q_p50, q_p99, update_p99, hit_rate)) = if shards > 1 {
+        let service = ShardedService::try_start(g, &ShardConfig { shards, per_shard })
+            .expect("scratch WAL directory opens");
+        let handle = service.handle();
+        let (stats, wall) = drive(&handle, cfg, workers);
+        let m = sample(handle.shard_handles()[0].metrics());
+        service.shutdown();
+        (stats, wall, m)
+    } else {
+        let service = Service::try_start(g, &per_shard).expect("scratch WAL directory opens");
+        let handle = service.handle();
+        let (stats, wall) = drive(&handle, cfg, workers);
+        let m = sample(handle.metrics());
+        service.shutdown();
+        (stats, wall, m)
+    };
     let throughput = stats.succeeded as f64 / wall.as_secs_f64();
-    let update_p99 = m.update_latency.percentile_us(0.99);
+    // Reads per second of read-side busy time: write stalls (which scale
+    // with the write fan-out, not the read path) are factored out.
+    let read_throughput = stats.reads_ok as f64 / (stats.read_ns.max(1) as f64 / 1e9);
     let row = vec![
+        shards.to_string(),
         workers.to_string(),
         if wal_dir.is_some() { "fsync" } else { "off" }.to_string(),
         stats.attempted.to_string(),
         stats.succeeded.to_string(),
-        m.retries.get().to_string(),
+        retries.to_string(),
         stats.shed.to_string(),
         stats.failed.to_string(),
         esd_bench::fmt_duration(wall),
         format!("{throughput:.0}"),
-        format!("{}", m.query_latency.percentile_us(0.50)),
-        format!("{}", m.query_latency.percentile_us(0.99)),
+        format!("{read_throughput:.0}"),
+        format!("{q_p50}"),
+        format!("{q_p99}"),
         format!("{update_p99}"),
-        format!("{:.0}%", m.hit_rate() * 100.0),
+        format!("{:.0}%", hit_rate * 100.0),
     ];
-    service.shutdown();
-    (row, throughput, update_p99)
+    PhaseOutcome {
+        row,
+        throughput,
+        read_throughput,
+        update_p99,
+    }
 }
 
 /// Applies one 1000-edge batch while reader threads keep querying, and
@@ -315,6 +433,7 @@ fn main() {
     );
 
     let mut table = esd_bench::TextTable::new(&[
+        "shards",
         "workers",
         "wal",
         "attempted",
@@ -324,6 +443,7 @@ fn main() {
         "failed",
         "wall",
         "ops/s",
+        "reads/s",
         "q_p50_us",
         "q_p99_us",
         "u_p99_us",
@@ -331,30 +451,50 @@ fn main() {
     ]);
     let mut baseline = None;
     let mut speedups = Vec::new();
+    // Read throughput of the first shard count, per worker count — the
+    // baseline for the read-scaling lines.
+    let mut read_base: Vec<(usize, f64)> = Vec::new();
+    let mut read_scaling = Vec::new();
     let mut wal_costs = Vec::new();
-    for &workers in &cfg.workers {
-        let (row, throughput, u_p99) = run_phase(&g, &cfg, workers, None);
-        table.row(row);
-        let base = *baseline.get_or_insert(throughput);
-        speedups.push((workers, throughput / base));
-        if cfg.durable {
-            let dir = std::env::temp_dir()
-                .join(format!("esd_loadgen_wal_{}_{workers}", std::process::id()));
-            std::fs::remove_dir_all(&dir).ok();
-            let (row, _, durable_p99) = run_phase(&g, &cfg, workers, Some(&dir));
-            table.row(row);
-            wal_costs.push((workers, u_p99, durable_p99));
-            std::fs::remove_dir_all(&dir).ok();
+    for &shards in &cfg.shards {
+        for &workers in &cfg.workers {
+            let phase = run_phase(&g, &cfg, workers, shards, None);
+            table.row(phase.row);
+            let base = *baseline.get_or_insert(phase.throughput);
+            speedups.push((shards, workers, phase.throughput / base));
+            match read_base.iter().find(|(w, _)| *w == workers) {
+                None => read_base.push((workers, phase.read_throughput)),
+                Some(&(_, base)) => {
+                    read_scaling.push((shards, workers, phase.read_throughput / base));
+                }
+            }
+            if cfg.durable {
+                let dir = std::env::temp_dir().join(format!(
+                    "esd_loadgen_wal_{}_{shards}_{workers}",
+                    std::process::id()
+                ));
+                std::fs::remove_dir_all(&dir).ok();
+                let durable = run_phase(&g, &cfg, workers, shards, Some(&dir));
+                table.row(durable.row);
+                wal_costs.push((shards, workers, phase.update_p99, durable.update_p99));
+                std::fs::remove_dir_all(&dir).ok();
+            }
         }
     }
     println!("{}", table.render());
-    for (workers, speedup) in &speedups[1..] {
-        println!("speedup at {workers} workers vs baseline: {speedup:.2}x");
+    for (shards, workers, speedup) in &speedups[1..] {
+        println!("speedup at {shards} shard(s) × {workers} workers vs baseline: {speedup:.2}x");
     }
-    for (workers, off, fsync) in &wal_costs {
+    for (shards, workers, scaling) in &read_scaling {
         println!(
-            "durable ack cost at {workers} worker(s): u_p99 {fsync} µs with fsync vs {off} µs off \
-             ({:+} µs per acked update)",
+            "read scaling at {shards} shard(s) × {workers} worker(s) vs {} shard(s): {scaling:.2}x",
+            cfg.shards[0],
+        );
+    }
+    for (shards, workers, off, fsync) in &wal_costs {
+        println!(
+            "durable ack cost at {shards} shard(s) × {workers} worker(s): u_p99 {fsync} µs with \
+             fsync vs {off} µs off ({:+} µs per acked update)",
             *fsync as i64 - *off as i64,
         );
     }

@@ -8,7 +8,7 @@
 //! esd stream <graph.txt>                         read updates/queries from stdin:
 //!                                                  + u v | - u v | ? k tau | quit
 //! esd serve  <graph.txt> [--port P] [--threads N]  TCP query service (same protocol)
-//!            [--wal-dir DIR] [--checkpoint-interval N] [--ack enqueue]
+//!            [--shards S] [--wal-dir DIR] [--checkpoint-interval N] [--ack enqueue]
 //! esd recover <wal-dir> [-o <out.esdx>]          inspect/replay durable state
 //! esd ego    <graph.txt> <u> <v> [-o <out.dot>]  render an edge ego-network
 //! esd explain <graph.txt> <u> <v>                score/context breakdown
@@ -60,7 +60,8 @@ use esd_core::online::{online_topk, UpperBound};
 use esd_core::{EsdIndex, ScoredEdge};
 use esd_graph::io;
 use esd_serve::{
-    AckPolicy, DurabilityConfig, IdMap, LineOutcome, Server, Service, ServiceConfig, Session,
+    AckPolicy, DurabilityConfig, EngineHandle, IdMap, LineOutcome, RecoveryReport, Server, Service,
+    ServiceConfig, Session, ShardConfig, ShardedService,
 };
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -90,7 +91,7 @@ usage:
   esd query  <index.esdx> [-k N] [--tau T]
   esd stream <graph.txt> [--pipeline-threads N]
   esd serve  <graph.txt> [--port P] [--threads N] [--pipeline-threads N]
-             [--wal-dir DIR] [--checkpoint-interval N] [--ack fsync|enqueue]
+             [--shards S] [--wal-dir DIR] [--checkpoint-interval N] [--ack fsync|enqueue]
   esd recover <wal-dir> [-o <out.esdx>]           inspect/replay durable state
   esd ego    <graph.txt> <u> <v> [-o <out.dot>]   render an edge ego-network
   esd explain <graph.txt> <u> <v>                 score/context breakdown
@@ -107,6 +108,7 @@ struct Options {
     output: Option<String>,
     port: u16,
     threads: usize,
+    shards: u32,
     pipeline_threads: usize,
     suite: String,
     json: bool,
@@ -129,6 +131,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         output: None,
         port: 7687,
         threads: 4,
+        shards: 1,
         pipeline_threads: 2,
         suite: "smoke".into(),
         json: false,
@@ -168,6 +171,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+            }
             "--pipeline-threads" => {
                 opts.pipeline_threads = value("--pipeline-threads")?
                     .parse()
@@ -203,6 +211,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if opts.tau == 0 {
         return Err("--tau must be at least 1".into());
+    }
+    if opts.shards == 0 {
+        return Err("--shards must be at least 1".into());
     }
     Ok(opts)
 }
@@ -688,39 +699,76 @@ fn stream(opts: &Options) -> Result<(), Error> {
 }
 
 /// TCP query service: the engine behind `stream`, behind a worker pool and
-/// an accept loop. Runs until stdin sees `quit` or EOF, then prints the
-/// final metrics registry.
+/// an accept loop. With `--shards S` (S > 1) the same server runs over a
+/// [`ShardedService`] — `S` engines, per-shard WAL subdirectories, the
+/// identical protocol. Runs until stdin sees `quit` or EOF, then prints
+/// the final metrics registry.
 fn serve(opts: &Options) -> Result<(), Error> {
     let (g, original) = load_graph(opts)?;
-    let service = Service::try_start(
-        &g,
-        &ServiceConfig {
-            workers: opts.threads,
-            pipeline_threads: opts.pipeline_threads.max(1),
-            durability: durability_config(opts)?,
-            ..ServiceConfig::default()
-        },
-    )
-    .map_err(|e| Error::from(e).context("cannot open durable state"))?;
-    if let Some(report) = service.recovery_report() {
-        println!(
-            "recovered durable state: epoch {} (checkpoint {}, {} WAL record(s) replayed{})",
-            report.recovered_epoch,
-            report.checkpoint_epoch,
-            report.wal_records_replayed,
-            if report.wal_truncated {
-                ", torn tail truncated"
-            } else {
-                ""
-            }
-        );
-    }
     let ids = Arc::new(IdMap::from_original(original));
+    let per_shard = ServiceConfig {
+        workers: opts.threads,
+        pipeline_threads: opts.pipeline_threads.max(1),
+        durability: durability_config(opts)?,
+        ..ServiceConfig::default()
+    };
+    if opts.shards > 1 {
+        let service = ShardedService::try_start(
+            &g,
+            &ShardConfig {
+                shards: opts.shards,
+                per_shard,
+            },
+        )
+        .map_err(|e| Error::from(e).context("cannot open durable state"))?;
+        for (i, report) in service.recovery_reports().into_iter().enumerate() {
+            if let Some(report) = report {
+                print_recovery(&format!("shard {i}: "), report);
+            }
+        }
+        let handle = service.handle();
+        let server = Server::start(("127.0.0.1", opts.port), service.handle(), ids)
+            .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
+        serve_until_quit(&server, opts, opts.shards)?;
+        server.stop();
+        print!("{}", handle.metrics_text());
+        service.shutdown();
+        return Ok(());
+    }
+    let service = Service::try_start(&g, &per_shard)
+        .map_err(|e| Error::from(e).context("cannot open durable state"))?;
+    if let Some(report) = service.recovery_report() {
+        print_recovery("", report);
+    }
     let server = Server::start(("127.0.0.1", opts.port), service.handle(), ids)
         .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
+    serve_until_quit(&server, opts, 1)?;
+    server.stop();
+    print!("{}", service.handle().metrics_text());
+    service.shutdown();
+    Ok(())
+}
+
+fn print_recovery(prefix: &str, report: &RecoveryReport) {
     println!(
-        "listening on {} ({} worker thread(s); protocol: + u v | - u v | ? k tau | metrics | telemetry | quit)",
+        "{prefix}recovered durable state: epoch {} (checkpoint {}, {} WAL record(s) replayed{})",
+        report.recovered_epoch,
+        report.checkpoint_epoch,
+        report.wal_records_replayed,
+        if report.wal_truncated {
+            ", torn tail truncated"
+        } else {
+            ""
+        }
+    );
+}
+
+/// Prints the listening banner and blocks on stdin until `quit` or EOF.
+fn serve_until_quit(server: &Server, opts: &Options, shards: u32) -> Result<(), Error> {
+    println!(
+        "listening on {} ({} shard(s) × {} worker thread(s); protocol: + u v | - u v | ? k tau | hello | shards | metrics | telemetry | quit)",
         server.local_addr(),
+        shards,
         opts.threads
     );
     // Piped stdout is block-buffered; tests (and scripts) need the banner
@@ -733,9 +781,6 @@ fn serve(opts: &Options) -> Result<(), Error> {
             break;
         }
     }
-    server.stop();
-    print!("{}", service.handle().metrics_text());
-    service.shutdown();
     Ok(())
 }
 

@@ -222,6 +222,10 @@ fn serve_answers_over_tcp() {
 
     let mut conn = TcpStream::connect(&addr).unwrap();
     let mut reader = BufReader::new(conn.try_clone().unwrap());
+    // The server greets with the protocol banner before the first request.
+    let mut hello = String::new();
+    reader.read_line(&mut hello).unwrap();
+    assert_eq!(hello, "# esd-protocol/2 shards=1\n");
     writeln!(conn, "? 3 3").unwrap();
     let mut lines = Vec::new();
     loop {
@@ -254,6 +258,82 @@ fn serve_answers_over_tcp() {
     std::io::Read::read_to_string(&mut child_out, &mut rest).unwrap();
     assert!(rest.contains("queries_served"), "{rest}");
     assert!(rest.contains("updates_applied"), "{rest}");
+}
+
+/// `esd serve --shards 2` speaks the identical protocol: the banner
+/// advertises the shard count, query summaries carry the epoch vector,
+/// and answers match what the unsharded server gives.
+#[test]
+fn sharded_serve_answers_over_tcp() {
+    let dir = temp_dir();
+    let graph = write_fig1(&dir);
+    let mut child = bin()
+        .args([
+            "serve",
+            graph.to_str().unwrap(),
+            "--port",
+            "0",
+            "--threads",
+            "1",
+            "--shards",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    child_out.read_line(&mut banner).unwrap();
+    assert!(banner.starts_with("listening on "), "{banner}");
+    assert!(banner.contains("2 shard(s)"), "{banner}");
+    let addr = banner
+        .trim_start_matches("listening on ")
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut hello = String::new();
+    reader.read_line(&mut hello).unwrap();
+    assert_eq!(hello, "# esd-protocol/2 shards=2\n");
+    writeln!(conn, "? 3 3").unwrap();
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "unexpected EOF");
+        let done = line.starts_with("# ");
+        lines.push(line);
+        if done {
+            break;
+        }
+    }
+    let text = lines.concat();
+    // The same answers the unsharded server gives, with an epoch vector.
+    assert!(text.contains("(109, 110)"), "{text}");
+    assert!(text.contains("epoch [0, 0]"), "{text}");
+    writeln!(conn, "- 111 110").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("- (111, 110): ok"), "{line}");
+    assert!(line.contains("epoch [1, 1]"), "{line}");
+    writeln!(conn, "shards").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "# shards=2 epochs=[1, 1]\n");
+    writeln!(conn, "quit").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "bye");
+
+    child.stdin.as_mut().unwrap().write_all(b"quit\n").unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut child_out, &mut rest).unwrap();
+    assert!(rest.contains("-- shard 1 --"), "{rest}");
 }
 
 #[test]

@@ -901,8 +901,15 @@ pub enum MaintViolation {
         edge: Edge,
     },
     /// An edge with a non-empty common neighbourhood has no forest.
+    /// Only owned edges (per [`EdgeOwnership`](crate::maintain::EdgeOwnership))
+    /// are required to be covered.
     MissingForest {
         /// The uncovered edge.
+        edge: Edge,
+    },
+    /// A forest exists for an edge this index does not own.
+    ForeignForest {
+        /// The edge whose forest belongs to another ownership slice.
         edge: Edge,
     },
     /// A forest's member set differs from the edge's common neighbourhood.
@@ -1010,6 +1017,9 @@ impl std::fmt::Display for MaintViolation {
             Self::EmptyForest { edge } => write!(f, "empty forest stored for {edge}"),
             Self::MissingForest { edge } => {
                 write!(f, "{edge} has common neighbours but no forest")
+            }
+            Self::ForeignForest { edge } => {
+                write!(f, "{edge} has a forest but is owned by another shard")
             }
             Self::ForestMemberMismatch { edge } => {
                 write!(f, "forest of {edge} does not cover N(uv)")
@@ -1184,12 +1194,27 @@ impl MaintainedIndex {
             edge_sizes.push((e, forest.component_sizes()));
         }
 
-        // Coverage: every edge with common neighbours owns a forest.
+        // Coverage: every *owned* edge with common neighbours owns a
+        // forest, and no forest exists for a non-owned edge.
         for e in self.g.edges() {
-            if !self.forests.contains_key(&e.key()) && !self.g.common_neighbors(e.u, e.v).is_empty()
+            if self.ownership.owns_key(e.key())
+                && !self.forests.contains_key(&e.key())
+                && !self.g.common_neighbors(e.u, e.v).is_empty()
             {
                 out.push(MaintViolation::MissingForest { edge: e });
             }
+        }
+        let mut foreign: Vec<u64> = self
+            .forests
+            .keys()
+            .copied()
+            .filter(|&k| !self.ownership.owns_key(k))
+            .collect();
+        foreign.sort_unstable();
+        for key in foreign {
+            out.push(MaintViolation::ForeignForest {
+                edge: Edge::from_key(key),
+            });
         }
 
         // Refcounts recomputed from the forests.

@@ -49,7 +49,7 @@ pub mod score;
 pub mod vertex_sd;
 
 pub use index::EsdIndex;
-pub use maintain::MaintainedIndex;
+pub use maintain::{EdgeOwnership, MaintainedIndex};
 pub use online::{online_topk, UpperBound};
 
 use esd_graph::Edge;

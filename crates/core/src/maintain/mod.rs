@@ -34,6 +34,72 @@ pub mod parallel;
 pub use batch::{BatchStats, MutationBatch, UpdateDisposition};
 pub use parallel::{PipelineOutcome, PipelineReport};
 
+/// Which slice of the edge space a [`MaintainedIndex`] maintains score
+/// state for. The graph replica is always complete — adjacency must be
+/// global for ego-network connectivity to be computed correctly — but
+/// forests, `H(c)` lists, and refcounts exist only for *owned* edges:
+/// those whose canonical key hashes to this slice's shard.
+///
+/// [`EdgeOwnership::ALL`] (the single-engine default) owns everything and
+/// is behaviourally identical to the pre-ownership index. Partitioned
+/// ownership is what lets a sharded deployment split the expensive
+/// per-edge forest maintenance `1/S` per shard while every shard applies
+/// the full mutation stream to its cheap adjacency replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeOwnership {
+    /// This slice's position in `0..shards`.
+    pub shard: u32,
+    /// Total number of slices; `1` means sole ownership.
+    pub shards: u32,
+}
+
+impl EdgeOwnership {
+    /// Sole ownership: every edge is owned (the single-engine default).
+    pub const ALL: Self = Self {
+        shard: 0,
+        shards: 1,
+    };
+
+    /// Ownership of slice `shard` of `shards`.
+    ///
+    /// # Panics
+    /// If `shards == 0` or `shard >= shards`.
+    #[must_use]
+    pub fn of(shard: u32, shards: u32) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        assert!(shard < shards, "shard {shard} out of range 0..{shards}");
+        Self { shard, shards }
+    }
+
+    /// The owning shard of a canonical edge key under `shards`-way
+    /// partitioning — a fixed splitmix64 finalizer, so the mapping is
+    /// stable across runs, platforms, and toolchain versions (per-shard
+    /// durability directories depend on it staying put).
+    #[must_use]
+    pub fn shard_of_key(key: u64, shards: u32) -> u32 {
+        if shards <= 1 {
+            return 0;
+        }
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        #[allow(
+            clippy::cast_possible_truncation,
+            reason = "z % shards < shards <= u32::MAX"
+        )]
+        {
+            (z % u64::from(shards)) as u32
+        }
+    }
+
+    /// Whether this slice owns the edge with canonical key `key`.
+    #[must_use]
+    pub fn owns_key(self, key: u64) -> bool {
+        self.shards <= 1 || Self::shard_of_key(key, self.shards) == self.shard
+    }
+}
+
 /// A per-edge disjoint-set forest over the common neighbourhood, keyed by
 /// vertex id — the paper's `M_uv` with its `root` and `count` fields.
 #[derive(Debug, Clone, Default)]
@@ -148,6 +214,8 @@ pub struct MaintainedIndex {
     pub(crate) lists: BTreeMap<u32, ScoreTreap>,
     /// `c -> number of edges whose C_uv contains c`. Keys are exactly `C`.
     pub(crate) refcounts: BTreeMap<u32, usize>,
+    /// The slice of the edge space this index maintains score state for.
+    pub(crate) ownership: EdgeOwnership,
 }
 
 impl MaintainedIndex {
@@ -155,10 +223,23 @@ impl MaintainedIndex {
     /// construction (Algorithm 3), then converts the flat forest into
     /// per-edge structures.
     pub fn new(g: &Graph) -> Self {
+        Self::new_owned(g, EdgeOwnership::ALL)
+    }
+
+    /// Like [`MaintainedIndex::new`], but maintains forests, lists, and
+    /// refcounts only for the edges owned under `ownership`; the adjacency
+    /// replica is always the complete graph. With [`EdgeOwnership::ALL`]
+    /// this is exactly `new`. Sharded deployments give each engine the
+    /// same graph with a distinct slice, so the engines' lists partition
+    /// the global lists edge-for-edge.
+    pub fn new_owned(g: &Graph, ownership: EdgeOwnership) -> Self {
         let artifacts = build::components_by_four_cliques(g);
         let mut forests = HashMap::with_capacity(g.num_edges());
         let mut arena = artifacts.arena;
         for (eid, e) in g.edges().iter().enumerate() {
+            if !ownership.owns_key(e.key()) {
+                continue;
+            }
             let range = &artifacts.nbrs[artifacts.nbr_offsets[eid]..artifacts.nbr_offsets[eid + 1]];
             if range.is_empty() {
                 continue;
@@ -174,7 +255,10 @@ impl MaintainedIndex {
         }
 
         let mut refcounts: BTreeMap<u32, usize> = BTreeMap::new();
-        for eid in 0..g.num_edges() {
+        for (eid, e) in g.edges().iter().enumerate() {
+            if !ownership.owns_key(e.key()) {
+                continue;
+            }
             let mut sizes = artifacts.components.sizes_of(eid).to_vec();
             sizes.dedup();
             for s in sizes {
@@ -182,25 +266,53 @@ impl MaintainedIndex {
             }
         }
 
-        let csizes = build::distinct_sizes(&artifacts.components);
-        let mut treaps = vec![ScoreTreap::new(); csizes.len()];
-        build::fill_lists(
-            g.edges(),
-            &artifacts.components,
-            &csizes,
-            &mut treaps,
-            0..csizes.len(),
-        );
-        let lists = csizes.into_iter().zip(treaps).collect();
+        let lists = if ownership == EdgeOwnership::ALL {
+            let csizes = build::distinct_sizes(&artifacts.components);
+            let mut treaps = vec![ScoreTreap::new(); csizes.len()];
+            build::fill_lists(
+                g.edges(),
+                &artifacts.components,
+                &csizes,
+                &mut treaps,
+                0..csizes.len(),
+            );
+            csizes.into_iter().zip(treaps).collect()
+        } else {
+            // Owned-only fill: `C` is the refcount key set; each owned edge
+            // joins every list `H(c)` with `c ≤ max(C_uv)` at the same
+            // score `restore_entries` would compute. Treap shapes depend
+            // only on their key sets, so this matches the incremental path.
+            let mut lists: BTreeMap<u32, ScoreTreap> =
+                refcounts.keys().map(|&c| (c, ScoreTreap::new())).collect();
+            for (eid, e) in g.edges().iter().enumerate() {
+                if !ownership.owns_key(e.key()) {
+                    continue;
+                }
+                let sizes = artifacts.components.sizes_of(eid);
+                let Some(&cmax) = sizes.last() else { continue };
+                for (&c, list) in lists.range_mut(..=cmax) {
+                    let score = (sizes.len() - sizes.partition_point(|&s| s < c)) as u32;
+                    list.insert(RankKey { score, edge: *e });
+                }
+            }
+            lists
+        };
 
         let index = Self {
             g: DynamicGraph::from_graph(g),
             forests,
             lists,
             refcounts,
+            ownership,
         };
         index.strict_audit();
         index
+    }
+
+    /// The slice of the edge space this index maintains score state for.
+    #[must_use]
+    pub fn ownership(&self) -> EdgeOwnership {
+        self.ownership
     }
 
     /// The current graph.
@@ -259,21 +371,23 @@ impl MaintainedIndex {
     fn mutate_insert(&mut self, u: VertexId, v: VertexId, nuv: &[VertexId]) {
         self.g.insert_edge(u, v);
 
-        // Algorithm 4 lines 3–9: fresh singletons.
+        // Algorithm 4 lines 3–9: fresh singletons. Forests are created or
+        // grown only for owned edges — non-owned edges belong to another
+        // shard's index, which applies the same mutation to its own slice.
         let mut m_uv = EdgeDsu::default();
         for &w in nuv {
             m_uv.insert_singleton(w);
             // v joins N(uw) and u joins N(vw).
-            self.forests
-                .entry(Edge::new(u, w).key())
-                .or_default()
-                .insert_singleton(v);
-            self.forests
-                .entry(Edge::new(v, w).key())
-                .or_default()
-                .insert_singleton(u);
+            let uw = Edge::new(u, w).key();
+            if self.ownership.owns_key(uw) {
+                self.forests.entry(uw).or_default().insert_singleton(v);
+            }
+            let vw = Edge::new(v, w).key();
+            if self.ownership.owns_key(vw) {
+                self.forests.entry(vw).or_default().insert_singleton(u);
+            }
         }
-        if !m_uv.is_empty() {
+        if !m_uv.is_empty() && self.ownership.owns_key(Edge::new(u, v).key()) {
             self.forests.insert(Edge::new(u, v).key(), m_uv);
         }
 
@@ -547,7 +661,11 @@ impl MaintainedIndex {
     }
 
     /// One `Union` in edge `e`'s forest (Algorithm 4's `M_xy.Union`).
+    /// No-op for non-owned edges, whose forests live on another shard.
     fn union_in(&mut self, e: Edge, a: VertexId, b: VertexId) {
+        if !self.ownership.owns_key(e.key()) {
+            return;
+        }
         let forest = self
             .forests
             .get_mut(&e.key())
@@ -557,7 +675,11 @@ impl MaintainedIndex {
     }
 
     /// Recomputes edge `e`'s forest from its current ego-network.
+    /// No-op for non-owned edges, whose forests live on another shard.
     fn rebuild_forest(&mut self, e: Edge) {
+        if !self.ownership.owns_key(e.key()) {
+            return;
+        }
         let (forest, union_ops) = compute_forest(&self.g, e);
         esd_telemetry::add(esd_telemetry::Metric::MaintainUnionOps, union_ops);
         match forest {
@@ -906,6 +1028,135 @@ mod tests {
         let mut index = MaintainedIndex::new(&g);
         assert_eq!(index.apply_batch(&[]), BatchStats::default());
         index.check_consistency();
+    }
+
+    #[test]
+    fn shard_of_key_is_stable() {
+        // Golden values: per-shard durability directories depend on this
+        // mapping never changing across runs, platforms, or toolchains.
+        assert_eq!(EdgeOwnership::shard_of_key(0, 4), 3);
+        assert_eq!(EdgeOwnership::shard_of_key(1, 4), 1);
+        assert_eq!(EdgeOwnership::shard_of_key(2, 4), 2);
+        assert_eq!(EdgeOwnership::shard_of_key(6, 4), 0);
+        assert_eq!(EdgeOwnership::shard_of_key(2, 2), 0);
+        assert_eq!(EdgeOwnership::shard_of_key(3, 2), 1);
+        // shards == 1 owns everything without hashing.
+        for key in [0u64, 1, u64::MAX] {
+            assert_eq!(EdgeOwnership::shard_of_key(key, 1), 0);
+            assert!(EdgeOwnership::ALL.owns_key(key));
+        }
+    }
+
+    #[test]
+    fn ownership_partitions_every_key_exactly_once() {
+        for shards in [2u32, 3, 4, 7] {
+            let slices: Vec<EdgeOwnership> =
+                (0..shards).map(|s| EdgeOwnership::of(s, shards)).collect();
+            for a in 0..40u32 {
+                for b in a + 1..40 {
+                    let key = Edge::new(a, b).key();
+                    let owners = slices.iter().filter(|o| o.owns_key(key)).count();
+                    assert_eq!(owners, 1, "key {key} under {shards} shards");
+                }
+            }
+        }
+    }
+
+    /// Merges per-shard results back into a global ranking: the k-way merge
+    /// a sharded service performs, in its simplest full-list form.
+    fn merge_ranked(mut parts: Vec<Vec<ScoredEdge>>) -> Vec<ScoredEdge> {
+        let mut all: Vec<ScoredEdge> = parts.drain(..).flatten().collect();
+        all.sort_by(ScoredEdge::ranking_cmp);
+        all
+    }
+
+    #[test]
+    fn sharded_indexes_partition_the_full_index() {
+        let g = generators::clique_overlap(40, 35, 5, 11);
+        let ops = {
+            let mut rng = StdRng::seed_from_u64(0x5AA5);
+            let mut ops = Vec::new();
+            for _ in 0..50 {
+                let (a, b) = (rng.gen_range(0..40u32), rng.gen_range(0..40u32));
+                if a == b {
+                    continue;
+                }
+                ops.push(if rng.gen_bool(0.5) {
+                    GraphUpdate::Insert(a, b)
+                } else {
+                    GraphUpdate::Remove(a, b)
+                });
+            }
+            ops
+        };
+        let mut full = MaintainedIndex::new(&g);
+        full.apply_batch(&ops);
+        full.check_consistency();
+
+        for shards in [2u32, 4] {
+            let mut parts: Vec<MaintainedIndex> = (0..shards)
+                .map(|s| MaintainedIndex::new_owned(&g, EdgeOwnership::of(s, shards)))
+                .collect();
+            for part in &mut parts {
+                part.apply_batch(&ops);
+                part.check_consistency();
+                // Replicas track the full graph regardless of ownership.
+                assert_eq!(part.graph().edges(), full.graph().edges());
+            }
+            for tau in [1u32, 2, 3, 4] {
+                let want = full.query(usize::MAX, tau);
+                let got = merge_ranked(parts.iter().map(|p| p.query(usize::MAX, tau)).collect());
+                assert_eq!(got, want, "shards={shards} τ={tau}");
+                // Each shard reports exactly the owned slice of the truth.
+                for (s, part) in parts.iter().enumerate() {
+                    let own = EdgeOwnership::of(s as u32, shards);
+                    let expect: Vec<ScoredEdge> = want
+                        .iter()
+                        .copied()
+                        .filter(|se| own.owns_key(se.edge.key()))
+                        .collect();
+                    assert_eq!(
+                        part.query(usize::MAX, tau),
+                        expect,
+                        "shard {s}/{shards} τ={tau}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_pipeline_matches_sharded_sequential() {
+        let g = generators::clique_overlap(30, 25, 4, 7);
+        let mut rng = StdRng::seed_from_u64(0x0DD);
+        let mut ops = Vec::new();
+        for _ in 0..40 {
+            let (a, b) = (rng.gen_range(0..30u32), rng.gen_range(0..30u32));
+            if a == b {
+                continue;
+            }
+            ops.push(if rng.gen_bool(0.5) {
+                GraphUpdate::Insert(a, b)
+            } else {
+                GraphUpdate::Remove(a, b)
+            });
+        }
+        let own = EdgeOwnership::of(1, 3);
+        let mut sequential = MaintainedIndex::new_owned(&g, own);
+        sequential.apply_batch(&ops);
+        let mut piped = MaintainedIndex::new_owned(&g, own);
+        let outcome = piped.apply_batch_parallel(&ops, 2);
+        piped.check_consistency();
+        assert_eq!(
+            outcome.report.recomputed_per_worker.iter().sum::<u64>(),
+            outcome.report.recomputed_edges,
+            "owned keys recomputed exactly once"
+        );
+        assert_eq!(piped.graph().edges(), sequential.graph().edges());
+        assert_eq!(piped.component_sizes(), sequential.component_sizes());
+        for tau in [1, 2, 3] {
+            assert_eq!(piped.query(100, tau), sequential.query(100, tau), "τ={tau}");
+        }
     }
 
     #[test]

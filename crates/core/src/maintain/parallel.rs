@@ -130,6 +130,7 @@ impl MaintainedIndex {
         }
 
         let union_ops: u64 = union_ops_per_worker.iter().sum();
+        let recomputed_edges: u64 = plan.owned.iter().map(|g| g.len() as u64).sum();
         esd_telemetry::add(
             esd_telemetry::Metric::MaintainAffected,
             plan.order.len() as u64,
@@ -138,7 +139,7 @@ impl MaintainedIndex {
         esd_telemetry::add(esd_telemetry::Metric::PbatchGroups, plan.owned.len() as u64);
         esd_telemetry::add(
             esd_telemetry::Metric::PbatchRecomputedEdges,
-            plan.order.len() as u64,
+            recomputed_edges,
         );
         esd_telemetry::add(esd_telemetry::Metric::PbatchUnionOps, union_ops);
         self.strict_audit();
@@ -151,7 +152,7 @@ impl MaintainedIndex {
                 // are owned keys, so report what actually ran.
                 threads: per_worker.len(),
                 groups: plan.owned.len(),
-                recomputed_edges: plan.order.len() as u64,
+                recomputed_edges,
                 recomputed_per_worker: per_worker,
                 union_ops_per_worker,
             },
@@ -203,7 +204,12 @@ impl MaintainedIndex {
                 group_keys[gi].insert(key);
                 if seen.insert(key) {
                     order.push(key);
-                    owned[gi].push(key);
+                    // Only edges this index owns are recomputed; the rest
+                    // stay in `order` for the (self-skipping) retract and
+                    // restore bookkeeping but belong to another shard.
+                    if self.ownership.owns_key(key) {
+                        owned[gi].push(key);
+                    }
                 }
             }
             match update {

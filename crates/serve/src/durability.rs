@@ -211,6 +211,17 @@ fn invalid(e: impl std::fmt::Display) -> io::Error {
 /// genesis checkpoint is written before the first WAL record, so "no
 /// checkpoint" means "no durable state").
 pub fn recover(dir: &Path) -> io::Result<Option<Recovered>> {
+    recover_owned(dir, esd_core::EdgeOwnership::ALL)
+}
+
+/// [`recover`], rebuilding the index for one ownership slice: a sharded
+/// engine recovers from its own `shard-<i>` directory with the same
+/// ownership it serves, so the recovered forests/lists cover exactly its
+/// owned edges (the WAL holds the full replicated batches either way).
+pub fn recover_owned(
+    dir: &Path,
+    ownership: esd_core::EdgeOwnership,
+) -> io::Result<Option<Recovered>> {
     let _span = esd_telemetry::span(esd_telemetry::Stage::WalReplay);
     let store = CheckpointStore::open(dir)?;
     let Some(chain) = store.load_chain()? else {
@@ -225,7 +236,7 @@ pub fn recover(dir: &Path) -> io::Result<Option<Recovered>> {
         None => base.clone(),
     };
     let checkpoint_epoch = chain.epoch();
-    let mut index = MaintainedIndex::new(&state.to_graph());
+    let mut index = MaintainedIndex::new_owned(&state.to_graph(), ownership);
     let replay = esd_durability::read_dir(dir)?;
     let mut replayed = 0u64;
     let mut epoch = checkpoint_epoch;
@@ -295,8 +306,9 @@ pub(crate) struct DurableInit {
 pub(crate) fn open_or_recover(
     initial: &esd_graph::Graph,
     cfg: &DurabilityConfig,
+    ownership: esd_core::EdgeOwnership,
 ) -> io::Result<DurableInit> {
-    let (index, epoch, report, base, base_epoch) = match recover(&cfg.dir)? {
+    let (index, epoch, report, base, base_epoch) = match recover_owned(&cfg.dir, ownership)? {
         Some(rec) => (
             rec.index,
             rec.epoch,
@@ -306,7 +318,7 @@ pub(crate) fn open_or_recover(
         ),
         None => {
             let store = CheckpointStore::open(&cfg.dir)?;
-            let index = MaintainedIndex::new(initial);
+            let index = MaintainedIndex::new_owned(initial, ownership);
             let base = EdgeSetSnapshot::from_graph(index.graph());
             store.write_full(0, &base.encode())?;
             (index, 0, None, base, 0)

@@ -24,9 +24,16 @@
 //!   errors. The [`faults`] module injects deterministic failures into
 //!   all of this for the chaos suite — compiled out unless the
 //!   `fault-injection` feature is armed.
-//! * **Two surfaces**: the [`ServiceHandle`] library API, and a TCP
-//!   [`Server`] speaking the `esd stream` line protocol (`+ u v | - u v |
-//!   ? k tau | metrics | quit`) via the shared [`Session`] logic.
+//! * **Two surfaces**: the [`EngineHandle`] library API (implemented by
+//!   the single-engine [`ServiceHandle`] and the scatter-gather
+//!   [`ShardedHandle`]), and a TCP [`Server`] speaking the
+//!   `esd-protocol/2` line protocol (`+ u v | - u v | ? k tau | hello |
+//!   shards | metrics | quit`) via the shared [`Session`] logic.
+//! * **Sharding** ([`ShardedService`]): `S` engines each owning a hash
+//!   slice of the edge-key space over a full graph replica; queries
+//!   k-way merge per-shard top-k heads under a [`VectorEpoch`], mutations
+//!   fan out to every shard — result-identical to a single engine at any
+//!   `S` (DESIGN.md §15).
 //!
 //! ```
 //! use esd_serve::{QueryRequest, Service, ServiceConfig};
@@ -61,8 +68,10 @@ pub mod retry;
 pub mod server;
 pub mod service;
 pub mod session;
+pub mod shard;
 mod snapshot;
 pub(crate) mod sync;
+pub mod vector_epoch;
 
 pub use durability::{AckPolicy, DurabilityConfig, Recovered, RecoveryReport};
 pub use faults::{FaultKind, FaultPlan, FaultPoint, FaultRule, Trigger};
@@ -71,7 +80,10 @@ pub use metrics::MetricsRegistry;
 pub use retry::RetryPolicy;
 pub use server::Server;
 pub use service::{
-    BatchOutcome, QueryRequest, QueryResponse, ServeError, Service, ServiceConfig, ServiceHandle,
+    BatchOutcome, EngineHandle, QueryRequest, QueryResponse, ServeError, Service, ServiceConfig,
+    ServiceHandle,
 };
 pub use session::{LineOutcome, Session};
+pub use shard::{ShardConfig, ShardedHandle, ShardedService};
 pub use snapshot::Snapshot;
+pub use vector_epoch::VectorEpoch;

@@ -1,9 +1,12 @@
-//! The line protocol shared by `esd stream` (stdin) and `esd serve` (TCP):
+//! The line protocol shared by `esd stream` (stdin) and `esd serve` (TCP)
+//! — version 2 (`esd-protocol/2`), fully documented in `docs/protocol.md`:
 //!
 //! ```text
 //! + u v        insert edge (original ids)
 //! - u v        remove edge
 //! ? k tau      top-k query at threshold tau
+//! hello        protocol banner (version + shard count)
+//! shards       shard introspection (count + current epoch vector)
 //! metrics      dump the metrics registry
 //! telemetry    dump the telemetry snapshot as one JSON line
 //! quit         end the session
@@ -14,10 +17,25 @@
 //! line (result count, latency, cache provenance, epoch) that doubles as a
 //! frame terminator for TCP clients. Errors are a single `error: …` line —
 //! a session never dies on a malformed request.
+//!
+//! ## Versioning
+//!
+//! Version 2 added the `hello` / `shards` commands, the connect-time banner
+//! the TCP server writes (`# esd-protocol/2 shards=<S>`), epoch *vectors*
+//! in summaries when more than one shard answers, and the `, stale (lag N)`
+//! staleness annotation. Version 1 clients keep working unchanged: the
+//! banner is a `#` comment line (the prefix v1 clients already skip as a
+//! summary/terminator), the v1 command set is untouched, and against a
+//! single-engine service every epoch renders as the same scalar it always
+//! did.
 
 use crate::service::{BatchOutcome, QueryResponse};
+use crate::vector_epoch::VectorEpoch;
 use crate::IdMap;
 use esd_core::ScoredEdge;
+
+/// The protocol version advertised by [`hello_banner`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// One parsed request line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +51,10 @@ pub enum Request {
         /// Component-size threshold (≥ 1).
         tau: u32,
     },
+    /// `hello` — protocol banner (version + shard count).
+    Hello,
+    /// `shards` — shard count and the current per-shard epoch vector.
+    Shards,
     /// `metrics` — dump the metrics registry.
     Metrics,
     /// `telemetry` — dump the process-wide telemetry snapshot as JSON.
@@ -52,6 +74,8 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, String> {
     match toks.as_slice() {
         [] => Ok(None),
         ["quit" | "q" | "exit"] => Ok(Some(Request::Quit)),
+        ["hello"] => Ok(Some(Request::Hello)),
+        ["shards"] => Ok(Some(Request::Shards)),
         ["metrics"] => Ok(Some(Request::Metrics)),
         ["telemetry"] => Ok(Some(Request::Telemetry)),
         ["+", a, b] => Ok(Some(Request::Insert(int(a, "id")?, int(b, "id")?))),
@@ -72,23 +96,37 @@ fn fmt_us(d: std::time::Duration) -> String {
     format!("{:.1} µs", d.as_secs_f64() * 1e6)
 }
 
-/// Formats an update response line, e.g. `+ (7, 9): ok (14.2 µs, epoch 3)`.
-/// Status is `ok` when anything applied, `rejected` when the update was
-/// structurally invalid (a self-loop), and `no-op` when the graph already
-/// satisfied it.
+/// The `esd-protocol/2` banner: written by the TCP server on connect and
+/// replayed by the `hello` command. A `#` line, so v1 clients skip it.
+#[must_use]
+pub fn hello_banner(shards: usize) -> String {
+    format!("# esd-protocol/{PROTOCOL_VERSION} shards={shards}\n")
+}
+
+/// The `shards` introspection response: shard count plus the currently
+/// published per-shard epoch vector.
+#[must_use]
+pub fn format_shards(shards: usize, epochs: &VectorEpoch) -> String {
+    format!("# shards={shards} epochs={epochs}\n")
+}
+
+/// Formats an update response line, e.g. `+ (7, 9): ok (14.2 µs, epoch 3)`
+/// — or `epoch [3, 1]` against a sharded service. Status is `ok` when
+/// anything applied, `rejected` when the update was structurally invalid
+/// (a self-loop), and `no-op` when the graph already satisfied it.
 pub fn format_update(insert: bool, a: u64, b: u64, outcome: &BatchOutcome) -> String {
-    let status = if outcome.applied > 0 {
-        "ok"
-    } else if outcome.rejected > 0 {
-        "rejected"
-    } else {
-        "no-op"
-    };
     format!(
-        "{} ({a}, {b}): {status} ({}, epoch {})\n",
+        "{} ({a}, {b}): {} ({}, epoch {})\n",
         if insert { "+" } else { "-" },
+        if outcome.applied > 0 {
+            "ok"
+        } else if outcome.rejected > 0 {
+            "rejected"
+        } else {
+            "no-op"
+        },
         fmt_us(outcome.latency),
-        outcome.epoch,
+        outcome.epochs,
     )
 }
 
@@ -111,7 +149,8 @@ fn format_results(results: &[ScoredEdge], ids: &IdMap) -> String {
 }
 
 /// Formats a full query response: result lines plus the `#` summary /
-/// terminator line.
+/// terminator line. A degraded answer reports its **maximum per-shard
+/// lag**, e.g. `… epoch [4, 6], stale (lag 2)`.
 pub fn format_query(resp: &QueryResponse, ids: &IdMap) -> String {
     let mut out = format_results(&resp.results, ids);
     out.push_str(&format!(
@@ -123,8 +162,12 @@ pub fn format_query(resp: &QueryResponse, ids: &IdMap) -> String {
         } else {
             "cache miss"
         },
-        resp.epoch,
-        if resp.degraded { ", stale" } else { "" },
+        resp.epochs,
+        if resp.degraded {
+            format!(", stale (lag {})", resp.lag)
+        } else {
+            String::new()
+        },
     ));
     out
 }
@@ -149,6 +192,8 @@ mod tests {
             parse_line("? 10 2"),
             Ok(Some(Request::Query { k: 10, tau: 2 }))
         );
+        assert_eq!(parse_line("hello"), Ok(Some(Request::Hello)));
+        assert_eq!(parse_line("shards"), Ok(Some(Request::Shards)));
         assert_eq!(parse_line("metrics"), Ok(Some(Request::Metrics)));
         assert_eq!(parse_line("telemetry"), Ok(Some(Request::Telemetry)));
         for q in ["quit", "q", "exit"] {
@@ -167,6 +212,18 @@ mod tests {
     }
 
     #[test]
+    fn banner_and_shards_are_comment_lines() {
+        assert_eq!(hello_banner(1), "# esd-protocol/2 shards=1\n");
+        assert_eq!(hello_banner(4), "# esd-protocol/2 shards=4\n");
+        let epochs = VectorEpoch::from_shards(vec![3, 0, 7]);
+        assert_eq!(format_shards(3, &epochs), "# shards=3 epochs=[3, 0, 7]\n");
+        assert_eq!(
+            format_shards(1, &VectorEpoch::scalar(5)),
+            "# shards=1 epochs=5\n"
+        );
+    }
+
+    #[test]
     fn query_formatting_frames_with_summary() {
         let ids = IdMap::from_original(vec![100, 101]);
         let resp = QueryResponse {
@@ -175,15 +232,34 @@ mod tests {
                 score: 3,
             }]),
             epoch: 2,
+            epochs: VectorEpoch::scalar(2),
             cache_hit: true,
             degraded: true,
+            lag: 1,
             latency: Duration::from_micros(12),
         };
         let text = format_query(&resp, &ids);
         assert!(text.contains("(100, 101)  score 3"));
         assert!(text.lines().last().unwrap().starts_with("# 1 result(s)"));
         assert!(text.contains("cache hit"));
-        assert!(text.contains("epoch 2, stale"), "{text}");
+        assert!(text.contains("epoch 2, stale (lag 1)"), "{text}");
+    }
+
+    #[test]
+    fn sharded_query_summary_reports_the_epoch_vector() {
+        let ids = IdMap::default();
+        let epochs = VectorEpoch::from_shards(vec![4, 6]);
+        let resp = QueryResponse {
+            results: Arc::new(Vec::new()),
+            epoch: epochs.sum(),
+            epochs,
+            cache_hit: false,
+            degraded: true,
+            lag: 2,
+            latency: Duration::from_micros(9),
+        };
+        let text = format_query(&resp, &ids);
+        assert!(text.contains("epoch [4, 6], stale (lag 2)"), "{text}");
     }
 
     #[test]
@@ -192,8 +268,10 @@ mod tests {
         let resp = QueryResponse {
             results: Arc::new(Vec::new()),
             epoch: 0,
+            epochs: VectorEpoch::scalar(0),
             cache_hit: false,
             degraded: false,
+            lag: 0,
             latency: Duration::from_micros(1),
         };
         let text = format_query(&resp, &ids);
@@ -208,23 +286,29 @@ mod tests {
             noop: 0,
             rejected: 0,
             epoch: 4,
+            epochs: VectorEpoch::scalar(4),
             latency: Duration::from_micros(20),
         };
         let line = format_update(true, 7, 9, &outcome);
         assert!(line.starts_with("+ (7, 9): ok"));
+        assert!(line.contains("epoch 4"));
         let noop = BatchOutcome {
             applied: 0,
             noop: 1,
             rejected: 0,
             epoch: 4,
+            epochs: VectorEpoch::from_shards(vec![4, 2]),
             latency: Duration::from_micros(5),
         };
-        assert!(format_update(false, 7, 9, &noop).starts_with("- (7, 9): no-op"));
+        let text = format_update(false, 7, 9, &noop);
+        assert!(text.starts_with("- (7, 9): no-op"));
+        assert!(text.contains("epoch [4, 2]"), "{text}");
         let rejected = BatchOutcome {
             applied: 0,
             noop: 0,
             rejected: 1,
             epoch: 4,
+            epochs: VectorEpoch::scalar(4),
             latency: Duration::from_micros(5),
         };
         assert!(format_update(true, 7, 7, &rejected).starts_with("+ (7, 7): rejected"));

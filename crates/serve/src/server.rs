@@ -1,12 +1,16 @@
 //! The TCP front-end: an accept loop handing each connection to its own
-//! thread running a [`Session`] over the shared [`ServiceHandle`].
+//! thread running a [`Session`] over a shared [`EngineHandle`] — the
+//! single-engine [`crate::ServiceHandle`] or a sharded
+//! [`crate::shard::ShardedHandle`], indistinguishably.
 //!
-//! Connections speak the line protocol of [`crate::protocol`]; `quit` (or
-//! EOF) ends a connection without touching the server. [`Server::stop`]
-//! closes the accept loop; connection threads finish their current session
-//! and exit when their clients disconnect.
+//! Connections speak the `esd-protocol/2` line protocol of
+//! [`crate::protocol`]; on connect the server writes the hello banner (a
+//! `#` comment line, so v1 clients skip it), and `quit` (or EOF) ends a
+//! connection without touching the server. [`Server::stop`] closes the
+//! accept loop; connection threads finish their current session and exit
+//! when their clients disconnect.
 
-use crate::service::ServiceHandle;
+use crate::service::EngineHandle;
 use crate::session::{LineOutcome, Session};
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::Arc;
@@ -23,10 +27,11 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` (port 0 picks a free port) and starts the accept loop.
-    pub fn start(
+    /// Binds `addr` (port 0 picks a free port) and starts the accept loop
+    /// over any [`EngineHandle`].
+    pub fn start<H: EngineHandle>(
         addr: impl ToSocketAddrs,
-        handle: ServiceHandle,
+        handle: H,
         ids: Arc<IdMap>,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
@@ -73,9 +78,9 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
+fn accept_loop<H: EngineHandle>(
     listener: &TcpListener,
-    handle: &ServiceHandle,
+    handle: &H,
     ids: &Arc<IdMap>,
     stop: &Arc<AtomicBool>,
 ) {
@@ -93,11 +98,14 @@ fn accept_loop(
     }
 }
 
-/// Runs one connection to completion: read a line, handle it, write the
-/// response, flush. Returns on `quit`, EOF, or any socket error.
-fn handle_connection(stream: &TcpStream, session: &Session) -> io::Result<()> {
+/// Runs one connection to completion: write the protocol banner, then
+/// read a line, handle it, write the response, flush. Returns on `quit`,
+/// EOF, or any socket error.
+fn handle_connection<H: EngineHandle>(stream: &TcpStream, session: &Session<H>) -> io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    writer.write_all(crate::protocol::hello_banner(session.handle().shards()).as_bytes())?;
+    writer.flush()?;
     for line in reader.lines() {
         let line = line?;
         match session.handle_line(&line) {

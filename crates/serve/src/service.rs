@@ -35,8 +35,9 @@ use crate::retry::RetryPolicy;
 use crate::snapshot::{Snapshot, SnapshotCell};
 use crate::sync::time::Instant;
 use crate::sync::{Arc, Condvar, Mutex, Unpoison};
+use crate::vector_epoch::VectorEpoch;
 use esd_core::maintain::{BatchStats, GraphUpdate, MutationBatch, UpdateDisposition};
-use esd_core::{MaintainedIndex, ScoredEdge};
+use esd_core::{EdgeOwnership, MaintainedIndex, ScoredEdge};
 use esd_graph::Graph;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -68,6 +69,11 @@ pub struct ServiceConfig {
     /// the directory already holds durable state, the **recovered** state
     /// wins over the graph passed to [`Service::start`].
     pub durability: Option<DurabilityConfig>,
+    /// The slice of the edge space this engine maintains score state for.
+    /// [`EdgeOwnership::ALL`] (the default) is the ordinary single-engine
+    /// service; [`crate::shard::ShardedService`] starts one engine per
+    /// slice and merges their answers.
+    pub ownership: EdgeOwnership,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +86,7 @@ impl Default for ServiceConfig {
             pipeline_threads: 2,
             shed_stale_epochs: 1,
             durability: None,
+            ownership: EdgeOwnership::ALL,
         }
     }
 }
@@ -153,20 +160,31 @@ impl std::error::Error for ServeError {}
 pub struct QueryResponse {
     /// The ranked results (shared with the cache — cheap to clone).
     pub results: Arc<Vec<ScoredEdge>>,
-    /// Epoch of the snapshot that answered.
+    /// Composite scalar epoch of the answering state: the engine epoch for
+    /// a single-engine service, the **sum** of per-shard epochs for a
+    /// sharded one (monotonic under publications either way). The precise
+    /// per-shard picture is [`QueryResponse::epochs`].
     pub epoch: u64,
+    /// The epoch vector of the snapshot(s) that answered: scalar for S = 1,
+    /// one component per shard for S > 1.
+    pub epochs: VectorEpoch,
     /// Whether the answer came from the result cache.
     pub cache_hit: bool,
     /// `true` when overload shedding answered from a *stale* epoch's
     /// cached result (always at most `shed_stale_epochs` behind). Normal
     /// answers — including current-epoch shed hits — are not degraded.
     pub degraded: bool,
+    /// Maximum per-shard staleness of the answer: how many epochs the most
+    /// lagging component of [`QueryResponse::epochs`] trails the freshest
+    /// state known when the response was assembled. `0` for non-degraded
+    /// answers; for a single engine this is the shed-path epoch delta.
+    pub lag: u64,
     /// End-to-end latency (submission to completion).
     pub latency: Duration,
 }
 
 /// A successful update batch, with its provenance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BatchOutcome {
     /// Updates actually applied.
     pub applied: usize,
@@ -175,8 +193,11 @@ pub struct BatchOutcome {
     pub noop: usize,
     /// Updates rejected as structurally invalid (self-loops).
     pub rejected: usize,
-    /// Epoch current once this batch was visible to readers.
+    /// Composite scalar epoch once this batch was visible to readers (the
+    /// sum of per-shard epochs for a sharded service).
     pub epoch: u64,
+    /// The epoch vector once this batch was visible on every shard.
+    pub epochs: VectorEpoch,
     /// End-to-end latency (submission to publication).
     pub latency: Duration,
 }
@@ -286,9 +307,9 @@ impl Engine {
     /// of `g` so the starting graph itself is recoverable.
     fn build(g: &Graph, cfg: &ServiceConfig, plan: FaultPlan) -> std::io::Result<Self> {
         let (index, epoch, durable, recovery) = match &cfg.durability {
-            None => (MaintainedIndex::new(g), 0, None, None),
+            None => (MaintainedIndex::new_owned(g, cfg.ownership), 0, None, None),
             Some(dcfg) => {
-                let init = crate::durability::open_or_recover(g, dcfg)?;
+                let init = crate::durability::open_or_recover(g, dcfg, cfg.ownership)?;
                 (
                     init.index,
                     init.epoch,
@@ -392,8 +413,10 @@ impl Engine {
         QueryResponse {
             results,
             epoch: snapshot.epoch(),
+            epochs: VectorEpoch::scalar(snapshot.epoch()),
             cache_hit,
             degraded: false,
+            lag: 0,
             latency,
         }
     }
@@ -448,8 +471,10 @@ impl Engine {
                 return Some(QueryResponse {
                     results,
                     epoch,
+                    epochs: VectorEpoch::scalar(epoch),
                     cache_hit: true,
                     degraded: back > 0,
+                    lag: back,
                     latency: started.elapsed(),
                 });
             }
@@ -678,6 +703,7 @@ impl Engine {
             noop: stats.noop,
             rejected: stats.rejected,
             epoch,
+            epochs: VectorEpoch::scalar(epoch),
             latency,
         })
     }
@@ -767,6 +793,7 @@ fn writer_loop(engine: &Engine) {
                         noop: stats.noop,
                         rejected: stats.rejected,
                         epoch: *epoch,
+                        epochs: VectorEpoch::scalar(*epoch),
                         latency,
                     }));
                 }
@@ -957,6 +984,32 @@ impl ServiceHandle {
         }
     }
 
+    /// Executes a query inline on the calling thread against the current
+    /// published snapshot, bypassing the worker queue. Readers need no
+    /// coordination with the worker pool — snapshot publication is atomic
+    /// — so the sharded scatter-gather path uses this to avoid paying `S`
+    /// queue round-trips per merged query: the gather thread *is* the
+    /// worker. Semantics otherwise match [`execute`](Self::execute):
+    /// deadline pre-check, cache, panic containment, metrics. What it
+    /// gives up is queue-level backpressure (`QueueFull` shedding) — the
+    /// caller bounds its own concurrency.
+    pub(crate) fn execute_direct(
+        &self,
+        request: QueryRequest,
+    ) -> Result<QueryResponse, ServeError> {
+        let QueryRequest { k, tau, before } = request;
+        if tau == 0 {
+            return Err(ServeError::BadRequest("tau must be at least 1".into()));
+        }
+        let started = Instant::now();
+        let deadline = self.engine.effective_deadline(before);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.engine.metrics.deadline_exceeded.incr();
+            return Err(ServeError::DeadlineExceeded);
+        }
+        self.engine.run_query_contained(k, tau, started)
+    }
+
     /// Submits a [`MutationBatch`] with the service's default deadline. The
     /// returned outcome's epoch is already visible to subsequent queries.
     pub fn submit(&self, batch: MutationBatch) -> Result<BatchOutcome, ServeError> {
@@ -1009,7 +1062,7 @@ impl ServiceHandle {
     /// attempt gets a *fresh* deadline (no explicit `before` was given —
     /// note a timed-out update may still land, which is safe here because
     /// inserts/removes are idempotent ensure-ops).
-    fn retryable(e: &ServeError, fresh_deadline: bool) -> bool {
+    pub(crate) fn retryable(e: &ServeError, fresh_deadline: bool) -> bool {
         match e {
             ServeError::QueueFull | ServeError::Internal(_) => true,
             ServeError::DeadlineExceeded => fresh_deadline,
@@ -1019,7 +1072,7 @@ impl ServiceHandle {
 
     /// Sleeps one backoff delay if the budget allows, counting the retry.
     /// Returns `false` when the policy is exhausted.
-    fn backoff_once(&self, delays: &mut crate::retry::Backoff) -> bool {
+    pub(crate) fn backoff_once(&self, delays: &mut crate::retry::Backoff) -> bool {
         match delays.next() {
             Some(d) => {
                 self.engine.metrics.retries.incr();
@@ -1113,48 +1166,6 @@ impl ServiceHandle {
         }
     }
 
-    /// Top-`k` query at threshold `tau` with the service's default deadline.
-    #[deprecated(since = "0.1.0", note = "use `execute(QueryRequest::new(k, tau))`")]
-    pub fn query(&self, k: usize, tau: u32) -> Result<QueryResponse, ServeError> {
-        self.execute(QueryRequest::new(k, tau))
-    }
-
-    /// Top-`k` query with an explicit deadline.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `execute(QueryRequest::new(k, tau).before(deadline))`"
-    )]
-    pub fn query_before(
-        &self,
-        k: usize,
-        tau: u32,
-        deadline: Option<Instant>,
-    ) -> Result<QueryResponse, ServeError> {
-        self.execute(QueryRequest {
-            k,
-            tau,
-            before: deadline,
-        })
-    }
-
-    /// Applies a batch of updates with the default deadline.
-    #[deprecated(since = "0.1.0", note = "use `submit(MutationBatch)`")]
-    pub fn apply(&self, updates: Vec<GraphUpdate>) -> Result<BatchOutcome, ServeError> {
-        // `from_raw`: the legacy contract gives every element its own
-        // disposition, so no coalescing.
-        self.submit_before(MutationBatch::from_raw(updates), None)
-    }
-
-    /// Applies a batch of updates with an explicit deadline.
-    #[deprecated(since = "0.1.0", note = "use `submit_before(MutationBatch, deadline)`")]
-    pub fn apply_before(
-        &self,
-        updates: Vec<GraphUpdate>,
-        deadline: Option<Instant>,
-    ) -> Result<BatchOutcome, ServeError> {
-        self.submit_before(MutationBatch::from_raw(updates), deadline)
-    }
-
     /// The current published snapshot (stable for as long as you hold it).
     pub fn snapshot(&self) -> Arc<Snapshot> {
         self.engine.snapshot.load()
@@ -1174,6 +1185,106 @@ impl ServiceHandle {
             ("cache_entries", self.engine.cache.len() as u64),
             ("snapshot_epoch", self.engine.snapshot.load().epoch()),
         ])
+    }
+}
+
+/// The shard-transparent engine surface of `esd::api`.
+///
+/// Everything a protocol [`Session`](crate::Session), the TCP
+/// [`Server`](crate::Server), the CLI, and the bench loadgen need from an
+/// engine, abstracted over *how many* engines stand behind the handle: the
+/// single-engine [`ServiceHandle`] and the scatter-gather
+/// [`ShardedHandle`](crate::shard::ShardedHandle) implement it identically,
+/// so every caller runs unchanged against 1 shard or N.
+///
+/// The request/response vocabulary is shared — [`QueryRequest`],
+/// [`MutationBatch`], [`QueryResponse`], [`BatchOutcome`] — and the only
+/// shard-visible difference is the [`VectorEpoch`] a response carries
+/// (scalar for S = 1, per-shard vector for S > 1).
+pub trait EngineHandle: Clone + Send + Sync + 'static {
+    /// Executes one [`QueryRequest`].
+    fn execute(&self, request: QueryRequest) -> Result<QueryResponse, ServeError>;
+
+    /// Submits a [`MutationBatch`] with the default deadline. The returned
+    /// outcome's epochs are already visible to subsequent queries.
+    fn submit(&self, batch: MutationBatch) -> Result<BatchOutcome, ServeError>;
+
+    /// Submits a [`MutationBatch`] with an explicit deadline.
+    fn submit_before(
+        &self,
+        batch: MutationBatch,
+        deadline: Option<Instant>,
+    ) -> Result<BatchOutcome, ServeError>;
+
+    /// [`execute`](EngineHandle::execute) with transient failures retried
+    /// per `policy`.
+    fn execute_with_retry(
+        &self,
+        request: QueryRequest,
+        policy: &RetryPolicy,
+    ) -> Result<QueryResponse, ServeError>;
+
+    /// [`submit`](EngineHandle::submit) with transient failures retried
+    /// per `policy`.
+    fn submit_with_retry(
+        &self,
+        batch: MutationBatch,
+        policy: &RetryPolicy,
+    ) -> Result<BatchOutcome, ServeError>;
+
+    /// How many shards stand behind this handle (`1` for a single engine).
+    fn shards(&self) -> usize;
+
+    /// The currently published epoch vector (scalar for S = 1).
+    fn epochs(&self) -> VectorEpoch;
+
+    /// Renders the metrics block, including live gauges.
+    fn metrics_text(&self) -> String;
+}
+
+impl EngineHandle for ServiceHandle {
+    fn execute(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
+        ServiceHandle::execute(self, request)
+    }
+
+    fn submit(&self, batch: MutationBatch) -> Result<BatchOutcome, ServeError> {
+        ServiceHandle::submit(self, batch)
+    }
+
+    fn submit_before(
+        &self,
+        batch: MutationBatch,
+        deadline: Option<Instant>,
+    ) -> Result<BatchOutcome, ServeError> {
+        ServiceHandle::submit_before(self, batch, deadline)
+    }
+
+    fn execute_with_retry(
+        &self,
+        request: QueryRequest,
+        policy: &RetryPolicy,
+    ) -> Result<QueryResponse, ServeError> {
+        ServiceHandle::execute_with_retry(self, request, policy)
+    }
+
+    fn submit_with_retry(
+        &self,
+        batch: MutationBatch,
+        policy: &RetryPolicy,
+    ) -> Result<BatchOutcome, ServeError> {
+        ServiceHandle::submit_with_retry(self, batch, policy)
+    }
+
+    fn shards(&self) -> usize {
+        1
+    }
+
+    fn epochs(&self) -> VectorEpoch {
+        VectorEpoch::scalar(self.engine.snapshot.load().epoch())
+    }
+
+    fn metrics_text(&self) -> String {
+        ServiceHandle::metrics_text(self)
     }
 }
 
@@ -1249,6 +1360,7 @@ mod tests {
             pipeline_threads: 1,
             shed_stale_epochs: 1,
             durability: None,
+            ownership: EdgeOwnership::ALL,
         };
         let engine = Arc::new(Engine::new(&test_graph(), &cfg, FaultPlan::default()));
         let handle = ServiceHandle {
@@ -1292,6 +1404,7 @@ mod tests {
             pipeline_threads: 1,
             shed_stale_epochs: 1,
             durability: None,
+            ownership: EdgeOwnership::ALL,
         };
         let g = test_graph();
         let engine = Arc::new(Engine::new(&g, &cfg, FaultPlan::default()));
@@ -1350,6 +1463,7 @@ mod tests {
             pipeline_threads: 1,
             shed_stale_epochs: 1,
             durability: None,
+            ownership: EdgeOwnership::ALL,
         };
         let engine = Arc::new(Engine::new(&test_graph(), &cfg, FaultPlan::default()));
         let handle = ServiceHandle {
@@ -1459,31 +1573,27 @@ mod tests {
     }
 
     #[test]
-    #[allow(
-        deprecated,
-        reason = "the deprecated entry points must keep working verbatim; this \
-                  is the one place they are exercised"
-    )]
-    fn legacy_wrappers_still_work() {
+    fn trait_surface_matches_inherent_methods() {
+        // A generic driver must see exactly what the inherent API returns —
+        // the shard-transparency contract at S = 1.
+        fn drive<H: EngineHandle>(handle: &H, expected: &[ScoredEdge]) {
+            assert_eq!(handle.shards(), 1);
+            let resp = handle.execute(QueryRequest::new(10, 2)).unwrap();
+            assert_eq!(*resp.results, expected);
+            assert_eq!(resp.epochs, VectorEpoch::scalar(resp.epoch));
+            assert_eq!(resp.lag, 0);
+            let mut batch = MutationBatch::new();
+            batch.insert(200, 201);
+            let outcome = handle.submit(batch).unwrap();
+            assert_eq!(outcome.applied, 1);
+            assert_eq!(outcome.epochs, VectorEpoch::scalar(outcome.epoch));
+            assert!(handle.epochs().componentwise_ge(&outcome.epochs));
+            assert!(handle.metrics_text().contains("queries_served"));
+        }
         let g = test_graph();
         let expected = MaintainedIndex::new(&g).query(10, 2);
         let service = Service::start(&g, &ServiceConfig::default());
-        let handle = service.handle();
-        assert_eq!(*handle.query(10, 2).unwrap().results, expected);
-        assert_eq!(*handle.query_before(10, 2, None).unwrap().results, expected);
-        let existing = g.edges()[0];
-        let outcome = handle
-            .apply(vec![
-                GraphUpdate::Insert(existing.u, existing.v),
-                GraphUpdate::Remove(existing.u, existing.v),
-                GraphUpdate::Insert(existing.u, existing.v),
-            ])
-            .unwrap();
-        // from_raw semantics: all three reach the index (noop, applied,
-        // applied) — nothing is coalesced away.
-        assert_eq!((outcome.applied, outcome.noop, outcome.rejected), (2, 1, 0));
-        let outcome = handle.apply_before(vec![], None).unwrap();
-        assert_eq!(outcome.applied, 0);
+        drive(&service.handle(), &expected);
         service.shutdown();
     }
 

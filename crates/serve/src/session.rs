@@ -1,11 +1,11 @@
 //! One protocol session: the glue between a line source (stdin or a TCP
-//! connection) and the [`ServiceHandle`]. `esd stream` and every `esd
-//! serve` connection run exactly this code, so the two surfaces cannot
-//! drift apart.
+//! connection) and an [`EngineHandle`]. `esd stream` and every `esd
+//! serve` connection run exactly this code — against one engine or a
+//! sharded fleet — so the surfaces cannot drift apart.
 
 use crate::protocol::{self, Request};
 use crate::retry::RetryPolicy;
-use crate::service::{QueryRequest, ServiceHandle};
+use crate::service::{EngineHandle, QueryRequest, ServiceHandle};
 use crate::sync::Arc;
 use crate::IdMap;
 use esd_core::maintain::MutationBatch;
@@ -19,20 +19,23 @@ pub enum LineOutcome {
     Quit,
 }
 
-/// A protocol session bound to one service handle and the shared id map.
+/// A protocol session bound to one engine handle and the shared id map.
+/// Shard-transparent: the default `H` is the single-engine
+/// [`ServiceHandle`]; a [`ShardedHandle`](crate::shard::ShardedHandle)
+/// session behaves identically, with epoch vectors in its summaries.
 #[derive(Debug, Clone)]
-pub struct Session {
-    handle: ServiceHandle,
+pub struct Session<H: EngineHandle = ServiceHandle> {
+    handle: H,
     ids: Arc<IdMap>,
     retry: RetryPolicy,
 }
 
-impl Session {
+impl<H: EngineHandle> Session<H> {
     /// Creates a session over `handle` using the shared id mapping `ids`,
     /// with a modest default [`RetryPolicy`]: transient errors (a full
     /// queue, a contained fault) are retried with jittered backoff before
     /// the client ever sees an `error:` line.
-    pub fn new(handle: ServiceHandle, ids: Arc<IdMap>) -> Self {
+    pub fn new(handle: H, ids: Arc<IdMap>) -> Self {
         Self {
             handle,
             ids,
@@ -53,8 +56,8 @@ impl Session {
         &self.ids
     }
 
-    /// The underlying service handle.
-    pub fn handle(&self) -> &ServiceHandle {
+    /// The underlying engine handle.
+    pub fn handle(&self) -> &H {
         &self.handle
     }
 
@@ -69,6 +72,11 @@ impl Session {
         };
         match request {
             Request::Quit => LineOutcome::Quit,
+            Request::Hello => LineOutcome::Respond(protocol::hello_banner(self.handle.shards())),
+            Request::Shards => LineOutcome::Respond(protocol::format_shards(
+                self.handle.shards(),
+                &self.handle.epochs(),
+            )),
             Request::Metrics => LineOutcome::Respond(self.handle.metrics_text()),
             Request::Telemetry => {
                 let mut json = esd_telemetry::snapshot().to_json().render_compact();
@@ -108,20 +116,27 @@ impl Session {
 mod tests {
     use super::*;
     use crate::service::{Service, ServiceConfig};
+    use crate::shard::{ShardConfig, ShardedService};
     use esd_graph::Graph;
 
+    // K4 plus a spare vertex: every edge scores 1 at τ ≤ 2.
+    fn test_graph() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    fn test_ids() -> Arc<IdMap> {
+        Arc::new(IdMap::from_original(vec![100, 101, 102, 103, 104]))
+    }
+
     fn session() -> (Service, Session) {
-        // K4 plus a spare vertex: every edge scores 1 at τ ≤ 2.
-        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let service = Service::start(
-            &g,
+            &test_graph(),
             &ServiceConfig {
                 workers: 0,
                 ..ServiceConfig::default()
             },
         );
-        let ids = Arc::new(IdMap::from_original(vec![100, 101, 102, 103, 104]));
-        let session = Session::new(service.handle(), ids);
+        let session = Session::new(service.handle(), test_ids());
         (service, session)
     }
 
@@ -148,6 +163,15 @@ mod tests {
             panic!()
         };
         assert!(text.starts_with("+ (999, 100): ok"), "{text}");
+        // Protocol introspection.
+        let LineOutcome::Respond(text) = s.handle_line("hello") else {
+            panic!()
+        };
+        assert_eq!(text, "# esd-protocol/2 shards=1\n");
+        let LineOutcome::Respond(text) = s.handle_line("shards") else {
+            panic!()
+        };
+        assert!(text.starts_with("# shards=1 epochs="), "{text}");
         // Metrics and errors.
         let LineOutcome::Respond(text) = s.handle_line("metrics") else {
             panic!()
@@ -177,5 +201,44 @@ mod tests {
             panic!()
         };
         assert!(text.starts_with("- (104, 104): rejected"), "{text}");
+    }
+
+    #[test]
+    fn sharded_session_speaks_the_same_protocol() {
+        let service = ShardedService::start(
+            &test_graph(),
+            &ShardConfig {
+                shards: 2,
+                per_shard: ServiceConfig {
+                    workers: 0,
+                    ..ServiceConfig::default()
+                },
+            },
+        );
+        let s = Session::new(service.handle(), test_ids());
+        let LineOutcome::Respond(text) = s.handle_line("hello") else {
+            panic!()
+        };
+        assert_eq!(text, "# esd-protocol/2 shards=2\n");
+        let LineOutcome::Respond(text) = s.handle_line("? 10 2") else {
+            panic!()
+        };
+        assert!(text.contains("# 6 result(s)"), "{text}");
+        assert!(text.contains("epoch [0, 0]"), "{text}");
+        let LineOutcome::Respond(text) = s.handle_line("+ 100 104") else {
+            panic!()
+        };
+        assert!(text.starts_with("+ (100, 104): ok"), "{text}");
+        assert!(text.contains("epoch [1, 1]"), "{text}");
+        let LineOutcome::Respond(text) = s.handle_line("shards") else {
+            panic!()
+        };
+        assert_eq!(text, "# shards=2 epochs=[1, 1]\n");
+        let LineOutcome::Respond(text) = s.handle_line("metrics") else {
+            panic!()
+        };
+        assert!(text.contains("-- shard 1 --"), "{text}");
+        assert_eq!(s.handle_line("quit"), LineOutcome::Quit);
+        service.shutdown();
     }
 }

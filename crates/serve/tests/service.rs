@@ -232,6 +232,11 @@ fn tcp_server_round_trip() {
     let mut conn = TcpStream::connect(addr).unwrap();
     let mut reader = BufReader::new(conn.try_clone().unwrap());
 
+    // The server greets with the protocol banner.
+    let mut banner = String::new();
+    reader.read_line(&mut banner).unwrap();
+    assert_eq!(banner, "# esd-protocol/2 shards=1\n");
+
     writeln!(conn, "? 5 {TAU}").unwrap();
     let lines = read_query_response(&mut reader);
     assert_eq!(lines.len(), expected.len() + 1);
@@ -246,8 +251,11 @@ fn tcp_server_round_trip() {
     {
         let mut other = TcpStream::connect(addr).unwrap();
         let mut other_reader = BufReader::new(other.try_clone().unwrap());
-        writeln!(other, "+ 0 249").unwrap();
         let mut line = String::new();
+        other_reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("# esd-protocol/2"), "{line}");
+        writeln!(other, "+ 0 249").unwrap();
+        line.clear();
         other_reader.read_line(&mut line).unwrap();
         assert!(line.starts_with("+ (0, 249): ok"), "{line}");
         writeln!(other, "quit").unwrap();
@@ -387,5 +395,84 @@ fn cache_never_serves_pre_publication_epochs() {
     let cache_hits: u64 = readers.into_iter().map(|t| t.join().unwrap()).sum();
     assert!(last_epoch >= 30, "most rounds must publish a new epoch");
     assert!(cache_hits > 0, "the cache path must actually be exercised");
+    service.shutdown();
+}
+
+/// The sharded generalisation of
+/// [`cache_never_serves_pre_publication_epochs`]: under churn racing the
+/// scatter-gather read path, a non-degraded merged answer must be
+/// componentwise at-least-as-fresh as any epoch **vector** its caller had
+/// already observed — per-shard monotonic reads, not just monotonicity of
+/// the composite scalar.
+#[test]
+fn sharded_reads_are_componentwise_monotonic() {
+    use esd_serve::{EngineHandle, ShardConfig, ShardedService};
+
+    let g = test_graph();
+    let service = ShardedService::start(
+        &g,
+        &ShardConfig {
+            shards: 2,
+            per_shard: ServiceConfig {
+                workers: 2,
+                queue_capacity: 256,
+                cache_capacity: 512,
+                ..ServiceConfig::default()
+            },
+        },
+    );
+    let handle = service.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..4u64)
+        .map(|r| {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5AD0 ^ r);
+                let mut merged = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = [5usize, 10, K][rng.gen_range(0..3)];
+                    let tau = [1u32, TAU][rng.gen_range(0..2)];
+                    // Observing the vector FIRST is the point: any answer
+                    // the fleet now gives must dominate it componentwise.
+                    let observed = handle.epochs();
+                    match handle.execute(QueryRequest::new(k, tau)) {
+                        Ok(resp) => {
+                            assert_eq!(resp.epochs.shards(), 2);
+                            assert!(
+                                resp.degraded || resp.epochs.componentwise_ge(&observed),
+                                "non-degraded answer stamped {} after the \
+                                 reader already observed {observed}",
+                                resp.epochs,
+                            );
+                            merged += 1;
+                        }
+                        Err(ServeError::QueueFull | ServeError::DeadlineExceeded) => {}
+                        Err(e) => panic!("reader {r}: unexpected error {e}"),
+                    }
+                }
+                merged
+            })
+        })
+        .collect();
+
+    let mut last = None;
+    for round in 0..40 {
+        let outcome = handle
+            .submit(MutationBatch::from_raw(random_batch(250, 20, 3000 + round)))
+            .unwrap();
+        last = Some(outcome.epochs);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let merged: u64 = readers.into_iter().map(|t| t.join().unwrap()).sum();
+    let last = last.unwrap();
+    assert_eq!(last.shards(), 2);
+    assert!(last.sum() >= 60, "most rounds must publish on both shards");
+    assert!(merged > 0, "the scatter-gather path must be exercised");
+    assert!(
+        handle.epochs().componentwise_ge(&last),
+        "the published vector never regresses"
+    );
     service.shutdown();
 }

@@ -143,6 +143,9 @@ catalogue! {
         ServeQuery => "serve.query",
         /// Serve engine: one snapshot publication (epoch advance).
         ServePublish => "serve.publish",
+        /// Sharded serve: one scatter-gather query, fan-out through final
+        /// k-way merge (S > 1 only; single-engine queries never open it).
+        ShardGather => "shard.gather",
         /// Durability: one WAL record appended (the durable commit path).
         WalAppend => "wal.append",
         /// Durability: one WAL fsync (a group commit covering every record
@@ -217,6 +220,15 @@ catalogue! {
         /// Queries answered from a retained cached result under overload
         /// shedding instead of being rejected with `QueueFull`.
         ServeShed => "serve.shed",
+        /// Per-shard batch submissions routed by the sharded write fan-out
+        /// (S per accepted batch; 0 while serving a single engine).
+        ShardRoute => "shard.route",
+        /// Per-shard queries dispatched by scatter-gather top-k (the round-1
+        /// fan-out plus any adaptive refetches).
+        ShardFanout => "shard.fanout",
+        /// Candidate results entering the scatter-gather k-way merge (the
+        /// sum of per-shard list lengths at the final merge).
+        ShardMerge => "shard.merge",
         /// WAL records appended by the durable commit path.
         WalRecords => "wal.records",
         /// WAL bytes appended (frame bytes, including headers).

@@ -8,14 +8,11 @@
 //! collects the replacement vocabulary in one place:
 //!
 //! * [`QueryRequest`] — a query as a value: `k`, `τ`, and an optional
-//!   deadline, executed via
-//!   [`ServiceHandle::execute`](esd_serve::ServiceHandle::execute).
+//!   deadline.
 //! * [`MutationBatch`] — a builder over graph updates that coalesces
 //!   operations on the same edge last-writer-wins (only the most recent
-//!   insert/remove per edge survives), submitted via
-//!   [`ServiceHandle::submit`](esd_serve::ServiceHandle::submit). Use
-//!   [`MutationBatch::from_raw`] when per-update dispositions must be
-//!   reported 1:1 (no coalescing).
+//!   insert/remove per edge survives). Use [`MutationBatch::from_raw`]
+//!   when per-update dispositions must be reported 1:1 (no coalescing).
 //! * [`BatchStats`] / [`UpdateDisposition`] — what happened to each
 //!   update: applied, no-op (already satisfied), or rejected
 //!   (structurally invalid, e.g. a self-loop).
@@ -25,11 +22,30 @@
 //!   from the parallel batch-maintenance pipeline
 //!   ([`MaintainedIndex::apply_batch_parallel`](esd_core::MaintainedIndex::apply_batch_parallel)).
 //!
-//! The legacy positional methods still exist as thin `#[deprecated]`
-//! wrappers; see the README migration note.
+//! ## Shard transparency
+//!
+//! Requests execute against any [`EngineHandle`] — the trait both engine
+//! front-ends implement:
+//!
+//! * [`ServiceHandle`](esd_serve::ServiceHandle), over a single
+//!   [`Service`](esd_serve::Service);
+//! * [`ShardedHandle`], over a [`ShardedService`] of `S` engines
+//!   (configured with [`ShardConfig`]) that scatter-gathers queries and
+//!   fans mutations out to every shard.
+//!
+//! The request/response vocabulary is identical either way: the same
+//! `QueryRequest` and `MutationBatch` values flow through either handle,
+//! and responses carry a [`VectorEpoch`] — a scalar against one engine, a
+//! per-shard vector against a fleet — so sessions, servers, and load
+//! generators run unchanged at any shard count. Result identity across
+//! shard counts is argued in DESIGN.md §15.
+//!
+//! The legacy positional methods (`query`, `query_before`, `apply`,
+//! `apply_before`) have been **removed** in favour of this vocabulary;
+//! see the README migration table.
 //!
 //! ```
-//! use esd::api::{MutationBatch, QueryRequest};
+//! use esd::api::{EngineHandle, MutationBatch, QueryRequest};
 //! use esd::serve::{Service, ServiceConfig};
 //! use esd::graph::generators;
 //!
@@ -48,10 +64,29 @@
 //! assert!(top.results.len() <= 5);
 //! service.shutdown();
 //! ```
+//!
+//! The same flow against a sharded fleet — only construction differs:
+//!
+//! ```
+//! use esd::api::{EngineHandle, QueryRequest, ShardConfig, ShardedService};
+//! use esd::graph::generators;
+//!
+//! let g = generators::clique_overlap(120, 90, 5, 3);
+//! let fleet = ShardedService::start(&g, &ShardConfig::new(4));
+//! let handle = fleet.handle();
+//! assert_eq!(handle.shards(), 4);
+//!
+//! let top = handle.execute(QueryRequest::new(5, 2)).unwrap();
+//! assert_eq!(top.epochs.components().len(), 4);
+//! fleet.shutdown();
+//! ```
 
 pub use esd_core::maintain::{
     BatchStats, GraphUpdate, MutationBatch, PipelineOutcome, PipelineReport, UpdateDisposition,
 };
-pub use esd_serve::{BatchOutcome, QueryRequest, QueryResponse};
+pub use esd_serve::{
+    BatchOutcome, EngineHandle, QueryRequest, QueryResponse, ShardConfig, ShardedHandle,
+    ShardedService, VectorEpoch,
+};
 
 pub use crate::Error;

@@ -23,7 +23,9 @@
 //! * [`core`] — the paper's algorithms.
 //! * [`datasets`] — deterministic surrogate datasets for the evaluation.
 //! * [`serve`] — a concurrent query service over the maintained index:
-//!   snapshot isolation, worker pool, result cache, live metrics, TCP server.
+//!   snapshot isolation, worker pool, result cache, live metrics, TCP server,
+//!   and a sharded scatter-gather fleet behind the shard-transparent
+//!   [`api::EngineHandle`].
 //! * [`telemetry`] — stage spans and kernel counters threaded through every
 //!   hot path above; a no-op unless built with the `telemetry` feature. See
 //!   `docs/observability.md` for the span taxonomy and counter catalogue.

@@ -80,6 +80,7 @@ fn chaos_config(workers: usize) -> ServiceConfig {
         pipeline_threads: 2,
         shed_stale_epochs: 1,
         durability: None,
+        ..ServiceConfig::default()
     }
 }
 

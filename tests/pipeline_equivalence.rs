@@ -380,3 +380,120 @@ proptest! {
         recovery_equivalence_case(seed);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Cross-shard equivalence: the sharded serving fleet promises *result
+// identity* at every shard count. Each shard holds a full graph replica but
+// scores only its owned hash slice of the edge-key space; the scatter-gather
+// merge reassembles the global ranking. These tests push the same seeded
+// churn through ShardedService at S ∈ {1, 2, 4} and demand every (k, τ)
+// query — after every batch — matches a plain single-engine MaintainedIndex
+// replay bit for bit, under strict-invariants.
+// ---------------------------------------------------------------------------
+
+use esd_serve::{EngineHandle, QueryRequest, ShardConfig, ShardedService};
+
+const SERVE_K_GRID: [usize; 5] = [1, 7, 10, 100, 400];
+
+#[test]
+fn sharded_serve_matches_single_engine_ground_truth() {
+    let g = generators::clique_overlap(140, 100, 5, 77);
+    let events = churn_trace(&g, 120, ChurnMix::default(), 0x5AAD);
+    let batches: Vec<Vec<GraphUpdate>> = events
+        .chunks(24)
+        .map(|c| c.iter().map(as_update).collect())
+        .collect();
+    for shards in [1u32, 2, 4] {
+        let cfg = ShardConfig {
+            shards,
+            per_shard: ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            },
+        };
+        let service = ShardedService::start(&g, &cfg);
+        let handle = service.handle();
+        let mut truth = MaintainedIndex::new(&g);
+        for (round, ops) in batches.iter().enumerate() {
+            truth.apply_batch(ops);
+            handle
+                .submit(MutationBatch::from_raw(ops.clone()))
+                .unwrap_or_else(|e| panic!("S={shards} round {round}: submit failed: {e}"));
+            // Every shard applies the full batch to its replica, so the
+            // published epoch vector stays uniform across shards.
+            let epochs = handle.epochs();
+            assert_eq!(epochs.shards(), shards as usize, "S={shards}: vector width");
+            let first = epochs.components()[0];
+            assert!(
+                epochs.components().iter().all(|&e| e == first),
+                "S={shards} round {round}: shards diverged in epoch: {epochs}"
+            );
+            for k in SERVE_K_GRID {
+                for tau in TAU_GRID {
+                    let resp = handle
+                        .execute(QueryRequest::new(k, tau))
+                        .unwrap_or_else(|e| {
+                            panic!("S={shards} round {round}: query(k={k}, tau={tau}): {e}")
+                        });
+                    assert_eq!(
+                        *resp.results,
+                        truth.query(k, tau),
+                        "S={shards} round {round}: query(k={k}, tau={tau}) diverged"
+                    );
+                    assert_eq!(
+                        resp.epochs.shards(),
+                        shards as usize,
+                        "S={shards}: response vector width"
+                    );
+                }
+            }
+        }
+        truth.check_consistency();
+        service.shutdown();
+    }
+}
+
+/// Raw adversarial batches (duplicate inserts, missing removals,
+/// self-loops, intra-batch contradictions) routed through the mutation
+/// coalescer and fanned out to every shard still land on the identical
+/// final state at every shard count.
+#[test]
+fn sharded_serve_final_state_matches_under_adversarial_batches() {
+    let g = generators::clique_overlap(120, 90, 5, 13);
+    let mut rng = StdRng::seed_from_u64(0x5AAD_F00D);
+    let batches: Vec<Vec<GraphUpdate>> = (0..5).map(|_| random_batch(&mut rng, 130, 30)).collect();
+    let mut truth = MaintainedIndex::new(&g);
+    for ops in &batches {
+        // Ground truth applies the same coalesced view the service sees.
+        let batch: MutationBatch = ops.clone().into();
+        truth.apply_batch(&batch.into_updates());
+    }
+    truth.check_consistency();
+    for shards in [1u32, 2, 4] {
+        let cfg = ShardConfig {
+            shards,
+            per_shard: ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            },
+        };
+        let service = ShardedService::start(&g, &cfg);
+        let handle = service.handle();
+        for (round, ops) in batches.iter().enumerate() {
+            handle
+                .submit(MutationBatch::from_raw(ops.clone()))
+                .unwrap_or_else(|e| panic!("S={shards} round {round}: submit failed: {e}"));
+        }
+        for k in SERVE_K_GRID {
+            for tau in TAU_GRID {
+                let resp = handle.execute(QueryRequest::new(k, tau)).unwrap();
+                assert_eq!(
+                    *resp.results,
+                    truth.query(k, tau),
+                    "S={shards}: final query(k={k}, tau={tau}) diverged"
+                );
+            }
+        }
+        service.shutdown();
+    }
+}

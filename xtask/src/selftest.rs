@@ -126,6 +126,70 @@ fn scenarios() -> Vec<Scenario> {
             expect_file: faults,
             run: passes::fault_coverage,
         },
+        // The shard extension of docs-sync: the `shard.*` merge telemetry
+        // is part of the catalogue like any other label, so dropping its
+        // documentation row must be flagged.
+        Scenario {
+            pass: "docs-sync",
+            violating: ws(
+                vec![SourceFile::from_text(
+                    telemetry_lib,
+                    &catalogue("        G => \"shard.gather\",\n        R => \"shard.route\",\n"),
+                )],
+                Some("| Stage | Where |\n|---|---|\n| `shard.route` | fan_out |\n"),
+            ),
+            clean: ws(
+                vec![SourceFile::from_text(
+                    telemetry_lib,
+                    &catalogue("        G => \"shard.gather\",\n        R => \"shard.route\",\n"),
+                )],
+                Some(
+                    "| Stage | Where |\n|---|---|\n| `shard.gather` | scatter_gather |\n\
+                     | `shard.route` | fan_out |\n",
+                ),
+            ),
+            expect_file: telemetry_lib,
+            run: passes::docs_sync,
+        },
+        // The shard extension of fault-coverage: a fault point whose only
+        // chaos coverage lives in tests/chaos_shard.rs counts as covered
+        // (any tests/*chaos*.rs file does), and losing that file brings
+        // the flag back.
+        Scenario {
+            pass: "fault-coverage",
+            violating: ws(
+                vec![
+                    SourceFile::from_text(
+                        faults,
+                        "pub enum FaultPoint {\n    WriterApply,\n    WalFsync,\n}\n",
+                    ),
+                    SourceFile::from_text(
+                        "tests/chaos_serve.rs",
+                        "fn scenario() { let _ = FaultPoint::WriterApply; }\n",
+                    ),
+                ],
+                None,
+            ),
+            clean: ws(
+                vec![
+                    SourceFile::from_text(
+                        faults,
+                        "pub enum FaultPoint {\n    WriterApply,\n    WalFsync,\n}\n",
+                    ),
+                    SourceFile::from_text(
+                        "tests/chaos_serve.rs",
+                        "fn scenario() { let _ = FaultPoint::WriterApply; }\n",
+                    ),
+                    SourceFile::from_text(
+                        "tests/chaos_shard.rs",
+                        "fn scenario() { let _ = FaultPoint::WalFsync; }\n",
+                    ),
+                ],
+                None,
+            ),
+            expect_file: faults,
+            run: passes::fault_coverage,
+        },
         Scenario {
             pass: "sync-facade",
             violating: ws(
