@@ -8,13 +8,15 @@
 //!
 //! ```text
 //! loadgen [--n V] [--ops N] [--write-ratio R] [--workers 0,2,8] [--seed S]
-//!         [--shards 1,4] [--k-set 10,50,100] [--durable]
+//!         [--shards 1,4] [--k-set 10,50,100] [--families component,truss]
+//!         [--durable]
 //! ```
 //!
-//! Queries draw `k` log-uniformly from `[16, 2048]` and `τ` from `[1, 4]`
-//! so the result cache sees a realistic mix of hits and misses instead of
-//! one key served entirely from cache. `--k-set` replaces the log-uniform
-//! draw with a fixed menu of `k` values — the API/dashboard serving shape
+//! Queries draw `k` log-uniformly from `[16, 2048]`, `τ` from `[1, 4]`,
+//! and the query [`Family`] uniformly from the `--families` mix (default:
+//! component only), so the result cache sees a realistic mix of hits and
+//! misses instead of one key served entirely from cache. `--k-set`
+//! replaces the log-uniform draw with a fixed menu of `k` values — the API/dashboard serving shape
 //! where repeated keys let the result caches work; it is the reference
 //! configuration for the sharded read-scaling report
 //! (`docs/benchmarking.md`).
@@ -32,6 +34,7 @@
 //! baseline at the same worker count.
 
 use esd_core::maintain::{GraphUpdate, MutationBatch};
+use esd_core::Family;
 use esd_graph::{generators, Graph};
 use esd_serve::{
     AckPolicy, DurabilityConfig, EngineHandle, QueryRequest, RetryPolicy, Service, ServiceConfig,
@@ -53,6 +56,9 @@ struct Config {
     /// A small repeated set models API/dashboard serving, where result
     /// caches (per-engine and merged) actually get to work.
     k_set: Vec<usize>,
+    /// Query families in the read mix; each query draws one uniformly.
+    /// The default (component only) reproduces the historical workload.
+    families: Vec<Family>,
     seed: u64,
     durable: bool,
 }
@@ -65,6 +71,7 @@ fn parse_args() -> Result<Config, String> {
         workers: vec![0, 8],
         shards: vec![1],
         k_set: Vec::new(),
+        families: vec![Family::Component],
         seed: 0xBE7C,
         durable: false,
     };
@@ -112,11 +119,20 @@ fn parse_args() -> Result<Config, String> {
                     .map(|t| t.trim().parse().map_err(|e| format!("bad --k-set: {e}")))
                     .collect::<Result<_, _>>()?;
             }
+            "--families" => {
+                cfg.families = value("--families")?
+                    .split(',')
+                    .map(|t| {
+                        Family::parse(t.trim())
+                            .ok_or_else(|| format!("bad --families: unknown family {t:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             other => {
                 return Err(format!(
                     "unknown flag {other} \
-                     (--n | --ops | --write-ratio | --workers | --shards | --k-set | --seed \
-                     | --durable)"
+                     (--n | --ops | --write-ratio | --workers | --shards | --k-set \
+                     | --families | --seed | --durable)"
                 ))
             }
         }
@@ -129,6 +145,9 @@ fn parse_args() -> Result<Config, String> {
     }
     if cfg.k_set.iter().any(|&k| k == 0) {
         return Err("--k-set entries must be at least 1".into());
+    }
+    if cfg.families.is_empty() {
+        return Err("--families needs at least one family".into());
     }
     Ok(cfg)
 }
@@ -162,7 +181,8 @@ impl ClientStats {
 }
 
 /// One closed-loop client: issues `ops` operations back to back, each a
-/// query (log-uniform `k`, random `τ`) or a single-edge update, retrying
+/// query (log-uniform `k`, random `τ`, family drawn from the configured
+/// mix) or a single-edge update, retrying
 /// transient failures with jittered backoff and tallying every outcome.
 /// Shard-transparent: the same loop drives a [`esd_serve::ServiceHandle`] or a
 /// [`ShardedHandle`](esd_serve::ShardedHandle) through [`EngineHandle`].
@@ -172,6 +192,7 @@ fn client<H: EngineHandle>(
     ops: u64,
     write_ratio: f64,
     k_set: &[usize],
+    families: &[Family],
     seed: u64,
 ) -> ClientStats {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -203,8 +224,10 @@ fn client<H: EngineHandle>(
                 k_set[rng.gen_range(0..k_set.len())]
             };
             let tau = rng.gen_range(1..=4);
+            let family = families[rng.gen_range(0..families.len())];
             let started = Instant::now();
-            let outcome = handle.execute_with_retry(QueryRequest::new(k, tau), &retry);
+            let outcome =
+                handle.execute_with_retry(QueryRequest::new(k, tau).with_family(family), &retry);
             stats.read_ns += started.elapsed().as_nanos() as u64;
             match outcome {
                 Ok(resp) => {
@@ -252,6 +275,7 @@ fn drive<H: EngineHandle>(
                         per_client,
                         cfg.write_ratio,
                         &cfg.k_set,
+                        &cfg.families,
                         seed,
                     )
                 })
@@ -424,11 +448,16 @@ fn main() {
     let n = cfg.n as usize;
     let g = generators::clique_overlap(n, n * 3 / 4, 6, cfg.seed);
     println!(
-        "loadgen: {} vertices, {} edges; {} ops/phase, {:.0}% writes, {} core(s)\n",
+        "loadgen: {} vertices, {} edges; {} ops/phase, {:.0}% writes, families [{}], {} core(s)\n",
         g.num_vertices(),
         g.num_edges(),
         cfg.ops,
         cfg.write_ratio * 100.0,
+        cfg.families
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(", "),
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     );
 

@@ -15,7 +15,7 @@ use crate::time_stats;
 use esd_core::index::ParallelBuildReport;
 use esd_core::maintain::{GraphUpdate, PipelineReport};
 use esd_core::online::{online_topk, UpperBound};
-use esd_core::{EsdIndex, MaintainedIndex};
+use esd_core::{EsdIndex, Family, FamilySuite, MaintainedIndex};
 use esd_datasets::churn::{churn_trace, ChurnEvent, ChurnMix};
 use esd_datasets::{load, Scale};
 use esd_graph::{Graph, VertexId};
@@ -209,6 +209,17 @@ fn run_dataset(out: &mut Vec<Json>, g: &Graph, dataset: &str, cfg: &SuiteConfig)
     out.push(Json::obj(bench("online_topk", dataset, reps, || {
         let _ = online_topk(g, 10, 2, UpperBound::CommonNeighbor);
     })));
+
+    // Family queries: the per-edge profiles are built once outside the
+    // timed region (the build cost is `build_seq`'s territory), then each
+    // repetition ranks top-100 under every maintained family so the
+    // `family.query` span and `family.queries` counter land in the report.
+    let suite = FamilySuite::new(g);
+    out.push(Json::obj(bench("family_topk", dataset, reps, || {
+        for family in Family::MAINTAINED {
+            let _ = suite.query(family, 100, 2);
+        }
+    })));
 }
 
 fn splitmix(mut x: u64) -> u64 {
@@ -339,6 +350,7 @@ mod tests {
                 "churn_batch_parallel",
                 "query_topk",
                 "online_topk",
+                "family_topk",
                 "intersect_hub_merge",
                 "intersect_hub_gallop",
                 "intersect_hub_bitset",

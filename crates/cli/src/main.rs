@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! esd stats  <graph.txt>                         graph statistics (Table I columns)
-//! esd topk   <graph.txt> [-k N] [--tau T] [--algo online|online+|index]
+//! esd topk   <graph.txt> [-k N] [--tau T] [--family F] [--algo online|online+|index]
 //! esd build  <graph.txt> -o <index.esdx>         build + persist a frozen index
 //! esd query  <index.esdx> [-k N] [--tau T]       query a persisted index
 //! esd stream <graph.txt>                         read updates/queries from stdin:
-//!                                                  + u v | - u v | ? k tau | quit
+//!                                                  + u v | - u v | ? k tau | family [F] | quit
 //! esd serve  <graph.txt> [--port P] [--threads N]  TCP query service (same protocol)
 //!            [--shards S] [--wal-dir DIR] [--checkpoint-interval N] [--ack enqueue]
 //! esd recover <wal-dir> [-o <out.esdx>]          inspect/replay durable state
@@ -86,7 +86,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   esd stats  <graph.txt>
-  esd topk   <graph.txt> [-k N] [--tau T] [--algo online|online+|index]
+  esd topk   <graph.txt> [-k N] [--tau T] [--family F] [--algo online|online+|index]
+             F: component (default) | truss | parameter-free | ego-betweenness
   esd build  <graph.txt> -o <index.esdx>
   esd query  <index.esdx> [-k N] [--tau T]
   esd stream <graph.txt> [--pipeline-threads N]
@@ -104,6 +105,7 @@ usage:
 struct Options {
     k: usize,
     tau: u32,
+    family: esd_core::Family,
     algo: String,
     output: Option<String>,
     port: u16,
@@ -127,6 +129,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         k: 10,
         tau: 2,
+        family: esd_core::Family::Component,
         algo: "index".into(),
         output: None,
         port: 7687,
@@ -158,6 +161,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.tau = value("--tau")?
                     .parse()
                     .map_err(|e| format!("bad --tau: {e}"))?;
+            }
+            "--family" => {
+                let name = value("--family")?;
+                opts.family = esd_core::Family::parse(&name).ok_or_else(|| {
+                    format!(
+                        "bad --family {name:?} (component | truss | parameter-free \
+                         | ego-betweenness)"
+                    )
+                })?;
             }
             "--algo" => opts.algo = value("--algo")?,
             "-o" | "--output" => opts.output = Some(value("-o")?),
@@ -508,6 +520,24 @@ fn stats(opts: &Options) -> Result<(), Error> {
 
 fn topk(opts: &Options) -> Result<(), Error> {
     let (g, original) = load_graph(opts)?;
+    if opts.family != esd_core::Family::Component {
+        // The non-component families share one maintained suite; `--algo`
+        // selects among component algorithms only.
+        let suite = esd_core::FamilySuite::new(&g);
+        let results = suite.query(opts.family, opts.k, opts.tau);
+        println!(
+            "top-{} edges by {} diversity{}:",
+            opts.k,
+            opts.family,
+            if opts.family.uses_tau() {
+                format!(" (τ = {})", opts.tau)
+            } else {
+                String::new()
+            }
+        );
+        print_results(&results, &original);
+        return Ok(());
+    }
     let results = match opts.algo.as_str() {
         "online" => online_topk(&g, opts.k, opts.tau, UpperBound::MinDegree),
         "online+" => online_topk(&g, opts.k, opts.tau, UpperBound::CommonNeighbor),
@@ -551,6 +581,14 @@ fn build(opts: &Options) -> Result<(), Error> {
 }
 
 fn query(opts: &Options) -> Result<(), Error> {
+    if opts.family != esd_core::Family::Component {
+        return Err(format!(
+            "a persisted .esdx index stores component-based scores only; \
+             run `esd topk <graph.txt> --family {}` against the source graph",
+            opts.family
+        )
+        .into());
+    }
     let path = opts
         .positional
         .first()
@@ -679,7 +717,7 @@ fn stream(opts: &Options) -> Result<(), Error> {
     );
     let session = Session::new(service.handle(), Arc::new(IdMap::from_original(original)));
     println!(
-        "ready: {} vertices, {} edges (+ u v | - u v | ? k tau | metrics | telemetry | quit)",
+        "ready: {} vertices, {} edges (+ u v | - u v | ? k tau | family [name] | metrics | telemetry | quit)",
         g.num_vertices(),
         g.num_edges()
     );
@@ -766,7 +804,7 @@ fn print_recovery(prefix: &str, report: &RecoveryReport) {
 /// Prints the listening banner and blocks on stdin until `quit` or EOF.
 fn serve_until_quit(server: &Server, opts: &Options, shards: u32) -> Result<(), Error> {
     println!(
-        "listening on {} ({} shard(s) × {} worker thread(s); protocol: + u v | - u v | ? k tau | hello | shards | metrics | telemetry | quit)",
+        "listening on {} ({} shard(s) × {} worker thread(s); protocol: + u v | - u v | ? k tau | family [name] | hello | shards | metrics | telemetry | quit)",
         server.local_addr(),
         shards,
         opts.threads

@@ -1,0 +1,808 @@
+//! The query-family layer: three structural-diversity variants maintained
+//! beside the component-based index, behind one request vocabulary.
+//!
+//! The paper's `score_τ(u, v)` — the number of size-≥ τ connected
+//! components of the common-neighbourhood ego network `G_{N(uv)}` — is one
+//! member of a family of ego-network diversity measures. This module
+//! implements the other three the roadmap calls for, all over the same
+//! ego substrate:
+//!
+//! * **[`Family::Truss`]** — *truss-based diversity* (after arXiv
+//!   2007.05437): the number of ego components whose **3-truss core**
+//!   holds at least τ vertices. The 3-truss of a graph is exactly the
+//!   union of its triangles — every edge of a triangle has support ≥ 1
+//!   inside the set of triangle edges, so that set satisfies the 3-truss
+//!   condition and is maximal — which gives the production kernel a cheap
+//!   per-component triangle-vertex count while the differential oracle
+//!   runs the full bucket-peeling [`esd_graph::truss::truss_decomposition`]
+//!   on the materialised ego subgraph. Since a component's core is a
+//!   subset of the component, the truss score can never exceed the
+//!   component score at the same τ — a cross-family invariant the
+//!   agreement harness pins.
+//! * **[`Family::ParameterFree`]** — *parameter-free diversity* (after
+//!   arXiv 1908.11612): no τ knob. Each edge chooses its own threshold
+//!   `τ*(e) = max(1, ⌈√h⌉)` from its neighbourhood size `h = |N(u)∩N(v)|`
+//!   and scores as the component-based measure at that τ*. By construction
+//!   it agrees with [`Family::Component`] at τ*(e) — the second pinned
+//!   invariant.
+//! * **[`Family::EgoBetweenness`]** — *ego-betweenness* (after arXiv
+//!   2107.10052): the total betweenness mass of the ego network. Summed
+//!   over all edges of a graph, Brandes betweenness equals the sum of
+//!   pairwise shortest-path distances over connected pairs, so the mass is
+//!   the exact integer `Σ_{s<t connected} d(s, t)` — the production kernel
+//!   computes it with per-member BFS distance sums while the oracle sums
+//!   [`esd_graph::betweenness::edge_betweenness`] over the ego subgraph.
+//!   τ does not apply and is ignored.
+//!
+//! [`FamilySuite`] holds the maintained per-edge score profiles for the
+//! three non-component families, beside (not inside) [`MaintainedIndex`]:
+//! the component index keeps its forests/treaps machinery untouched, and
+//! the suite keeps one profile per **owned** edge, recomputed per update
+//! window over the family-agnostic blast radius (the same radius the
+//! component pipeline plans: the updated edge, edges incident to its
+//! endpoints, and ego pairs of its common neighbourhood — all enumerated
+//! against the post-window graph, which covers every membership change
+//! because the update that caused it contributes its own incident edges).
+//!
+//! [`MaintainedIndex`]: crate::MaintainedIndex
+
+use crate::maintain::{EdgeOwnership, GraphUpdate};
+use crate::score::score_from_sizes;
+use crate::ScoredEdge;
+use esd_graph::{DynamicGraph, Edge, Graph, VertexId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Which diversity measure a query ranks by.
+///
+/// The default is [`Family::Component`] — the paper's measure, served by
+/// the component-based [`MaintainedIndex`](crate::MaintainedIndex) — so a
+/// family-unspecified request behaves exactly as before the family layer
+/// existed. The other three are maintained by [`FamilySuite`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Component-based structural diversity (the paper's Definition 2).
+    #[default]
+    Component,
+    /// Truss-based diversity: ego components counted only when their
+    /// 3-truss core reaches τ vertices.
+    Truss,
+    /// Parameter-free diversity: each edge scores at its own
+    /// `τ*(e) = max(1, ⌈√h⌉)`; the query's τ is ignored.
+    ParameterFree,
+    /// Total ego-network betweenness mass; the query's τ is ignored.
+    EgoBetweenness,
+}
+
+impl Family {
+    /// Every family, in declaration order.
+    pub const ALL: [Family; 4] = [
+        Family::Component,
+        Family::Truss,
+        Family::ParameterFree,
+        Family::EgoBetweenness,
+    ];
+
+    /// The families [`FamilySuite`] maintains (everything but
+    /// [`Family::Component`], which the component index serves).
+    pub const MAINTAINED: [Family; 3] =
+        [Family::Truss, Family::ParameterFree, Family::EgoBetweenness];
+
+    /// The stable wire name (`component`, `truss`, `parameter-free`,
+    /// `ego-betweenness`) used by the protocol, the CLI, and telemetry.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Family::Component => "component",
+            Family::Truss => "truss",
+            Family::ParameterFree => "parameter-free",
+            Family::EgoBetweenness => "ego-betweenness",
+        }
+    }
+
+    /// Parses a wire name back into a family — the inverse of
+    /// [`Family::name`], also accepting the short aliases `pf` and
+    /// `betweenness`. `None` for unknown names.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Family> {
+        match name {
+            "component" => Some(Family::Component),
+            "truss" => Some(Family::Truss),
+            "parameter-free" | "pf" => Some(Family::ParameterFree),
+            "ego-betweenness" | "betweenness" => Some(Family::EgoBetweenness),
+            _ => None,
+        }
+    }
+
+    /// Whether the query's τ parameter participates in this family's
+    /// score. Families that ignore τ still accept it on the wire (it must
+    /// be ≥ 1 as always) so the request shape is uniform.
+    #[must_use]
+    pub const fn uses_tau(self) -> bool {
+        matches!(self, Family::Component | Family::Truss)
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The per-edge threshold of the parameter-free family:
+/// `τ*(e) = max(1, ⌈√h⌉)` for a common neighbourhood of `h` vertices.
+/// Exact integer arithmetic — no floating-point square root.
+#[must_use]
+pub fn tau_star(h: usize) -> u32 {
+    let mut t: u32 = 1;
+    while (t as usize) * (t as usize) < h {
+        t += 1;
+    }
+    t
+}
+
+/// The maintained per-edge state: one score profile per family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EdgeProfiles {
+    /// Sorted multiset of 3-truss core sizes, one entry per ego component
+    /// with a non-empty core (zero-core components are dropped — they can
+    /// never reach any τ ≥ 1).
+    truss_cores: Vec<u32>,
+    /// The parameter-free score (component score at `τ*(e)`).
+    pf: u32,
+    /// Total ego-betweenness mass `Σ_{s<t connected} d(s, t)`, saturated
+    /// at `u32::MAX`.
+    betweenness: u32,
+}
+
+impl EdgeProfiles {
+    /// Recomputes all three profiles for edge `(u, v)` from scratch
+    /// against `g` — one ego materialisation shared by every family.
+    fn compute(g: &DynamicGraph, u: VertexId, v: VertexId) -> Self {
+        let ego = EgoNetwork::around(g, u, v);
+        let labels = ego.component_labels();
+        let comp_count = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut comp_sizes = vec![0u32; comp_count];
+        for &l in &labels {
+            comp_sizes[l as usize] += 1;
+        }
+        // Truss: per-component count of members sitting in ≥ 1 ego
+        // triangle (the 3-truss core — see the module doc for why the
+        // 3-truss is exactly the union of triangles).
+        let in_triangle = ego.triangle_members();
+        let mut truss_cores = vec![0u32; comp_count];
+        for (i, &l) in labels.iter().enumerate() {
+            if in_triangle[i] {
+                truss_cores[l as usize] += 1;
+            }
+        }
+        truss_cores.retain(|&c| c > 0);
+        truss_cores.sort_unstable();
+        // Parameter-free: component score at τ*(h).
+        let mut sorted_sizes = comp_sizes;
+        sorted_sizes.sort_unstable();
+        let pf = score_from_sizes(&sorted_sizes, tau_star(ego.len()));
+        Self {
+            truss_cores,
+            pf,
+            betweenness: ego.distance_mass(),
+        }
+    }
+
+    /// The profile's score under `family` at threshold `tau`.
+    fn score(&self, family: Family, tau: u32) -> u32 {
+        match family {
+            Family::Truss => score_from_sizes(&self.truss_cores, tau),
+            Family::ParameterFree => self.pf,
+            Family::EgoBetweenness => self.betweenness,
+            Family::Component => {
+                unreachable!("component queries are served by MaintainedIndex")
+            }
+        }
+    }
+}
+
+/// A materialised ego network: the common neighbourhood of one edge with
+/// its induced adjacency, re-indexed to local vertex ids.
+struct EgoNetwork {
+    /// Local adjacency, sorted; `adj[i]` are the local indices adjacent
+    /// to member `i`.
+    adj: Vec<Vec<u32>>,
+}
+
+impl EgoNetwork {
+    fn around(g: &DynamicGraph, u: VertexId, v: VertexId) -> Self {
+        let members = g.common_neighbors(u, v);
+        let mut adj = Vec::with_capacity(members.len());
+        let mut buf: Vec<VertexId> = Vec::new();
+        for &m in &members {
+            buf.clear();
+            esd_graph::intersect::intersect_into(g.neighbors(m), &members, &mut buf);
+            adj.push(
+                buf.iter()
+                    .map(|w| members.binary_search(w).expect("member") as u32)
+                    .collect(),
+            );
+        }
+        Self { adj }
+    }
+
+    fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Connected-component label per member (BFS over the local adjacency).
+    fn component_labels(&self) -> Vec<u32> {
+        let n = self.len();
+        let mut labels = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut queue = Vec::new();
+        for start in 0..n {
+            if labels[start] != u32::MAX {
+                continue;
+            }
+            labels[start] = next;
+            queue.push(start);
+            while let Some(x) = queue.pop() {
+                for &y in &self.adj[x] {
+                    if labels[y as usize] == u32::MAX {
+                        labels[y as usize] = next;
+                        queue.push(y as usize);
+                    }
+                }
+            }
+            next += 1;
+        }
+        labels
+    }
+
+    /// Which members sit in at least one ego triangle — equivalently,
+    /// which members the ego network's 3-truss retains.
+    fn triangle_members(&self) -> Vec<bool> {
+        let n = self.len();
+        let mut in_tri = vec![false; n];
+        for x in 0..n {
+            for &y in &self.adj[x] {
+                let y = y as usize;
+                if y <= x {
+                    continue;
+                }
+                // Sorted-merge the two neighbour lists: every common
+                // entry closes a triangle {x, y, z}.
+                let (ax, ay) = (&self.adj[x], &self.adj[y]);
+                let (mut i, mut j) = (0, 0);
+                while i < ax.len() && j < ay.len() {
+                    match ax[i].cmp(&ay[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            in_tri[x] = true;
+                            in_tri[y] = true;
+                            in_tri[ax[i] as usize] = true;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+        in_tri
+    }
+
+    /// `Σ_{s<t connected} d(s, t)` over the ego network — the total
+    /// betweenness mass — via one BFS per member, saturated at `u32::MAX`.
+    fn distance_mass(&self) -> u32 {
+        let n = self.len();
+        let mut total: u64 = 0;
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for s in 0..n {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[s] = 0;
+            queue.push_back(s);
+            while let Some(x) = queue.pop_front() {
+                for &y in &self.adj[x] {
+                    if dist[y as usize] == u32::MAX {
+                        dist[y as usize] = dist[x] + 1;
+                        queue.push_back(y as usize);
+                    }
+                }
+            }
+            total += dist
+                .iter()
+                .filter(|&&d| d != u32::MAX)
+                .map(|&d| u64::from(d))
+                .sum::<u64>();
+        }
+        // Every connected pair was counted once from each endpoint.
+        u32::try_from(total / 2).unwrap_or(u32::MAX)
+    }
+}
+
+/// What one [`FamilySuite::apply`] window did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FamilyApplyReport {
+    /// Owned edges in the window's blast radius (recomputed + deleted).
+    pub affected: usize,
+    /// Owned, still-present edges whose profiles were recomputed.
+    pub recomputed: usize,
+}
+
+/// Maintained score state for every non-component [`Family`], kept beside
+/// the component index: one [`EdgeProfiles`] per **owned** edge, updated
+/// per window by [`FamilySuite::apply`] and ranked by
+/// [`FamilySuite::query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySuite {
+    ownership: EdgeOwnership,
+    /// Edge key → (edge, profiles), for every owned edge of the graph.
+    profiles: HashMap<u64, (Edge, EdgeProfiles)>,
+}
+
+impl FamilySuite {
+    /// Builds the suite for the full edge space of `g`.
+    #[must_use]
+    pub fn new(g: &Graph) -> Self {
+        Self::new_owned(g, EdgeOwnership::ALL)
+    }
+
+    /// Builds the suite maintaining only the edges `ownership` owns —
+    /// the sharded-serving construction, mirroring
+    /// [`MaintainedIndex::new_owned`](crate::MaintainedIndex::new_owned).
+    #[must_use]
+    pub fn new_owned(g: &Graph, ownership: EdgeOwnership) -> Self {
+        Self::rebuild(&DynamicGraph::from_graph(g), ownership)
+    }
+
+    /// From-scratch reconstruction against `g` — the recompute oracle the
+    /// agreement harness compares maintained state to, and what crash
+    /// recovery runs over the recovered graph.
+    #[must_use]
+    pub fn rebuild(g: &DynamicGraph, ownership: EdgeOwnership) -> Self {
+        let mut profiles = HashMap::new();
+        for e in g.edges() {
+            if ownership.owns_key(e.key()) {
+                profiles.insert(e.key(), (e, EdgeProfiles::compute(g, e.u, e.v)));
+            }
+        }
+        Self {
+            ownership,
+            profiles,
+        }
+    }
+
+    /// The edge-space slice this suite maintains.
+    #[must_use]
+    pub fn ownership(&self) -> EdgeOwnership {
+        self.ownership
+    }
+
+    /// Number of owned edges currently tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether no owned edge is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Incorporates one applied update window. `g` must be the graph
+    /// **after** the window (the component index's
+    /// [`graph()`](crate::MaintainedIndex::graph) right after
+    /// `apply_batch_parallel`). The blast radius of each update `(u, v)`
+    /// is family-agnostic: the edge itself, every edge incident to `u` or
+    /// `v`, and every ego pair of `N(u) ∩ N(v)` — enumerated against the
+    /// post-window graph, which covers membership changes caused by other
+    /// updates in the same window because *those* updates contribute their
+    /// own incident edges. Affected edges no longer present are dropped;
+    /// the rest are recomputed, fanned out over `threads` workers.
+    pub fn apply(
+        &mut self,
+        g: &DynamicGraph,
+        updates: &[GraphUpdate],
+        threads: usize,
+    ) -> FamilyApplyReport {
+        let _span = esd_telemetry::span(esd_telemetry::Stage::FamilyApply);
+        let in_range = |x: VertexId| (x as usize) < g.num_vertices();
+        let neighbors = |x: VertexId| -> &[VertexId] {
+            if in_range(x) {
+                g.neighbors(x)
+            } else {
+                &[]
+            }
+        };
+        let mut candidates: BTreeSet<Edge> = BTreeSet::new();
+        for upd in updates {
+            let (u, v) = upd.endpoints();
+            if u == v {
+                continue; // rejected by the index; no state can change
+            }
+            candidates.insert(Edge::new(u, v));
+            for &w in neighbors(u) {
+                candidates.insert(Edge::new(u, w));
+            }
+            for &w in neighbors(v) {
+                candidates.insert(Edge::new(v, w));
+            }
+            if in_range(u) && in_range(v) {
+                let members = g.common_neighbors(u, v);
+                for (a, b) in crate::maintain::ego_edges(g, &members) {
+                    candidates.insert(Edge::new(a, b));
+                }
+            }
+        }
+        let owned: Vec<Edge> = candidates
+            .into_iter()
+            .filter(|e| self.ownership.owns_key(e.key()))
+            .collect();
+        let affected = owned.len();
+        let (live, dead): (Vec<Edge>, Vec<Edge>) = owned
+            .into_iter()
+            .partition(|e| in_range(e.u) && in_range(e.v) && g.has_edge(e.u, e.v));
+        for e in &dead {
+            self.profiles.remove(&e.key());
+        }
+        let recomputed = live.len();
+        let threads = threads.max(1).min(recomputed.max(1));
+        if threads <= 1 {
+            for e in live {
+                self.profiles
+                    .insert(e.key(), (e, EdgeProfiles::compute(g, e.u, e.v)));
+            }
+        } else {
+            let chunk = recomputed.div_ceil(threads);
+            let batches: Vec<Vec<(Edge, EdgeProfiles)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = live
+                    .chunks(chunk)
+                    .map(|c| {
+                        scope.spawn(move || {
+                            c.iter()
+                                .map(|&e| (e, EdgeProfiles::compute(g, e.u, e.v)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("family recompute worker panicked"))
+                    .collect()
+            });
+            for batch in batches {
+                for (e, prof) in batch {
+                    self.profiles.insert(e.key(), (e, prof));
+                }
+            }
+        }
+        esd_telemetry::add(
+            esd_telemetry::Metric::FamilyRecomputedEdges,
+            recomputed as u64,
+        );
+        FamilyApplyReport {
+            affected,
+            recomputed,
+        }
+    }
+
+    /// Top-`k` owned edges under `family` at threshold `tau`, ranked by
+    /// [`ScoredEdge::ranking_cmp`] (score desc, edge asc — the same total
+    /// order every component-based query uses, so per-shard answers merge
+    /// byte-identically). Only positive scores are reported. Panics on
+    /// `tau == 0` or [`Family::Component`] (served by the index, not the
+    /// suite).
+    #[must_use]
+    pub fn query(&self, family: Family, k: usize, tau: u32) -> Vec<ScoredEdge> {
+        assert!(tau >= 1, "component size threshold must be at least 1");
+        assert!(
+            family != Family::Component,
+            "component queries are served by MaintainedIndex"
+        );
+        let _span = esd_telemetry::span(esd_telemetry::Stage::FamilyQuery);
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<RankEntry>> =
+            std::collections::BinaryHeap::with_capacity(k.saturating_add(1).min(4096));
+        for &(edge, ref prof) in self.profiles.values() {
+            let score = prof.score(family, tau);
+            if score == 0 {
+                continue;
+            }
+            heap.push(std::cmp::Reverse(RankEntry(ScoredEdge { edge, score })));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut out: Vec<ScoredEdge> = heap.into_iter().map(|r| r.0 .0).collect();
+        out.sort_by(ScoredEdge::ranking_cmp);
+        esd_telemetry::add(esd_telemetry::Metric::FamilyQueries, 1);
+        out
+    }
+}
+
+/// Heap adapter ordering [`ScoredEdge`] by ranking (best = greatest), so a
+/// min-heap of `Reverse<RankEntry>` keeps the k best.
+#[derive(PartialEq, Eq)]
+struct RankEntry(ScoredEdge);
+
+impl Ord for RankEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.ranking_cmp(&self.0)
+    }
+}
+
+impl PartialOrd for RankEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Independent recompute oracles for the differential agreement harness.
+///
+/// Each oracle scores one edge from a **static** [`Graph`] through a code
+/// path disjoint from the maintained kernels: the truss oracle materialises
+/// the ego subgraph and runs the full bucket-peeling
+/// [`truss_decomposition`](esd_graph::truss::truss_decomposition); the
+/// betweenness oracle sums Brandes
+/// [`edge_betweenness`](esd_graph::betweenness::edge_betweenness) over the
+/// ego subgraph; the parameter-free oracle goes through the component
+/// machinery of [`crate::score`]. Agreement between a maintained
+/// [`FamilySuite`] and these oracles is therefore evidence the cheap
+/// kernels compute the definitions, not merely themselves.
+pub mod oracle {
+    use super::{tau_star, Family, ScoredEdge};
+    use crate::score::{component_sizes, naive_topk, score_from_sizes};
+    use esd_graph::{Graph, VertexId};
+
+    /// Materialises the ego subgraph `G_{N(uv)}` (induced on the common
+    /// neighbourhood) as a standalone graph with local vertex ids.
+    fn ego_subgraph(g: &Graph, u: VertexId, v: VertexId) -> Graph {
+        let members = g.common_neighbors(u, v);
+        esd_graph::subgraph::induced(g, &members).0
+    }
+
+    /// Sorted multiset of per-component 3-truss core sizes of the ego
+    /// network, via full truss decomposition: a vertex is in the core iff
+    /// it is incident to an edge of trussness ≥ 3.
+    #[must_use]
+    pub fn truss_core_sizes(g: &Graph, u: VertexId, v: VertexId) -> Vec<u32> {
+        let ego = ego_subgraph(g, u, v);
+        let trussness = esd_graph::truss::truss_decomposition(&ego);
+        let mut in_core = vec![false; ego.num_vertices()];
+        for (eid, e) in ego.edges().iter().enumerate() {
+            if trussness[eid] >= 3 {
+                in_core[e.u as usize] = true;
+                in_core[e.v as usize] = true;
+            }
+        }
+        let (labels, sizes) = esd_graph::traversal::connected_components(&ego);
+        let mut cores = vec![0u32; sizes.len()];
+        for (x, &l) in labels.iter().enumerate() {
+            if in_core[x] {
+                cores[l as usize] += 1;
+            }
+        }
+        cores.retain(|&c| c > 0);
+        cores.sort_unstable();
+        cores
+    }
+
+    /// Truss-based diversity of `(u, v)` at threshold `tau`.
+    #[must_use]
+    pub fn truss_score(g: &Graph, u: VertexId, v: VertexId, tau: u32) -> u32 {
+        score_from_sizes(&truss_core_sizes(g, u, v), tau)
+    }
+
+    /// Parameter-free diversity of `(u, v)`: the component score at
+    /// `τ*(e)`, computed through the static component machinery.
+    #[must_use]
+    pub fn parameter_free_score(g: &Graph, u: VertexId, v: VertexId) -> u32 {
+        let members = g.common_neighbors(u, v);
+        score_from_sizes(&component_sizes(g, u, v), tau_star(members.len()))
+    }
+
+    /// Ego-betweenness mass of `(u, v)`: Brandes edge betweenness summed
+    /// over the ego subgraph, rounded back to the exact integer it equals
+    /// (`Σ_{s<t connected} d(s, t)`).
+    #[must_use]
+    pub fn ego_betweenness_score(g: &Graph, u: VertexId, v: VertexId) -> u32 {
+        let ego = ego_subgraph(g, u, v);
+        let total: f64 = esd_graph::betweenness::edge_betweenness(&ego).iter().sum();
+        let mass = total.round();
+        if mass >= f64::from(u32::MAX) {
+            u32::MAX
+        } else {
+            mass as u32
+        }
+    }
+
+    /// One edge's score under any family at threshold `tau`.
+    #[must_use]
+    pub fn score(g: &Graph, family: Family, u: VertexId, v: VertexId, tau: u32) -> u32 {
+        match family {
+            Family::Component => crate::score::edge_score(g, u, v, tau),
+            Family::Truss => truss_score(g, u, v, tau),
+            Family::ParameterFree => parameter_free_score(g, u, v),
+            Family::EgoBetweenness => ego_betweenness_score(g, u, v),
+        }
+    }
+
+    /// Reference top-k under any family: score every edge through the
+    /// oracle, keep positives, rank by [`ScoredEdge::ranking_cmp`].
+    #[must_use]
+    pub fn topk(g: &Graph, family: Family, k: usize, tau: u32) -> Vec<ScoredEdge> {
+        assert!(tau >= 1, "component size threshold must be at least 1");
+        if family == Family::Component {
+            return naive_topk(g, k, tau);
+        }
+        let mut scored: Vec<ScoredEdge> = g
+            .edges()
+            .iter()
+            .map(|&edge| ScoredEdge {
+                edge,
+                score: score(g, family, edge.u, edge.v, tau),
+            })
+            .filter(|s| s.score > 0)
+            .collect();
+        scored.sort_by(ScoredEdge::ranking_cmp);
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig1;
+    use esd_graph::generators;
+
+    fn suite_and_graph(seed: u64) -> (FamilySuite, Graph) {
+        let g = generators::clique_overlap(80, 60, 4, seed);
+        (FamilySuite::new(&g), g)
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(Family::parse(f.name()), Some(f));
+        }
+        assert_eq!(Family::parse("pf"), Some(Family::ParameterFree));
+        assert_eq!(Family::parse("betweenness"), Some(Family::EgoBetweenness));
+        assert_eq!(Family::parse("nope"), None);
+        assert_eq!(Family::default(), Family::Component);
+    }
+
+    #[test]
+    fn tau_star_is_ceil_sqrt() {
+        for (h, expect) in [(0, 1), (1, 1), (2, 2), (4, 2), (5, 3), (9, 3), (10, 4)] {
+            assert_eq!(tau_star(h), expect, "h={h}");
+        }
+    }
+
+    #[test]
+    fn kernels_agree_with_oracles_on_fig1() {
+        let (g, _) = fig1();
+        let suite = FamilySuite::new(&g);
+        for tau in 1..=4 {
+            for family in Family::MAINTAINED {
+                assert_eq!(
+                    suite.query(family, usize::MAX, tau),
+                    oracle::topk(&g, family, usize::MAX, tau),
+                    "{family} tau={tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_with_oracles_on_surrogates() {
+        for seed in [3, 17] {
+            let (suite, g) = suite_and_graph(seed);
+            for tau in [1, 2, 3] {
+                for family in Family::MAINTAINED {
+                    assert_eq!(
+                        suite.query(family, usize::MAX, tau),
+                        oracle::topk(&g, family, usize::MAX, tau),
+                        "seed={seed} {family} tau={tau}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truss_lower_bounds_component_and_pf_matches_tau_star() {
+        let (_, g) = suite_and_graph(11);
+        for e in g.edges() {
+            for tau in 1..=4 {
+                assert!(
+                    oracle::truss_score(&g, e.u, e.v, tau)
+                        <= crate::score::edge_score(&g, e.u, e.v, tau),
+                    "truss exceeds component at {e:?} tau={tau}"
+                );
+            }
+            let h = g.common_neighbors(e.u, e.v).len();
+            assert_eq!(
+                oracle::parameter_free_score(&g, e.u, e.v),
+                crate::score::edge_score(&g, e.u, e.v, tau_star(h)),
+                "pf disagrees with component at tau* for {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_matches_rebuild_under_churn() {
+        let (mut suite, g) = suite_and_graph(5);
+        let mut dg = DynamicGraph::from_graph(&g);
+        let edges = dg.edges();
+        // A window mixing removals, duplicate inserts, and fresh inserts.
+        let updates = vec![
+            GraphUpdate::Remove(edges[0].u, edges[0].v),
+            GraphUpdate::Remove(edges[7].u, edges[7].v),
+            GraphUpdate::Insert(0, 79),
+            GraphUpdate::Insert(edges[3].u, edges[3].v), // duplicate
+            GraphUpdate::Insert(1, 200),                 // fresh vertex
+        ];
+        for u in &updates {
+            let (a, b) = u.endpoints();
+            if u.is_insert() {
+                dg.ensure_vertex(a);
+                dg.ensure_vertex(b);
+                dg.insert_edge(a, b);
+            } else {
+                dg.remove_edge(a, b);
+            }
+        }
+        for threads in [1, 3] {
+            let mut maintained = suite.clone();
+            let report = maintained.apply(&dg, &updates, threads);
+            assert!(report.affected >= report.recomputed);
+            assert_eq!(
+                maintained,
+                FamilySuite::rebuild(&dg, EdgeOwnership::ALL),
+                "threads={threads}"
+            );
+        }
+        suite.apply(&dg, &updates, 2);
+        assert_eq!(suite.len(), dg.num_edges());
+    }
+
+    #[test]
+    fn owned_suites_partition_the_full_suite() {
+        let (full, g) = suite_and_graph(23);
+        let shards = 3;
+        let parts: Vec<FamilySuite> = (0..shards)
+            .map(|i| FamilySuite::new_owned(&g, EdgeOwnership::of(i, shards)))
+            .collect();
+        assert_eq!(
+            parts.iter().map(FamilySuite::len).sum::<usize>(),
+            full.len()
+        );
+        // Merging per-shard rankings under the total order reproduces the
+        // full ranking.
+        for family in Family::MAINTAINED {
+            let mut merged: Vec<ScoredEdge> = parts
+                .iter()
+                .flat_map(|p| p.query(family, usize::MAX, 1))
+                .collect();
+            merged.sort_by(ScoredEdge::ranking_cmp);
+            assert_eq!(merged, full.query(family, usize::MAX, 1), "{family}");
+        }
+    }
+
+    #[test]
+    fn query_respects_k_and_positivity() {
+        let (suite, _) = suite_and_graph(29);
+        for family in Family::MAINTAINED {
+            let all = suite.query(family, usize::MAX, 1);
+            assert!(all.iter().all(|s| s.score > 0));
+            let top3 = suite.query(family, 3, 1);
+            assert_eq!(top3, all[..all.len().min(3)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "served by MaintainedIndex")]
+    fn component_queries_are_refused() {
+        let (suite, _) = suite_and_graph(1);
+        let _ = suite.query(Family::Component, 5, 1);
+    }
+}

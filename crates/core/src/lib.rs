@@ -41,6 +41,7 @@ pub mod audit;
 pub mod baselines;
 pub mod bounds;
 pub mod explain;
+pub mod family;
 pub mod fixtures;
 pub mod index;
 pub mod maintain;
@@ -48,6 +49,7 @@ pub mod online;
 pub mod score;
 pub mod vertex_sd;
 
+pub use family::{Family, FamilyApplyReport, FamilySuite};
 pub use index::EsdIndex;
 pub use maintain::{EdgeOwnership, MaintainedIndex};
 pub use online::{online_topk, UpperBound};

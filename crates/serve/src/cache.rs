@@ -1,4 +1,4 @@
-//! Sharded LRU cache of top-k results, keyed on `(k, τ, epoch)`.
+//! Sharded LRU cache of top-k results, keyed on `(family, k, τ, epoch)`.
 //!
 //! Including the snapshot epoch in the key makes invalidation structural: a
 //! published batch bumps the epoch, so every post-publication lookup misses
@@ -8,13 +8,15 @@
 //! from serialising the worker pool.
 
 use crate::sync::{Arc, Mutex, Unpoison};
-use esd_core::ScoredEdge;
+use esd_core::{Family, ScoredEdge};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 
-/// Cache key: the full query identity against one snapshot.
+/// Cache key: the full query identity against one snapshot. Results are
+/// never shared across families — each family ranks by its own score.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct CacheKey {
+    pub(crate) family: Family,
     pub(crate) k: u64,
     pub(crate) tau: u32,
     pub(crate) epoch: u64,
@@ -130,7 +132,12 @@ mod tests {
     use super::*;
 
     fn key(k: u64, tau: u32, epoch: u64) -> CacheKey {
-        CacheKey { k, tau, epoch }
+        CacheKey {
+            family: Family::Component,
+            k,
+            tau,
+            epoch,
+        }
     }
 
     fn val(n: u32) -> Arc<Vec<ScoredEdge>> {
@@ -147,6 +154,11 @@ mod tests {
         assert!(cache.get(&key(5, 2, 0)).is_some());
         assert!(cache.get(&key(5, 2, 1)).is_none(), "new epoch misses");
         assert!(cache.get(&key(5, 3, 0)).is_none(), "different τ misses");
+        let truss = CacheKey {
+            family: Family::Truss,
+            ..key(5, 2, 0)
+        };
+        assert!(cache.get(&truss).is_none(), "different family misses");
     }
 
     #[test]

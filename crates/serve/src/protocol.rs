@@ -5,6 +5,9 @@
 //! + u v        insert edge (original ids)
 //! - u v        remove edge
 //! ? k tau      top-k query at threshold tau
+//! family       report the session's current query family
+//! family NAME  switch the session to a query family (component, truss,
+//!              parameter-free, ego-betweenness)
 //! hello        protocol banner (version + shard count)
 //! shards       shard introspection (count + current epoch vector)
 //! metrics      dump the metrics registry
@@ -28,11 +31,18 @@
 //! summary/terminator), the v1 command set is untouched, and against a
 //! single-engine service every epoch renders as the same scalar it always
 //! did.
+//!
+//! The `family` command (still version 2 — purely additive) switches which
+//! diversity measure `?` queries rank by for the rest of the session.
+//! Sessions start in the `component` family, and a component query summary
+//! is byte-identical to the pre-family format; non-component summaries
+//! carry an extra `, family <name>` annotation so transcripts are
+//! self-describing.
 
 use crate::service::{BatchOutcome, QueryResponse};
 use crate::vector_epoch::VectorEpoch;
 use crate::IdMap;
-use esd_core::ScoredEdge;
+use esd_core::{Family, ScoredEdge};
 
 /// The protocol version advertised by [`hello_banner`].
 pub const PROTOCOL_VERSION: u32 = 2;
@@ -51,6 +61,9 @@ pub enum Request {
         /// Component-size threshold (≥ 1).
         tau: u32,
     },
+    /// `family` / `family <name>` — report or switch the session's query
+    /// family. `None` reports; `Some(f)` switches to `f`.
+    Family(Option<Family>),
     /// `hello` — protocol banner (version + shard count).
     Hello,
     /// `shards` — shard count and the current per-shard epoch vector.
@@ -75,6 +88,14 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, String> {
         [] => Ok(None),
         ["quit" | "q" | "exit"] => Ok(Some(Request::Quit)),
         ["hello"] => Ok(Some(Request::Hello)),
+        ["family"] => Ok(Some(Request::Family(None))),
+        ["family", name] => match Family::parse(name) {
+            Some(f) => Ok(Some(Request::Family(Some(f)))),
+            None => Err(format!(
+                "unknown family {name:?} (expected component, truss, parameter-free \
+                 or ego-betweenness)"
+            )),
+        },
         ["shards"] => Ok(Some(Request::Shards)),
         ["metrics"] => Ok(Some(Request::Metrics)),
         ["telemetry"] => Ok(Some(Request::Telemetry)),
@@ -150,11 +171,13 @@ fn format_results(results: &[ScoredEdge], ids: &IdMap) -> String {
 
 /// Formats a full query response: result lines plus the `#` summary /
 /// terminator line. A degraded answer reports its **maximum per-shard
-/// lag**, e.g. `… epoch [4, 6], stale (lag 2)`.
+/// lag**, e.g. `… epoch [4, 6], stale (lag 2)`. A non-component answer is
+/// annotated `, family <name>`; component summaries stay byte-identical to
+/// the pre-family format.
 pub fn format_query(resp: &QueryResponse, ids: &IdMap) -> String {
     let mut out = format_results(&resp.results, ids);
     out.push_str(&format!(
-        "# {} result(s) in {} ({}, epoch {}{})\n",
+        "# {} result(s) in {} ({}, epoch {}{}{})\n",
         resp.results.len(),
         fmt_us(resp.latency),
         if resp.cache_hit {
@@ -168,8 +191,19 @@ pub fn format_query(resp: &QueryResponse, ids: &IdMap) -> String {
         } else {
             String::new()
         },
+        if resp.family == Family::Component {
+            String::new()
+        } else {
+            format!(", family {}", resp.family)
+        },
     ));
     out
+}
+
+/// The `family` command's report line, also echoed after a switch.
+#[must_use]
+pub fn format_family(family: Family) -> String {
+    format!("# family {family}\n")
 }
 
 /// Formats an error line.
@@ -193,6 +227,15 @@ mod tests {
             Ok(Some(Request::Query { k: 10, tau: 2 }))
         );
         assert_eq!(parse_line("hello"), Ok(Some(Request::Hello)));
+        assert_eq!(parse_line("family"), Ok(Some(Request::Family(None))));
+        assert_eq!(
+            parse_line("family truss"),
+            Ok(Some(Request::Family(Some(Family::Truss))))
+        );
+        assert_eq!(
+            parse_line("family pf"),
+            Ok(Some(Request::Family(Some(Family::ParameterFree))))
+        );
         assert_eq!(parse_line("shards"), Ok(Some(Request::Shards)));
         assert_eq!(parse_line("metrics"), Ok(Some(Request::Metrics)));
         assert_eq!(parse_line("telemetry"), Ok(Some(Request::Telemetry)));
@@ -209,6 +252,9 @@ mod tests {
         assert!(parse_line("+ x 9").unwrap_err().contains("bad id"));
         assert!(parse_line("? 5 0").unwrap_err().contains("tau"));
         assert!(parse_line("? 5").unwrap_err().contains("unrecognised"));
+        assert!(parse_line("family clique")
+            .unwrap_err()
+            .contains("unknown family"));
     }
 
     #[test]
@@ -231,6 +277,7 @@ mod tests {
                 edge: esd_graph::Edge::new(0, 1),
                 score: 3,
             }]),
+            family: Family::Component,
             epoch: 2,
             epochs: VectorEpoch::scalar(2),
             cache_hit: true,
@@ -243,6 +290,25 @@ mod tests {
         assert!(text.lines().last().unwrap().starts_with("# 1 result(s)"));
         assert!(text.contains("cache hit"));
         assert!(text.contains("epoch 2, stale (lag 1)"), "{text}");
+        assert!(
+            !text.contains("family"),
+            "component summaries stay family-silent: {text}"
+        );
+        let annotated = format_query(
+            &QueryResponse {
+                family: Family::Truss,
+                ..resp
+            },
+            &ids,
+        );
+        assert!(
+            annotated.contains("epoch 2, stale (lag 1), family truss"),
+            "{annotated}"
+        );
+        assert_eq!(
+            format_family(Family::EgoBetweenness),
+            "# family ego-betweenness\n"
+        );
     }
 
     #[test]
@@ -251,6 +317,7 @@ mod tests {
         let epochs = VectorEpoch::from_shards(vec![4, 6]);
         let resp = QueryResponse {
             results: Arc::new(Vec::new()),
+            family: Family::Component,
             epoch: epochs.sum(),
             epochs,
             cache_hit: false,
@@ -267,6 +334,7 @@ mod tests {
         let ids = IdMap::default();
         let resp = QueryResponse {
             results: Arc::new(Vec::new()),
+            family: Family::Component,
             epoch: 0,
             epochs: VectorEpoch::scalar(0),
             cache_hit: false,

@@ -37,7 +37,7 @@ use crate::sync::time::Instant;
 use crate::sync::{Arc, Condvar, Mutex, Unpoison};
 use crate::vector_epoch::VectorEpoch;
 use esd_core::maintain::{BatchStats, GraphUpdate, MutationBatch, UpdateDisposition};
-use esd_core::{EdgeOwnership, MaintainedIndex, ScoredEdge};
+use esd_core::{EdgeOwnership, Family, FamilySuite, MaintainedIndex, ScoredEdge};
 use esd_graph::Graph;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -97,21 +97,35 @@ impl Default for ServiceConfig {
 pub struct QueryRequest {
     /// Maximum number of results.
     pub k: usize,
-    /// Component-size threshold `τ` (must be ≥ 1).
+    /// Component-size threshold `τ` (must be ≥ 1). Families that ignore τ
+    /// ([`Family::uses_tau`]) still validate it for a uniform request
+    /// shape.
     pub tau: u32,
+    /// Which diversity measure ranks the results. The default,
+    /// [`Family::Component`], preserves the pre-family behaviour and wire
+    /// format exactly.
+    pub family: Family,
     /// Answer-by deadline; `None` falls back to the service default.
     pub before: Option<Instant>,
 }
 
 impl QueryRequest {
-    /// A request with the service's default deadline.
+    /// A component-family request with the service's default deadline.
     #[must_use]
     pub fn new(k: usize, tau: u32) -> Self {
         Self {
             k,
             tau,
+            family: Family::Component,
             before: None,
         }
+    }
+
+    /// Selects the query family (defaults to [`Family::Component`]).
+    #[must_use]
+    pub fn with_family(mut self, family: Family) -> Self {
+        self.family = family;
+        self
     }
 
     /// Sets an explicit answer-by deadline.
@@ -160,6 +174,8 @@ impl std::error::Error for ServeError {}
 pub struct QueryResponse {
     /// The ranked results (shared with the cache — cheap to clone).
     pub results: Arc<Vec<ScoredEdge>>,
+    /// The family that ranked the results (echoed from the request).
+    pub family: Family,
     /// Composite scalar epoch of the answering state: the engine epoch for
     /// a single-engine service, the **sum** of per-shard epochs for a
     /// sharded one (monotonic under publications either way). The precise
@@ -253,6 +269,7 @@ impl<T> Slot<T> {
 
 #[derive(Debug)]
 struct QueryJob {
+    family: Family,
     k: usize,
     tau: u32,
     deadline: Option<Instant>,
@@ -278,6 +295,11 @@ pub(crate) struct Engine {
     /// The writer's private working copy. Readers never lock this; they go
     /// through the published snapshot.
     writer_index: Mutex<MaintainedIndex>,
+    /// The writer's private copy of the non-component family state,
+    /// published together with `writer_index` in every snapshot. Locked
+    /// **after** `writer_index` (and only while holding it), so a window's
+    /// index/family updates are one serialized story.
+    writer_families: Mutex<FamilySuite>,
     query_queue: BoundedQueue<QueryJob>,
     update_queue: BoundedQueue<UpdateJob>,
     inline: bool,
@@ -318,11 +340,15 @@ impl Engine {
                 )
             }
         };
+        // Derived entirely from the graph, so the same construction covers
+        // both a fresh index and a recovered one.
+        let families = FamilySuite::rebuild(index.graph(), cfg.ownership);
         let engine = Self {
-            snapshot: SnapshotCell::new(Snapshot::new(epoch, index.clone())),
+            snapshot: SnapshotCell::new(Snapshot::new(epoch, index.clone(), families.clone())),
             cache: ResultCache::new(cfg.cache_capacity),
             metrics: MetricsRegistry::default(),
             writer_index: Mutex::new(index),
+            writer_families: Mutex::new(families),
             query_queue: BoundedQueue::new(cfg.queue_capacity),
             update_queue: BoundedQueue::new(cfg.queue_capacity),
             inline: cfg.workers == 0,
@@ -379,10 +405,11 @@ impl Engine {
     /// filling the cache. `started` anchors the reported latency. An
     /// injected I/O fault at the cache lookup degrades gracefully: the
     /// query bypasses the cache and recomputes from the snapshot.
-    fn execute_query(&self, k: usize, tau: u32, started: Instant) -> QueryResponse {
+    fn execute_query(&self, family: Family, k: usize, tau: u32, started: Instant) -> QueryResponse {
         let _span = esd_telemetry::span(esd_telemetry::Stage::ServeQuery);
         let snapshot = self.snapshot.load();
         let key = CacheKey {
+            family,
             k: k as u64,
             tau,
             epoch: snapshot.epoch(),
@@ -400,7 +427,7 @@ impl Engine {
             }
             None => {
                 self.metrics.cache_misses.incr();
-                let fresh = Arc::new(snapshot.query(k, tau));
+                let fresh = Arc::new(snapshot.query_family(family, k, tau));
                 if cache_usable {
                     self.cache.insert(key, Arc::clone(&fresh));
                 }
@@ -412,6 +439,7 @@ impl Engine {
         self.metrics.query_latency.record(latency);
         QueryResponse {
             results,
+            family,
             epoch: snapshot.epoch(),
             epochs: VectorEpoch::scalar(snapshot.epoch()),
             cache_hit,
@@ -427,6 +455,7 @@ impl Engine {
     /// the worker pool and the inline path.
     fn run_query_contained(
         &self,
+        family: Family,
         k: usize,
         tau: u32,
         started: Instant,
@@ -434,7 +463,7 @@ impl Engine {
         let result = catch_unwind(AssertUnwindSafe(|| {
             self.fault(FaultPoint::WorkerDequeue)
                 .map_err(|e| ServeError::Internal(e.to_string()))?;
-            Ok(self.execute_query(k, tau, started))
+            Ok(self.execute_query(family, k, tau, started))
         }));
         match result {
             Ok(response) => response,
@@ -454,13 +483,20 @@ impl Engine {
     /// rejection. Sole owner of the `shed` counters; shed answers are
     /// *not* counted as `queries_served`/`cache_hits` so throughput
     /// numbers stay honest.
-    fn shed_query(&self, k: usize, tau: u32, started: Instant) -> Option<QueryResponse> {
+    fn shed_query(
+        &self,
+        family: Family,
+        k: usize,
+        tau: u32,
+        started: Instant,
+    ) -> Option<QueryResponse> {
         let current = self.snapshot.load().epoch();
         for back in 0..=self.shed_stale_epochs {
             let Some(epoch) = current.checked_sub(back) else {
                 break;
             };
             let key = CacheKey {
+                family,
                 k: k as u64,
                 tau,
                 epoch,
@@ -470,6 +506,7 @@ impl Engine {
                 esd_telemetry::add(esd_telemetry::Metric::ServeShed, 1);
                 return Some(QueryResponse {
                     results,
+                    family,
                     epoch,
                     epochs: VectorEpoch::scalar(epoch),
                     cache_hit: true,
@@ -488,13 +525,20 @@ impl Engine {
     /// publication can interleave. An injected fault here fails the whole
     /// window — the caller rolls back, so a failed publication is never
     /// half-visible.
-    fn publish_locked(&self, index: &MaintainedIndex) -> Result<u64, ServeError> {
+    fn publish_locked(
+        &self,
+        index: &MaintainedIndex,
+        families: &FamilySuite,
+    ) -> Result<u64, ServeError> {
         let _span = esd_telemetry::span(esd_telemetry::Stage::ServePublish);
         self.fault(FaultPoint::SnapshotPublish)
             .map_err(|e| ServeError::Internal(e.to_string()))?;
         let epoch = self.snapshot.load().epoch() + 1;
-        self.snapshot
-            .store(Arc::new(Snapshot::new(epoch, index.clone())));
+        self.snapshot.store(Arc::new(Snapshot::new(
+            epoch,
+            index.clone(),
+            families.clone(),
+        )));
         self.cache
             .purge_older_than(epoch.saturating_sub(self.shed_stale_epochs));
         self.metrics.snapshots_published.incr();
@@ -639,6 +683,7 @@ impl Engine {
     ) -> Result<(Vec<UpdateDisposition>, u64), ServeError> {
         type WindowResult = Result<(Vec<UpdateDisposition>, BatchStats, u64), ServeError>;
         let mut index = self.writer_index.lock().unpoison();
+        let mut families = self.writer_families.lock().unpoison();
         let mut durable = self.durable.as_ref().map(|m| m.lock().unpoison());
         // Taken before containment so both failure arms can abort to it.
         let wal_mark = durable.as_ref().map(|d| (d.wal.mark(), d.wal.appended()));
@@ -647,10 +692,14 @@ impl Engine {
                 .map_err(|e| ServeError::Internal(e.to_string()))?;
             let outcome = index.apply_batch_parallel(updates, self.pipeline_threads);
             let epoch = if outcome.stats.applied > 0 {
+                // Family state rides the same window: recomputed against
+                // the post-batch graph, published in the same snapshot,
+                // rolled back with the index on any failure below.
+                families.apply(index.graph(), updates, self.pipeline_threads);
                 if let Some(d) = durable.as_deref_mut() {
                     self.wal_commit(d, updates)?;
                 }
-                self.publish_locked(&index)?
+                self.publish_locked(&index, &families)?
             } else {
                 self.snapshot.load().epoch()
             };
@@ -669,7 +718,9 @@ impl Engine {
                 Ok((dispositions, epoch))
             }
             Ok(Err(e)) => {
-                *index = self.snapshot.load().index().clone();
+                let published = self.snapshot.load();
+                *index = published.index().clone();
+                *families = published.families().clone();
                 if let (Some(d), Some((mark, at))) = (durable.as_deref_mut(), &wal_mark) {
                     self.wal_abort(d, mark, *at);
                 }
@@ -677,7 +728,9 @@ impl Engine {
             }
             Err(_) => {
                 self.note_contained_panic();
-                *index = self.snapshot.load().index().clone();
+                let published = self.snapshot.load();
+                *index = published.index().clone();
+                *families = published.families().clone();
                 if let (Some(d), Some((mark, at))) = (durable.as_deref_mut(), &wal_mark) {
                     self.wal_abort(d, mark, *at);
                 }
@@ -742,7 +795,7 @@ fn worker_loop(engine: &Engine) {
         // Containment happens per job: a panicking query answers its own
         // slot with `Internal` and the worker thread keeps draining.
         job.slot
-            .put(engine.run_query_contained(job.k, job.tau, job.enqueued));
+            .put(engine.run_query_contained(job.family, job.k, job.tau, job.enqueued));
     }
 }
 
@@ -937,7 +990,12 @@ impl ServiceHandle {
     /// vocabulary). A request without a deadline falls back to the
     /// configured default; a default of `None` waits indefinitely.
     pub fn execute(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
-        let QueryRequest { k, tau, before } = request;
+        let QueryRequest {
+            k,
+            tau,
+            family,
+            before,
+        } = request;
         if tau == 0 {
             return Err(ServeError::BadRequest("tau must be at least 1".into()));
         }
@@ -948,10 +1006,11 @@ impl ServiceHandle {
                 self.engine.metrics.deadline_exceeded.incr();
                 return Err(ServeError::DeadlineExceeded);
             }
-            return self.engine.run_query_contained(k, tau, started);
+            return self.engine.run_query_contained(family, k, tau, started);
         }
         let slot = Arc::new(Slot::new());
         let job = QueryJob {
+            family,
             k,
             tau,
             deadline,
@@ -968,7 +1027,7 @@ impl ServiceHandle {
                 // Overload: before rejecting, try to shed to a cached
                 // (possibly one-epoch-stale) answer.
                 self.engine.metrics.rejected_queue_full.incr();
-                if let Some(response) = self.engine.shed_query(k, tau, started) {
+                if let Some(response) = self.engine.shed_query(family, k, tau, started) {
                     return Ok(response);
                 }
                 return Err(ServeError::QueueFull);
@@ -997,7 +1056,12 @@ impl ServiceHandle {
         &self,
         request: QueryRequest,
     ) -> Result<QueryResponse, ServeError> {
-        let QueryRequest { k, tau, before } = request;
+        let QueryRequest {
+            k,
+            tau,
+            family,
+            before,
+        } = request;
         if tau == 0 {
             return Err(ServeError::BadRequest("tau must be at least 1".into()));
         }
@@ -1007,7 +1071,7 @@ impl ServiceHandle {
             self.engine.metrics.deadline_exceeded.incr();
             return Err(ServeError::DeadlineExceeded);
         }
-        self.engine.run_query_contained(k, tau, started)
+        self.engine.run_query_contained(family, k, tau, started)
     }
 
     /// Submits a [`MutationBatch`] with the service's default deadline. The
@@ -1412,7 +1476,7 @@ mod tests {
             engine: Arc::clone(&engine),
         };
         // Seed the cache at the current epoch, bypassing the queue.
-        let seeded = engine.execute_query(5, 1, Instant::now());
+        let seeded = engine.execute_query(Family::Component, 5, 1, Instant::now());
         assert!(!seeded.cache_hit);
         // Fill the queue with a parked job.
         let parked = {

@@ -9,6 +9,8 @@ use crate::service::{EngineHandle, QueryRequest, ServiceHandle};
 use crate::sync::Arc;
 use crate::IdMap;
 use esd_core::maintain::MutationBatch;
+use esd_core::Family;
+use std::cell::Cell;
 
 /// What a handled line produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +30,10 @@ pub struct Session<H: EngineHandle = ServiceHandle> {
     handle: H,
     ids: Arc<IdMap>,
     retry: RetryPolicy,
+    /// The query family `?` lines rank by, switched with the `family`
+    /// command. Per-session state (each connection owns its `Session`), so
+    /// one client switching families never affects another.
+    family: Cell<Family>,
 }
 
 impl<H: EngineHandle> Session<H> {
@@ -40,7 +46,14 @@ impl<H: EngineHandle> Session<H> {
             handle,
             ids,
             retry: RetryPolicy::new(0x5E55_u64),
+            family: Cell::new(Family::Component),
         }
+    }
+
+    /// The family `?` queries currently rank by (sessions start in
+    /// [`Family::Component`]).
+    pub fn family(&self) -> Family {
+        self.family.get()
     }
 
     /// Replaces the session's retry policy (builder style). Use
@@ -83,11 +96,15 @@ impl<H: EngineHandle> Session<H> {
                 json.push('\n');
                 LineOutcome::Respond(json)
             }
+            Request::Family(switch) => {
+                if let Some(f) = switch {
+                    self.family.set(f);
+                }
+                LineOutcome::Respond(protocol::format_family(self.family.get()))
+            }
             Request::Query { k, tau } => {
-                match self
-                    .handle
-                    .execute_with_retry(QueryRequest::new(k, tau), &self.retry)
-                {
+                let request = QueryRequest::new(k, tau).with_family(self.family.get());
+                match self.handle.execute_with_retry(request, &self.retry) {
                     Ok(resp) => LineOutcome::Respond(protocol::format_query(&resp, &self.ids)),
                     Err(e) => LineOutcome::Respond(protocol::format_error(&e.to_string())),
                 }
@@ -188,6 +205,55 @@ mod tests {
         assert!(text.contains("unrecognised"), "{text}");
         assert_eq!(s.handle_line("quit"), LineOutcome::Quit);
         assert_eq!(s.handle_line(""), LineOutcome::Respond(String::new()));
+    }
+
+    #[test]
+    fn family_command_switches_ranking_per_session() {
+        let (_service, s) = session();
+        // Sessions start in (and report) the component family, and a
+        // component query summary carries no family annotation.
+        let LineOutcome::Respond(text) = s.handle_line("family") else {
+            panic!()
+        };
+        assert_eq!(text, "# family component\n");
+        let LineOutcome::Respond(component) = s.handle_line("? 10 2") else {
+            panic!()
+        };
+        assert!(!component.contains("family"), "{component}");
+        // Switch to truss: queries now rank by the truss family and say so.
+        let LineOutcome::Respond(text) = s.handle_line("family truss") else {
+            panic!()
+        };
+        assert_eq!(text, "# family truss\n");
+        let LineOutcome::Respond(text) = s.handle_line("? 10 2") else {
+            panic!()
+        };
+        assert!(text.contains(", family truss)"), "{text}");
+        // K4 ego networks are single edges — no triangles, so no truss
+        // core reaches τ=2.
+        assert!(text.contains("# 0 result(s)"), "{text}");
+        // An unknown family errors and leaves the session family alone.
+        let LineOutcome::Respond(text) = s.handle_line("family clique") else {
+            panic!()
+        };
+        assert!(text.contains("unknown family"), "{text}");
+        assert_eq!(s.family(), esd_core::Family::Truss);
+        // Switching back restores the byte-identical component output.
+        let LineOutcome::Respond(text) = s.handle_line("family component") else {
+            panic!()
+        };
+        assert_eq!(text, "# family component\n");
+        let LineOutcome::Respond(again) = s.handle_line("? 10 2") else {
+            panic!()
+        };
+        // Result lines are byte-identical; the summary line may differ in
+        // latency/cache provenance, but stays family-silent.
+        let body = |t: &str| t.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(
+            again.lines().take(body(&again)).collect::<Vec<_>>(),
+            component.lines().take(body(&component)).collect::<Vec<_>>(),
+        );
+        assert!(!again.contains("family"), "{again}");
     }
 
     #[test]

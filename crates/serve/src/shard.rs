@@ -56,7 +56,7 @@ use crate::sync::time::Instant;
 use crate::sync::{Arc, Mutex, Unpoison};
 use crate::vector_epoch::VectorEpoch;
 use esd_core::maintain::MutationBatch;
-use esd_core::{EdgeOwnership, ScoredEdge};
+use esd_core::{EdgeOwnership, Family, ScoredEdge};
 use esd_graph::Graph;
 use std::collections::HashMap;
 
@@ -109,30 +109,45 @@ struct MergedCache {
 struct MergedCacheState {
     /// The epoch vector this generation's entries were merged at.
     epochs: Vec<u64>,
-    map: HashMap<(u64, u32), Arc<Vec<ScoredEdge>>>,
+    map: HashMap<(Family, u64, u32), Arc<Vec<ScoredEdge>>>,
 }
 
 impl MergedCache {
     /// A hit is only served at exactly `epochs`; observing any other
     /// vector clears the generation.
-    fn get(&self, epochs: &[u64], k: usize, tau: u32) -> Option<Arc<Vec<ScoredEdge>>> {
+    fn get(
+        &self,
+        epochs: &[u64],
+        family: Family,
+        k: usize,
+        tau: u32,
+    ) -> Option<Arc<Vec<ScoredEdge>>> {
         let mut state = self.state.lock().unpoison();
         if state.epochs != epochs {
             state.map.clear();
             state.epochs = epochs.to_vec();
             return None;
         }
-        state.map.get(&(k as u64, tau)).cloned()
+        state.map.get(&(family, k as u64, tau)).cloned()
     }
 
     /// Inserts a merged answer, dropped silently if the generation moved
     /// on while the merge ran or the generation is at capacity.
-    fn insert(&self, epochs: &[u64], k: usize, tau: u32, results: &Arc<Vec<ScoredEdge>>) {
+    fn insert(
+        &self,
+        epochs: &[u64],
+        family: Family,
+        k: usize,
+        tau: u32,
+        results: &Arc<Vec<ScoredEdge>>,
+    ) {
         let mut state = self.state.lock().unpoison();
         if state.epochs != epochs || state.map.len() >= MERGED_CACHE_CAP {
             return;
         }
-        state.map.insert((k as u64, tau), Arc::clone(results));
+        state
+            .map
+            .insert((family, k as u64, tau), Arc::clone(results));
     }
 }
 
@@ -318,25 +333,32 @@ impl ShardedHandle {
     /// trips per merged query would buy nothing — the gather thread is
     /// the worker.
     fn scatter_gather(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
-        let QueryRequest { k, tau, before } = request;
+        let QueryRequest {
+            k,
+            tau,
+            family,
+            before,
+        } = request;
         if tau == 0 {
             return Err(ServeError::BadRequest("tau must be at least 1".into()));
         }
         let started = Instant::now();
         let _span = esd_telemetry::span(esd_telemetry::Stage::ShardGather);
-        // Fast path: a repeat of (k, τ) at an unchanged epoch vector is
-        // served straight from the merged-result cache — one probe and an
-        // `Arc` clone, no sub-queries, no merge. The vector is read from
-        // the shards' published snapshots (an atomic load each), so a hit
-        // is exact at precisely the vector stamped into the response.
+        // Fast path: a repeat of (family, k, τ) at an unchanged epoch
+        // vector is served straight from the merged-result cache — one
+        // probe and an `Arc` clone, no sub-queries, no merge. The vector is
+        // read from the shards' published snapshots (an atomic load each),
+        // so a hit is exact at precisely the vector stamped into the
+        // response.
         let current: Vec<u64> = self.shards.iter().map(|h| h.snapshot().epoch()).collect();
         if before.is_none() {
-            if let Some(results) = self.merged.get(&current, k, tau) {
+            if let Some(results) = self.merged.get(&current, family, k, tau) {
                 let epochs = VectorEpoch::from_shards(current);
                 return Ok(QueryResponse {
                     epoch: epochs.sum(),
                     epochs,
                     results,
+                    family,
                     cache_hit: true,
                     degraded: false,
                     lag: 0,
@@ -349,7 +371,12 @@ impl ShardedHandle {
         let mut fanout = 0u64;
         let mut per: Vec<QueryResponse> = Vec::with_capacity(s);
         for shard in self.shards.iter() {
-            per.push(shard.execute_direct(QueryRequest { k: k1, tau, before })?);
+            per.push(shard.execute_direct(QueryRequest {
+                k: k1,
+                tau,
+                family,
+                before,
+            })?);
             fanout += 1;
         }
         if k1 < k {
@@ -364,7 +391,12 @@ impl ShardedHandle {
                     (Some(c), Some(last)) => last.ranking_cmp(c) != std::cmp::Ordering::Greater,
                 };
                 if saturated && may_contribute {
-                    per[i] = shard.execute_direct(QueryRequest { k, tau, before })?;
+                    per[i] = shard.execute_direct(QueryRequest {
+                        k,
+                        tau,
+                        family,
+                        before,
+                    })?;
                     fanout += 1;
                 }
             }
@@ -383,11 +415,12 @@ impl ShardedHandle {
             && per.iter().zip(&current).all(|(r, &e)| r.epoch == e)
             && !per.iter().any(|r| r.degraded)
         {
-            self.merged.insert(&current, k, tau, &results);
+            self.merged.insert(&current, family, k, tau, &results);
         }
         let epochs = VectorEpoch::from_shards(per.iter().map(|r| r.epoch).collect());
         Ok(QueryResponse {
             results,
+            family,
             epoch: epochs.sum(),
             cache_hit: per.iter().all(|r| r.cache_hit),
             degraded: per.iter().any(|r| r.degraded),

@@ -1,22 +1,27 @@
 //! Snapshot isolation for readers: the writer applies updates to a private
-//! [`MaintainedIndex`] and publishes immutable, epoch-stamped copies.
-//! Readers grab an `Arc` to the current snapshot and keep using it for the
-//! whole query — they can never observe a half-applied batch, only the
-//! state before or after one.
+//! [`MaintainedIndex`] (plus the non-component [`FamilySuite`]) and
+//! publishes immutable, epoch-stamped copies. Readers grab an `Arc` to the
+//! current snapshot and keep using it for the whole query — they can never
+//! observe a half-applied batch, only the state before or after one.
 
 use crate::sync::{Arc, RwLock, Unpoison};
-use esd_core::{MaintainedIndex, ScoredEdge};
+use esd_core::{Family, FamilySuite, MaintainedIndex, ScoredEdge};
 
-/// An immutable, epoch-stamped view of the index.
+/// An immutable, epoch-stamped view of the index and family suite.
 #[derive(Debug)]
 pub struct Snapshot {
     epoch: u64,
     index: MaintainedIndex,
+    families: FamilySuite,
 }
 
 impl Snapshot {
-    pub(crate) fn new(epoch: u64, index: MaintainedIndex) -> Self {
-        Self { epoch, index }
+    pub(crate) fn new(epoch: u64, index: MaintainedIndex, families: FamilySuite) -> Self {
+        Self {
+            epoch,
+            index,
+            families,
+        }
     }
 
     /// Publication number: 0 for the boot snapshot, +1 per published batch.
@@ -24,14 +29,30 @@ impl Snapshot {
         self.epoch
     }
 
-    /// Top-`k` edges at threshold `tau` against this frozen state.
+    /// Top-`k` edges at threshold `tau` against this frozen state, under
+    /// the default component-based family.
     pub fn query(&self, k: usize, tau: u32) -> Vec<ScoredEdge> {
         self.index.query(k, tau)
+    }
+
+    /// Top-`k` edges under `family` at threshold `tau` against this frozen
+    /// state. Component queries go to the maintained index; every other
+    /// family is served by the snapshot's [`FamilySuite`].
+    pub fn query_family(&self, family: Family, k: usize, tau: u32) -> Vec<ScoredEdge> {
+        match family {
+            Family::Component => self.index.query(k, tau),
+            _ => self.families.query(family, k, tau),
+        }
     }
 
     /// The underlying index (read-only).
     pub fn index(&self) -> &MaintainedIndex {
         &self.index
+    }
+
+    /// The non-component family state published with this snapshot.
+    pub fn families(&self) -> &FamilySuite {
+        &self.families
     }
 }
 
@@ -63,16 +84,34 @@ mod tests {
     #[test]
     fn old_arcs_survive_publication() {
         let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]);
-        let cell = SnapshotCell::new(Snapshot::new(0, MaintainedIndex::new(&g)));
+        let cell = SnapshotCell::new(Snapshot::new(
+            0,
+            MaintainedIndex::new(&g),
+            FamilySuite::new(&g),
+        ));
         let old = cell.load();
 
         let mut next = MaintainedIndex::new(&g);
         next.remove_edge(2, 3);
-        cell.store(Arc::new(Snapshot::new(1, next)));
+        cell.store(Arc::new(Snapshot::new(1, next, FamilySuite::new(&g))));
 
         assert_eq!(old.epoch(), 0);
         assert_eq!(cell.load().epoch(), 1);
         // The retained snapshot still answers from the pre-publication state.
         assert_eq!(old.query(10, 1).len(), old.index().graph().num_edges());
+    }
+
+    #[test]
+    fn family_queries_dispatch_per_family() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]);
+        let snap = Snapshot::new(0, MaintainedIndex::new(&g), FamilySuite::new(&g));
+        assert_eq!(
+            snap.query_family(Family::Component, 10, 1),
+            snap.query(10, 1)
+        );
+        assert_eq!(
+            snap.query_family(Family::Truss, 10, 1),
+            snap.families().query(Family::Truss, 10, 1)
+        );
     }
 }

@@ -155,6 +155,11 @@ catalogue! {
         WalReplay => "wal.replay",
         /// Durability: one checkpoint written (full or delta).
         CkptWrite => "ckpt.write",
+        /// Query-family layer: one `FamilySuite::apply` window (blast-radius
+        /// planning plus per-edge profile recompute for every family).
+        FamilyApply => "family.apply",
+        /// Query-family layer: one `FamilySuite::query` top-k scan.
+        FamilyQuery => "family.query",
     }
 }
 
@@ -247,6 +252,12 @@ catalogue! {
         /// Checkpoint attempts that failed (counted and retried at the
         /// next interval; never surfaced to the acked client).
         CkptFailures => "ckpt.failures",
+        /// Edges whose per-family score profiles `FamilySuite::apply`
+        /// recomputed (owned, still-present edges in the blast radius).
+        FamilyRecomputedEdges => "family.recomputed_edges",
+        /// Top-k scans served by `FamilySuite::query` (non-component
+        /// families only; component queries are counted by `query.topk`).
+        FamilyQueries => "family.queries",
     }
 }
 

@@ -7,8 +7,9 @@
 //! left to deduplicate contradictory updates themselves. This module
 //! collects the replacement vocabulary in one place:
 //!
-//! * [`QueryRequest`] — a query as a value: `k`, `τ`, and an optional
-//!   deadline.
+//! * [`QueryRequest`] — a query as a value: `k`, `τ`, the [`Family`]
+//!   ranking the results (defaults to the paper's component-based
+//!   measure), and an optional deadline.
 //! * [`MutationBatch`] — a builder over graph updates that coalesces
 //!   operations on the same edge last-writer-wins (only the most recent
 //!   insert/remove per edge survives). Use [`MutationBatch::from_raw`]
@@ -80,10 +81,36 @@
 //! assert_eq!(top.epochs.components().len(), 4);
 //! fleet.shutdown();
 //! ```
+//!
+//! ## Query families
+//!
+//! [`QueryRequest::with_family`](esd_serve::QueryRequest::with_family)
+//! switches which ego-network diversity measure ranks the results —
+//! [`Family::Truss`], [`Family::ParameterFree`], or
+//! [`Family::EgoBetweenness`] beside the default [`Family::Component`] —
+//! served from the same snapshots, caches, and shard merge as component
+//! queries (see `esd_core::family` for definitions and DESIGN.md §16 for
+//! the equivalence argument):
+//!
+//! ```
+//! use esd::api::{EngineHandle, Family, QueryRequest};
+//! use esd::serve::{Service, ServiceConfig};
+//! use esd::graph::generators;
+//!
+//! let g = generators::clique_overlap(120, 90, 5, 3);
+//! let service = Service::start(&g, &ServiceConfig::default());
+//! let handle = service.handle();
+//! let truss = handle
+//!     .execute(QueryRequest::new(5, 2).with_family(Family::Truss))
+//!     .unwrap();
+//! assert_eq!(truss.family, Family::Truss);
+//! service.shutdown();
+//! ```
 
 pub use esd_core::maintain::{
     BatchStats, GraphUpdate, MutationBatch, PipelineOutcome, PipelineReport, UpdateDisposition,
 };
+pub use esd_core::Family;
 pub use esd_serve::{
     BatchOutcome, EngineHandle, QueryRequest, QueryResponse, ShardConfig, ShardedHandle,
     ShardedService, VectorEpoch,

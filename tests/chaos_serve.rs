@@ -27,7 +27,7 @@
 //! test skips itself.
 
 use esd_core::maintain::{GraphUpdate, MutationBatch};
-use esd_core::MaintainedIndex;
+use esd_core::{EdgeOwnership, Family, FamilySuite, MaintainedIndex};
 use esd_graph::{generators, Graph};
 use esd_serve::{
     AckPolicy, DurabilityConfig, FaultKind, FaultPlan, FaultPoint, QueryRequest, RetryPolicy,
@@ -134,6 +134,21 @@ fn run_chaos(
     writes: usize,
     readers: usize,
 ) -> ChaosOutcome {
+    run_chaos_with_families(label, seed, plan, writes, readers, false)
+}
+
+/// [`run_chaos`] with the reader family mix selectable: when
+/// `mixed_families` is set, every reader draws each query's [`Family`]
+/// uniformly from [`Family::ALL`] instead of staying on the component
+/// default, so family queries hit the engine while windows are failing.
+fn run_chaos_with_families(
+    label: &str,
+    seed: u64,
+    plan: FaultPlan,
+    writes: usize,
+    readers: usize,
+    mixed_families: bool,
+) -> ChaosOutcome {
     quiet_injected_panics();
     println!("chaos[{label}]: seed={seed:#x} plan={plan:?}");
     let g = chaos_graph(seed);
@@ -153,7 +168,13 @@ fn run_chaos(
                 while !stop.load(Ordering::Relaxed) {
                     let k = rng.gen_range(5..200);
                     let tau = rng.gen_range(1..=3);
-                    match handle.execute_with_retry(QueryRequest::new(k, tau), &policy) {
+                    let family = if mixed_families {
+                        Family::ALL[rng.gen_range(0..Family::ALL.len())]
+                    } else {
+                        Family::Component
+                    };
+                    let request = QueryRequest::new(k, tau).with_family(family);
+                    match handle.execute_with_retry(request, &policy) {
                         Ok(_) => {
                             queries_ok.fetch_add(1, Ordering::Relaxed);
                         }
@@ -393,6 +414,75 @@ fn chaos_mixed_faults() {
     assert!(outcome.write_errors > 0, "io faults fail some windows");
     assert!(outcome.acked.len() >= 20, "most writes still land");
     assert_matches_fault_free_replay(&outcome, seed);
+}
+
+/// Scenario 4b — mixed-family read traffic under the fault storm: readers
+/// alternate across all four query families while windows fail, workers
+/// panic, and cache lookups fault. Beyond the usual replay identity for
+/// the component index, the post-chaos *family* state must equal a
+/// from-scratch [`FamilySuite`] rebuild over the fault-free replay — a
+/// rolled-back window that left family profiles behind (or vice versa)
+/// would diverge here — and live family queries must answer from exactly
+/// that state.
+#[test]
+fn chaos_mixed_family_queries_survive_faults() {
+    if !esd_serve::faults::enabled() {
+        eprintln!("skipped: fault-injection feature not armed");
+        return;
+    }
+    let seed = 0xC1A0_000C;
+    let plan = FaultPlan::new(seed)
+        .rule(
+            FaultPoint::WriterApply,
+            Trigger::EveryNth(7),
+            FaultKind::IoError,
+        )
+        .rule(
+            FaultPoint::WorkerDequeue,
+            Trigger::EveryNth(6),
+            FaultKind::Panic,
+        )
+        .rule(
+            FaultPoint::CacheLookup,
+            Trigger::EveryNth(5),
+            FaultKind::IoError,
+        )
+        .rule(
+            FaultPoint::SnapshotPublish,
+            Trigger::EveryNth(9),
+            FaultKind::IoError,
+        );
+    let outcome = run_chaos_with_families("mixed_families", seed, plan, 60, 3, true);
+    assert!(outcome.faults_injected > 0, "the plan must actually fire");
+    assert!(outcome.write_errors > 0, "io faults fail some windows");
+    assert!(
+        outcome.queries_ok > 0,
+        "family queries keep completing under the storm"
+    );
+    assert_matches_fault_free_replay(&outcome, seed);
+
+    // Per-family identity: replay exactly the acked batches fault-free,
+    // rebuild the family state from the replayed graph, and demand the
+    // served snapshot carries that state — and answers from it.
+    let mut replay = MaintainedIndex::new(&outcome.g);
+    for ops in &outcome.acked {
+        replay.apply_batch(ops);
+    }
+    let expected = FamilySuite::rebuild(replay.graph(), EdgeOwnership::ALL);
+    assert_eq!(
+        *outcome.snapshot.families(),
+        expected,
+        "post-chaos family state diverged from fault-free replay (seed={seed:#x})"
+    );
+    for family in Family::MAINTAINED {
+        for (k, tau) in [(10, 1), (25, 2), (400, 1)] {
+            assert_eq!(
+                outcome.snapshot.query_family(family, k, tau),
+                expected.query(family, k, tau),
+                "{family} query ({k}, {tau}) diverged post-chaos (seed={seed:#x})"
+            );
+        }
+    }
 }
 
 /// Scenario 5 — ESDX persist faults: an injected I/O error and an

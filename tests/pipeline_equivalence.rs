@@ -383,14 +383,17 @@ proptest! {
 
 // ---------------------------------------------------------------------------
 // Cross-shard equivalence: the sharded serving fleet promises *result
-// identity* at every shard count. Each shard holds a full graph replica but
-// scores only its owned hash slice of the edge-key space; the scatter-gather
-// merge reassembles the global ranking. These tests push the same seeded
-// churn through ShardedService at S ∈ {1, 2, 4} and demand every (k, τ)
-// query — after every batch — matches a plain single-engine MaintainedIndex
-// replay bit for bit, under strict-invariants.
+// identity* at every shard count — for every query family. Each shard holds
+// a full graph replica but scores only its owned hash slice of the edge-key
+// space; the scatter-gather merge reassembles the global ranking. These
+// tests push the same seeded churn through ShardedService at S ∈ {1, 2, 4}
+// and demand every (family, k, τ) query — after every batch — matches a
+// plain single-engine replay (MaintainedIndex for the component family, a
+// full-ownership FamilySuite for the rest) bit for bit, under
+// strict-invariants.
 // ---------------------------------------------------------------------------
 
+use esd::core::{EdgeOwnership, Family, FamilySuite};
 use esd_serve::{EngineHandle, QueryRequest, ShardConfig, ShardedService};
 
 const SERVE_K_GRID: [usize; 5] = [1, 7, 10, 100, 400];
@@ -414,8 +417,10 @@ fn sharded_serve_matches_single_engine_ground_truth() {
         let service = ShardedService::start(&g, &cfg);
         let handle = service.handle();
         let mut truth = MaintainedIndex::new(&g);
+        let mut truth_families = FamilySuite::new(&g);
         for (round, ops) in batches.iter().enumerate() {
             truth.apply_batch(ops);
+            truth_families.apply(truth.graph(), ops, 2);
             handle
                 .submit(MutationBatch::from_raw(ops.clone()))
                 .unwrap_or_else(|e| panic!("S={shards} round {round}: submit failed: {e}"));
@@ -445,10 +450,31 @@ fn sharded_serve_matches_single_engine_ground_truth() {
                         shards as usize,
                         "S={shards}: response vector width"
                     );
+                    // The family axis: every non-component family merges
+                    // back to the single-engine suite's answer through the
+                    // same scatter-gather path.
+                    for family in Family::MAINTAINED {
+                        let resp = handle
+                            .execute(QueryRequest::new(k, tau).with_family(family))
+                            .unwrap_or_else(|e| {
+                                panic!("S={shards} round {round}: {family}(k={k}, tau={tau}): {e}")
+                            });
+                        assert_eq!(resp.family, family, "S={shards}: family echo");
+                        assert_eq!(
+                            *resp.results,
+                            truth_families.query(family, k, tau),
+                            "S={shards} round {round}: {family} query(k={k}, tau={tau}) diverged"
+                        );
+                    }
                 }
             }
         }
         truth.check_consistency();
+        assert_eq!(
+            truth_families,
+            FamilySuite::rebuild(truth.graph(), EdgeOwnership::ALL),
+            "single-engine family ground truth must itself match a rebuild"
+        );
         service.shutdown();
     }
 }

@@ -14,7 +14,7 @@
 
 use esd::core::maintain::GraphUpdate;
 use esd::core::online::{online_topk_with_stats, UpperBound};
-use esd::core::{EsdIndex, MaintainedIndex};
+use esd::core::{EsdIndex, Family, FamilySuite, MaintainedIndex};
 use esd::graph::{cliques, generators};
 use esd::telemetry;
 use std::sync::{Mutex, PoisonError};
@@ -200,6 +200,60 @@ fn pipeline_counters_match_its_own_report() {
         assert_eq!(snap.stage(stage).unwrap().count, 1, "{stage}");
     }
     assert_eq!(snap.stage("maintain.batch").unwrap().count, 1);
+}
+
+#[test]
+fn family_counters_match_the_suite_reports() {
+    let _guard = registry_guard();
+    let g = generators::clique_overlap(120, 90, 5, 3);
+    let mut index = MaintainedIndex::new(&g);
+    let mut suite = FamilySuite::new(&g);
+    let batches: [Vec<GraphUpdate>; 2] = [
+        g.edges()
+            .iter()
+            .take(8)
+            .map(|e| GraphUpdate::Remove(e.u, e.v))
+            .collect(),
+        g.edges()
+            .iter()
+            .take(8)
+            .map(|e| GraphUpdate::Insert(e.u, e.v))
+            .collect(),
+    ];
+
+    telemetry::reset();
+    let mut recomputed = 0u64;
+    for batch in &batches {
+        index.apply_batch(batch);
+        let report = suite.apply(index.graph(), batch, 2);
+        assert!(report.recomputed <= report.affected);
+        recomputed += report.recomputed as u64;
+    }
+    let snap = telemetry::snapshot();
+    // The counter is pinned to the reports the same windows returned, and
+    // each window is one `family.apply` span.
+    assert!(recomputed > 0, "churn this dense must recompute profiles");
+    assert_eq!(snap.counter("family.recomputed_edges"), recomputed);
+    assert_eq!(
+        snap.stage("family.apply").unwrap().count,
+        batches.len() as u64
+    );
+
+    telemetry::reset();
+    for family in Family::MAINTAINED {
+        let _ = suite.query(family, 10, 2);
+    }
+    let snap = telemetry::snapshot();
+    assert_eq!(
+        snap.counter("family.queries"),
+        Family::MAINTAINED.len() as u64
+    );
+    assert_eq!(
+        snap.stage("family.query").unwrap().count,
+        Family::MAINTAINED.len() as u64
+    );
+    // Queries read the suite; they must not move the apply-side counter.
+    assert_eq!(snap.counter("family.recomputed_edges"), 0);
 }
 
 #[test]

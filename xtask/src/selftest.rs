@@ -151,6 +151,35 @@ fn scenarios() -> Vec<Scenario> {
             expect_file: telemetry_lib,
             run: passes::docs_sync,
         },
+        // The query-family extension of docs-sync: the `family.*` suite
+        // telemetry is part of the catalogue like any other label, so a
+        // missing documentation row must be flagged.
+        Scenario {
+            pass: "docs-sync",
+            violating: ws(
+                vec![SourceFile::from_text(
+                    telemetry_lib,
+                    &catalogue(
+                        "        A => \"family.apply\",\n        Q => \"family.queries\",\n",
+                    ),
+                )],
+                Some("| Stage | Where |\n|---|---|\n| `family.apply` | FamilySuite |\n"),
+            ),
+            clean: ws(
+                vec![SourceFile::from_text(
+                    telemetry_lib,
+                    &catalogue(
+                        "        A => \"family.apply\",\n        Q => \"family.queries\",\n",
+                    ),
+                )],
+                Some(
+                    "| Stage | Where |\n|---|---|\n| `family.apply` | FamilySuite |\n\
+                     | `family.queries` | FamilySuite::query |\n",
+                ),
+            ),
+            expect_file: telemetry_lib,
+            run: passes::docs_sync,
+        },
         // The shard extension of fault-coverage: a fault point whose only
         // chaos coverage lives in tests/chaos_shard.rs counts as covered
         // (any tests/*chaos*.rs file does), and losing that file brings
